@@ -1,0 +1,45 @@
+"""Figure 4 — scalability of validation time (§4.5).
+
+Regenerates the rows-vs-seconds series at 5/10/18 dimensions on the NY
+Taxi data (set ``REPRO_FULL_SCALE=1`` for the paper's 10⁶ rows) and
+benchmarks validation of a fixed 10k-row slab.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import TaxiGenerator
+from repro.experiments import run_figure4
+
+from benchmarks.conftest import emit_result
+
+
+@pytest.fixture(scope="module")
+def figure4_result(scale):
+    result = run_figure4(scale=scale, seed=0)
+    emit_result("figure4", result.render())
+    return result
+
+
+def test_figure4_linear_scaling(figure4_result, benchmark, scale):
+    r = figure4_result
+    dims_present = sorted({d for d, _ in r.timings})
+    for dims in dims_present:
+        # The paper's claim: linear growth in rows (not exponential).
+        assert r.linearity_r2(dims) > 0.85, dims
+    # More dimensions must not be cheaper at the largest size.
+    sizes = sorted({rows for _, rows in r.timings})
+    largest = sizes[-1]
+    assert r.seconds(dims_present[-1], largest) >= 0.5 * r.seconds(dims_present[0], largest)
+
+    # Benchmark: fixed-size validation (10k rows, 18 dims).
+    from repro.core import DQuaG, DQuaGConfig
+
+    generator = TaxiGenerator()
+    columns = TaxiGenerator.dimension_subsets()[18]
+    train = generator.generate_clean(scale.train_rows, rng=1).select(columns)
+    table = generator.generate_clean(10_000, rng=2).select(columns)
+    config = DQuaGConfig(hidden_dim=scale.hidden_dim, epochs=max(scale.epochs // 4, 2), seed=0)
+    pipeline = DQuaG(config).fit(train, rng=0)
+    benchmark(lambda: pipeline.validate(table))

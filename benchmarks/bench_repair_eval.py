@@ -1,0 +1,46 @@
+"""§4.6 — repair evaluation (Airbnb + Bicycle).
+
+Regenerates the error-rate-before/after comparison and benchmarks one
+repair pass over a dirty batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import get_generator
+from repro.experiments import get_pipeline, get_splits, run_repair_eval
+
+from benchmarks.conftest import emit_result
+
+
+@pytest.fixture(scope="module")
+def repair_result(scale):
+    result = run_repair_eval(scale=scale, seed=0)
+    emit_result("repair_eval", result.render())
+    return result
+
+
+def test_repair_shape_holds(repair_result, benchmark, scale):
+    r = repair_result
+    for dataset in ("airbnb", "bicycle"):
+        outcome = r.outcomes[dataset]
+        # Repair must cut the error rate by at least half...
+        assert outcome.repaired_error_rate < 0.5 * outcome.dirty_error_rate, dataset
+        # ...and land near (or below) the clean dataset's own rate.
+        assert outcome.repaired_error_rate <= outcome.clean_error_rate + 0.03, dataset
+        # The paper's headline: the repaired dataset is classified clean.
+        assert outcome.repaired_classified_clean, dataset
+
+    # Benchmark: one validate→repair cycle on a dirty batch.
+    splits = get_splits("airbnb", scale, 0)
+    pipeline = get_pipeline("airbnb", scale, 0)
+    dirty, _ = get_generator("airbnb").generate_dirty(
+        splits.evaluation.sample(splits.batch_size, rng=5), rng=6
+    )
+
+    def repair_cycle():
+        report = pipeline.validate(dirty)
+        return pipeline.repair(dirty, report)
+
+    benchmark(repair_cycle)

@@ -1,0 +1,37 @@
+"""Shared benchmark infrastructure.
+
+Each bench file regenerates one of the paper's tables/figures. The
+experiment itself runs once per session (module fixtures + the process
+cache in ``repro.experiments.cache``); the ``benchmark`` fixture times
+the underlying per-batch operation.
+
+Scale is controlled by ``REPRO_SCALE`` (smoke/fast/standard/full;
+default: standard — see ``repro.experiments.harness`` for the grid).
+Rendered result tables are written to ``benchmarks/results/`` and echoed
+to the terminal (bypassing capture) so `pytest benchmarks/` output
+contains the paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import resolve_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_result(name: str, rendered: str) -> None:
+    """Persist and display a rendered experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+    # Bypass pytest's capture so the rows appear in the benchmark log.
+    print(f"\n{rendered}\n", file=sys.__stdout__, flush=True)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale(None)

@@ -1,0 +1,62 @@
+"""Credit-card application screening with both hidden-conflict families.
+
+Reproduces the paper's Credit Card scenario (§4.1.2): employment spans
+exceeding the applicant's lifetime (Conflicts-1) and elite education +
+advanced occupation paired with minimal income (Conflicts-2). Shows
+row-level and cell-level pinpointing.
+
+    python examples/credit_card_validation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.datasets import get_generator
+from repro.errors import (
+    CreditEmploymentBeforeBirthInjector,
+    CreditIncomeEducationConflictInjector,
+)
+from repro.metrics import row_detection_metrics
+
+
+def main() -> None:
+    generator = get_generator("credit")
+    clean = generator.generate_clean(8000, rng=0)
+    train, rest = clean.split(0.5, rng=1)
+    calibration, holdout = rest.split(0.4, rng=2)
+
+    pipeline = DQuaG(DQuaGConfig(epochs=15, hidden_dim=32)).fit(
+        train, rng=0, knowledge_edges=generator.knowledge_edges(), calibration_table=calibration
+    )
+
+    scenarios = {
+        "Conflicts-1 (employed before birth)": CreditEmploymentBeforeBirthInjector(fraction=0.2),
+        "Conflicts-2 (elite career, minimal income)": CreditIncomeEducationConflictInjector(fraction=0.2),
+    }
+    for name, injector in scenarios.items():
+        dirty, truth = injector.inject(holdout, rng=5)
+        report = pipeline.validate(dirty)
+        detection = row_detection_metrics(
+            np.flatnonzero(truth.row_mask), report.flagged_rows, dirty.n_rows
+        )
+        print(f"\n=== {name} ===")
+        print(f"verdict: {report.summary()}")
+        print(f"row detection vs ground truth: precision={detection.precision:.2f} "
+              f"recall={detection.recall:.2f}")
+
+        # Inspect one detected conflict.
+        hits = np.flatnonzero(truth.row_mask & report.row_flags)
+        if hits.size:
+            row_index = int(hits[0])
+            row = dirty.row(row_index)
+            print(f"example flagged application (row {row_index}):")
+            print(f"  DAYS_BIRTH={row['DAYS_BIRTH']:.0f}  DAYS_EMPLOYED={row['DAYS_EMPLOYED']:.0f}")
+            print(f"  education={row['NAME_EDUCATION_TYPE']!r}  occupation={row['OCCUPATION_TYPE']!r}")
+            print(f"  income={row['AMT_INCOME_TOTAL']:.0f}")
+            print(f"  model blames features: {report.flagged_features_of(row_index)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""End-to-end repair of a real-world-style dirty dataset (§4.6).
+
+Loads the Airbnb simulator's (clean, dirty) pair, repairs the dirty
+table with the repair decoder, and writes before/after CSVs so the
+changes can be inspected.
+
+    python examples/repair_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.data import write_csv
+from repro.datasets import get_generator
+
+
+def main() -> None:
+    generator = get_generator("airbnb")
+    clean = generator.generate_clean(10000, rng=0)
+    train, rest = clean.split(0.4, rng=1)
+    calibration, holdout = rest.split(0.3, rng=2)
+    dirty, truth = generator.generate_dirty(holdout, rng=3)
+    print(f"dirty dataset: {truth.n_dirty_rows}/{dirty.n_rows} rows carry injected errors "
+          f"({truth.error_rate():.2%})")
+
+    pipeline = DQuaG(DQuaGConfig(epochs=15, hidden_dim=32)).fit(
+        train, rng=0, knowledge_edges=generator.knowledge_edges(), calibration_table=calibration
+    )
+
+    clean_rate = pipeline.validate(holdout).flagged_fraction
+    report = pipeline.validate(dirty)
+    repaired, summary = pipeline.repair(dirty, report, iterations=3)
+    after = pipeline.validate(repaired)
+
+    print(f"\nerror rate (flagged rows): dirty {report.flagged_fraction:.2%} "
+          f"→ repaired {after.flagged_fraction:.2%} (clean reference {clean_rate:.2%})")
+    print(f"repaired data classified clean: {not after.is_problematic}")
+    print(f"cells repaired: {summary.n_cells_repaired}, by column: {summary.repairs_by_column}")
+
+    # Show a concrete repaired price glitch.
+    price_column = dirty.schema.index_of("price")
+    price_fixed = np.flatnonzero(
+        report.cell_flags[:, price_column] & (dirty["price"] != repaired["price"])
+    )
+    if price_fixed.size:
+        i = int(price_fixed[0])
+        print(f"\nexample: row {i} price {dirty['price'][i]:.0f} → {repaired['price'][i]:.0f} "
+              f"({dirty['room_type'][i]} in {dirty['neighbourhood_group'][i]})")
+
+    out_dir = Path(tempfile.mkdtemp(prefix="dquag_repair_"))
+    write_csv(dirty, out_dir / "airbnb_dirty.csv")
+    write_csv(repaired, out_dir / "airbnb_repaired.csv")
+    print(f"\nwrote before/after CSVs to {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

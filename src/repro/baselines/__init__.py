@@ -1,0 +1,37 @@
+"""Baseline data-quality validation systems (§4.1.3).
+
+All four SOTA baselines the paper compares against, re-implemented on
+the shared :class:`~repro.baselines.base.BaselineValidator` interface:
+Deequ (auto/expert), TFDV (auto/expert), ADQV, and Gate.
+"""
+
+from repro.baselines.base import BaselineValidator, BatchVerdict
+from repro.baselines.profiles import ColumnProfile, histogram_distance, profile_table
+from repro.baselines.deequ import (
+    CompletenessConstraint,
+    Constraint,
+    DeequValidator,
+    DomainConstraint,
+    RangeConstraint,
+)
+from repro.baselines.tfdv import TFDVValidator
+from repro.baselines.adqv import ADQVValidator, batch_statistics_vector
+from repro.baselines.gate import GateValidator, partition_summary
+
+__all__ = [
+    "BaselineValidator",
+    "BatchVerdict",
+    "ColumnProfile",
+    "histogram_distance",
+    "profile_table",
+    "Constraint",
+    "CompletenessConstraint",
+    "RangeConstraint",
+    "DomainConstraint",
+    "DeequValidator",
+    "TFDVValidator",
+    "ADQVValidator",
+    "batch_statistics_vector",
+    "GateValidator",
+    "partition_summary",
+]

@@ -1,0 +1,65 @@
+"""Shared interface for all data-quality validators (baselines and DQuaG).
+
+Every method in the evaluation — Deequ, TFDV, ADQV, Gate, and DQuaG
+itself — is exposed through the same two calls:
+
+* ``fit(clean_table)`` — learn whatever the method needs from clean data;
+* ``validate_batch(batch)`` — return a :class:`BatchVerdict` saying
+  whether the batch has quality issues and, where the method supports
+  it, which rows are problematic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.table import Table
+
+__all__ = ["BatchVerdict", "BaselineValidator"]
+
+
+@dataclass
+class BatchVerdict:
+    """Outcome of validating one batch.
+
+    Attributes
+    ----------
+    is_problematic:
+        The batch-level decision (the paper's primary metric input).
+    flagged_rows:
+        Indices of rows the method identifies as erroneous; empty for
+        methods that only judge whole batches (ADQV, Gate).
+    score:
+        Method-specific severity (violation rate, kNN distance, ...);
+        higher means more anomalous.
+    details:
+        Free-form diagnostics (violated constraints, drifted columns, ...).
+    """
+
+    is_problematic: bool
+    flagged_rows: np.ndarray = field(default_factory=lambda: np.array([], dtype=int))
+    score: float = 0.0
+    details: dict = field(default_factory=dict)
+
+
+class BaselineValidator(abc.ABC):
+    """Common API for every validation method in the evaluation."""
+
+    #: registry key / display name, e.g. ``"deequ_auto"``
+    name: str = ""
+    #: whether :attr:`BatchVerdict.flagged_rows` is meaningful
+    supports_row_flags: bool = False
+
+    @abc.abstractmethod
+    def fit(self, clean: Table, rng: int | np.random.Generator | None = None) -> "BaselineValidator":
+        """Learn constraints/statistics/models from the clean dataset."""
+
+    @abc.abstractmethod
+    def validate_batch(self, batch: Table) -> BatchVerdict:
+        """Judge one batch of unseen data."""
+
+    def validate_batches(self, batches: list[Table]) -> list[BatchVerdict]:
+        return [self.validate_batch(batch) for batch in batches]

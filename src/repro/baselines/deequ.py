@@ -1,0 +1,190 @@
+"""Deequ-style constraint validation (Schelter et al., VLDB 2018).
+
+Deequ profiles a reference dataset, *suggests* declarative constraints
+(completeness, value ranges, category domains), and verifies batches
+against them. The paper evaluates two configurations (§4.1.3):
+
+* ``auto`` — constraints exactly as suggested from a profiling *sample*:
+  ranges are the sample's observed min/max, domains the observed value
+  sets, completeness 100%, and any single violation flags the batch.
+  This is the "too strict" failure mode: clean batches routinely contain
+  values beyond a sample's extremes, producing false positives
+  (Table 1's ≈0.5 accuracy with recall 1).
+* ``expert`` — the manually tuned setup: constraints are fitted on the
+  full clean data, ranges padded, small missing-value and violation-rate
+  tolerances added. Accurate on ordinary errors, but — like any
+  column-local rule set — blind to cross-column conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import BaselineValidator, BatchVerdict
+from repro.baselines.profiles import ColumnProfile, profile_table
+from repro.data.table import Table
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Constraint", "CompletenessConstraint", "RangeConstraint", "DomainConstraint", "DeequValidator"]
+
+
+class Constraint:
+    """A declarative check producing a per-row violation mask."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def violations(self, table: Table) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class CompletenessConstraint(Constraint):
+    """``completeness(column) >= threshold`` (per-row: value present)."""
+
+    def __init__(self, column: str, threshold: float = 1.0) -> None:
+        super().__init__(column)
+        self.threshold = threshold
+
+    def violations(self, table: Table) -> np.ndarray:
+        spec = table.schema[self.column]
+        values = table.column(self.column)
+        if spec.is_numeric:
+            missing = ~np.isfinite(values)
+        else:
+            missing = np.array([v is None for v in values], dtype=bool)
+        # Rows are only violations when the column misses more than allowed.
+        if values.size and missing.mean() > 1.0 - self.threshold:
+            return missing
+        return np.zeros(len(values), dtype=bool)
+
+    def describe(self) -> str:
+        return f"isComplete({self.column}) >= {self.threshold:.3f}"
+
+
+class RangeConstraint(Constraint):
+    """``minimum <= column <= maximum`` for present numeric values."""
+
+    def __init__(self, column: str, minimum: float, maximum: float) -> None:
+        super().__init__(column)
+        if minimum > maximum:
+            raise ConfigurationError(f"range constraint on {column}: min {minimum} > max {maximum}")
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def violations(self, table: Table) -> np.ndarray:
+        values = table.column(self.column)
+        present = np.isfinite(values)
+        return present & ((values < self.minimum) | (values > self.maximum))
+
+    def describe(self) -> str:
+        return f"isInRange({self.column}, [{self.minimum:.4g}, {self.maximum:.4g}])"
+
+
+class DomainConstraint(Constraint):
+    """``column ∈ allowed`` for present categorical values."""
+
+    def __init__(self, column: str, allowed: frozenset[str]) -> None:
+        super().__init__(column)
+        self.allowed = frozenset(allowed)
+
+    def violations(self, table: Table) -> np.ndarray:
+        values = table.column(self.column)
+        return np.array([v is not None and v not in self.allowed for v in values], dtype=bool)
+
+    def describe(self) -> str:
+        return f"isContainedIn({self.column}, {len(self.allowed)} values)"
+
+
+class DeequValidator(BaselineValidator):
+    """Deequ with auto-suggested or expert-tuned constraints.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` or ``"expert"`` (see module docstring).
+    suggestion_sample_fraction:
+        Auto mode profiles this fraction of the clean data (Deequ's
+        suggestion runs on a sample; 10% default).
+    expert_range_padding:
+        Expert mode widens each range by this fraction of its span.
+    expert_violation_tolerance:
+        Expert mode flags a batch only when the violating-row rate
+        exceeds this.
+    """
+
+    supports_row_flags = True
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        suggestion_sample_fraction: float = 0.1,
+        expert_range_padding: float = 0.05,
+        expert_missing_tolerance: float = 0.02,
+        expert_violation_tolerance: float = 0.02,
+    ) -> None:
+        if mode not in ("auto", "expert"):
+            raise ConfigurationError(f"mode must be 'auto' or 'expert', got {mode!r}")
+        self.mode = mode
+        self.name = f"deequ_{mode}"
+        self.suggestion_sample_fraction = suggestion_sample_fraction
+        self.expert_range_padding = expert_range_padding
+        self.expert_missing_tolerance = expert_missing_tolerance
+        self.expert_violation_tolerance = expert_violation_tolerance
+        self.constraints_: list[Constraint] | None = None
+
+    def fit(self, clean: Table, rng: int | np.random.Generator | None = None) -> "DeequValidator":
+        generator = ensure_rng(rng)
+        if self.mode == "auto":
+            sample_size = max(2, int(round(clean.n_rows * self.suggestion_sample_fraction)))
+            reference = clean.sample(min(sample_size, clean.n_rows), rng=generator)
+            padding = 0.0
+            completeness = 1.0
+        else:
+            reference = clean
+            padding = self.expert_range_padding
+            completeness = 1.0 - self.expert_missing_tolerance
+        profiles = profile_table(reference)
+        self.constraints_ = self._suggest(profiles, padding, completeness)
+        return self
+
+    def _suggest(
+        self, profiles: dict[str, ColumnProfile], padding: float, completeness: float
+    ) -> list[Constraint]:
+        constraints: list[Constraint] = []
+        for profile in profiles.values():
+            constraints.append(CompletenessConstraint(profile.name, completeness))
+            if profile.kind == "numeric" and profile.minimum is not None:
+                span = profile.maximum - profile.minimum
+                pad = span * padding
+                constraints.append(RangeConstraint(profile.name, profile.minimum - pad, profile.maximum + pad))
+            elif profile.kind == "categorical":
+                constraints.append(DomainConstraint(profile.name, profile.domain))
+        return constraints
+
+    def validate_batch(self, batch: Table) -> BatchVerdict:
+        if self.constraints_ is None:
+            raise NotFittedError("DeequValidator used before fit()")
+        row_violations = np.zeros(batch.n_rows, dtype=bool)
+        violated: list[str] = []
+        for constraint in self.constraints_:
+            mask = constraint.violations(batch)
+            if mask.any():
+                violated.append(constraint.describe())
+                row_violations |= mask
+        violation_rate = float(row_violations.mean()) if batch.n_rows else 0.0
+        if self.mode == "auto":
+            is_problematic = bool(row_violations.any())
+        else:
+            is_problematic = violation_rate > self.expert_violation_tolerance
+        return BatchVerdict(
+            is_problematic=is_problematic,
+            flagged_rows=np.flatnonzero(row_violations),
+            score=violation_rate,
+            details={"violated_constraints": violated},
+        )

@@ -1,0 +1,123 @@
+"""Gate: automatic, precise data validation (Shankar et al., CIKM 2023).
+
+Gate summarizes each data partition with per-column statistics and
+learns, from a history of good partitions, how much each statistic
+naturally fluctuates; a new partition is flagged when enough statistics
+land outside their learned tolerance bands (mean ± k·std across the
+history).
+
+The reproduction keeps the trait the paper observed: with its default
+sensitivity the learned bands are tight, so Gate fires on benign
+fluctuation in some datasets while genuinely conflicting-but-marginal-
+preserving errors move too few statistics to reach the vote threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineValidator, BatchVerdict
+from repro.data.table import Table
+from repro.exceptions import NotFittedError
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["GateValidator", "partition_summary"]
+
+
+def partition_summary(table: Table) -> dict[str, float]:
+    """Named per-column summary statistics of one partition."""
+    summary: dict[str, float] = {}
+    for spec in table.schema:
+        values = table.column(spec.name)
+        if spec.is_numeric:
+            finite = values[np.isfinite(values)]
+            summary[f"{spec.name}.completeness"] = finite.size / values.size if values.size else 1.0
+            if finite.size:
+                summary[f"{spec.name}.mean"] = float(finite.mean())
+                summary[f"{spec.name}.std"] = float(finite.std())
+                summary[f"{spec.name}.p05"] = float(np.quantile(finite, 0.05))
+                summary[f"{spec.name}.p95"] = float(np.quantile(finite, 0.95))
+            else:
+                for stat in ("mean", "std", "p05", "p95"):
+                    summary[f"{spec.name}.{stat}"] = 0.0
+        else:
+            present = [v for v in values if v is not None]
+            summary[f"{spec.name}.completeness"] = len(present) / values.size if values.size else 1.0
+            counts: dict[str, int] = {}
+            for v in present:
+                counts[v] = counts.get(v, 0) + 1
+            summary[f"{spec.name}.cardinality"] = float(len(counts))
+            summary[f"{spec.name}.top_fraction"] = (
+                max(counts.values()) / len(present) if present else 0.0
+            )
+    return summary
+
+
+class GateValidator(BaselineValidator):
+    """Partition-summary validation with learned tolerance bands.
+
+    Parameters
+    ----------
+    sensitivity:
+        Band half-width in historical standard deviations (lower =
+        stricter; Gate's precision-driven defaults are tight).
+    vote_fraction:
+        Fraction of statistics that must leave their bands to flag the
+        partition.
+    """
+
+    name = "gate"
+    supports_row_flags = False
+
+    def __init__(
+        self,
+        sensitivity: float = 2.5,
+        vote_fraction: float = 0.02,
+        n_reference_batches: int = 60,
+        reference_fraction: float = 0.1,
+        reference_batch_size: int | None = None,
+    ) -> None:
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        if not 0.0 < vote_fraction <= 1.0:
+            raise ValueError(f"vote_fraction must be in (0, 1], got {vote_fraction}")
+        self.sensitivity = sensitivity
+        self.vote_fraction = vote_fraction
+        self.n_reference_batches = n_reference_batches
+        self.reference_fraction = reference_fraction
+        # Cardinality/extreme statistics are batch-size dependent: build
+        # the history at the size the method will judge when known.
+        self.reference_batch_size = reference_batch_size
+        self._stat_names: list[str] | None = None
+        self._means: np.ndarray | None = None
+        self._stds: np.ndarray | None = None
+
+    def fit(self, clean: Table, rng: int | np.random.Generator | None = None) -> "GateValidator":
+        generator = ensure_rng(rng)
+        batch_size = self.reference_batch_size or max(2, int(round(clean.n_rows * self.reference_fraction)))
+        history: list[dict[str, float]] = []
+        for i in range(self.n_reference_batches):
+            batch = clean.sample(min(batch_size, clean.n_rows), rng=derive_rng(generator, "gate", i))
+            history.append(partition_summary(batch))
+        self._stat_names = sorted(history[0])
+        matrix = np.array([[h[name] for name in self._stat_names] for h in history])
+        self._means = matrix.mean(axis=0)
+        self._stds = matrix.std(axis=0)
+        # Statistics that never move get a tiny band so exact matches pass.
+        self._stds[self._stds == 0] = 1e-9
+        return self
+
+    def validate_batch(self, batch: Table) -> BatchVerdict:
+        if self._stat_names is None:
+            raise NotFittedError("GateValidator used before fit()")
+        summary = partition_summary(batch)
+        vector = np.array([summary.get(name, 0.0) for name in self._stat_names])
+        z_scores = np.abs(vector - self._means) / self._stds
+        out_of_band = z_scores > self.sensitivity
+        fraction = float(out_of_band.mean())
+        violating = [name for name, bad in zip(self._stat_names, out_of_band) if bad]
+        return BatchVerdict(
+            is_problematic=fraction > self.vote_fraction,
+            score=fraction,
+            details={"out_of_band_statistics": violating},
+        )

@@ -1,0 +1,96 @@
+"""Column profiling shared by the rule-based baselines.
+
+A :class:`ColumnProfile` is the statistical summary Deequ/TFDV-style
+systems compute during their suggestion phase: completeness, range,
+integrality, category domain, and a fixed-bin histogram for drift
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnSpec
+from repro.data.table import Table
+
+__all__ = ["ColumnProfile", "profile_table", "histogram_distance"]
+
+_HISTOGRAM_BINS = 20
+
+
+@dataclass
+class ColumnProfile:
+    """Summary statistics of one column over a reference table."""
+
+    name: str
+    kind: str
+    completeness: float
+    minimum: float | None = None
+    maximum: float | None = None
+    mean: float | None = None
+    std: float | None = None
+    is_integral: bool = False
+    n_distinct: int = 0
+    domain: frozenset[str] = frozenset()
+    histogram: np.ndarray | None = None
+    bin_edges: np.ndarray | None = None
+
+    def bin_fractions(self, values: np.ndarray) -> np.ndarray:
+        """Histogram fractions of ``values`` over this profile's bins."""
+        if self.bin_edges is None:
+            raise ValueError(f"column {self.name!r} has no histogram")
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            return np.zeros(len(self.bin_edges) - 1)
+        counts, _ = np.histogram(np.clip(finite, self.bin_edges[0], self.bin_edges[-1]), bins=self.bin_edges)
+        return counts / finite.size
+
+
+def profile_column(spec: ColumnSpec, values: np.ndarray) -> ColumnProfile:
+    if spec.is_numeric:
+        finite = values[np.isfinite(values)]
+        completeness = finite.size / values.size if values.size else 1.0
+        if finite.size == 0:
+            return ColumnProfile(spec.name, spec.kind, completeness)
+        edges = np.histogram_bin_edges(finite, bins=_HISTOGRAM_BINS)
+        counts, _ = np.histogram(finite, bins=edges)
+        return ColumnProfile(
+            name=spec.name,
+            kind=spec.kind,
+            completeness=completeness,
+            minimum=float(finite.min()),
+            maximum=float(finite.max()),
+            mean=float(finite.mean()),
+            std=float(finite.std()),
+            is_integral=bool(np.all(finite == np.round(finite))),
+            n_distinct=int(np.unique(finite).size),
+            histogram=counts / max(finite.size, 1),
+            bin_edges=edges,
+        )
+    present = np.array([v for v in values if v is not None], dtype=object)
+    completeness = present.size / values.size if values.size else 1.0
+    domain = frozenset(str(v) for v in present)
+    return ColumnProfile(
+        name=spec.name,
+        kind=spec.kind,
+        completeness=completeness,
+        n_distinct=len(domain),
+        domain=domain,
+    )
+
+
+def profile_table(table: Table) -> dict[str, ColumnProfile]:
+    """Profiles of every column, keyed by name."""
+    return {spec.name: profile_column(spec, table.column(spec.name)) for spec in table.schema}
+
+
+def histogram_distance(profile: ColumnProfile, values: np.ndarray) -> float:
+    """L∞ distance between the reference histogram and ``values``'s histogram.
+
+    The drift comparator TFDV applies between schema environments.
+    """
+    if profile.histogram is None:
+        return 0.0
+    return float(np.abs(profile.bin_fractions(values) - profile.histogram).max())

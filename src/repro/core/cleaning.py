@@ -1,0 +1,94 @@
+"""Post-validation data cleaning and selection (the paper's §5 future work).
+
+Three strategies for turning a :class:`ValidationReport` into a usable
+downstream dataset:
+
+* ``drop``   — remove flagged rows (conservative, loses data);
+* ``repair`` — apply repair-decoder suggestions to flagged cells;
+* ``hybrid`` — repair first, then drop rows whose post-repair error is
+  still above the threshold (repair what can be repaired, discard the
+  rest).
+
+:func:`select_cleanest` implements quality-aware *selection*: rank rows
+by reconstruction error and keep the best ``k`` — useful when a
+downstream training job needs a fixed-size, highest-quality subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import DQuaG
+from repro.core.validator import ValidationReport
+from repro.data.table import Table
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CleaningOutcome", "clean_dataset", "select_cleanest"]
+
+STRATEGIES = ("drop", "repair", "hybrid")
+
+
+@dataclass(frozen=True)
+class CleaningOutcome:
+    """Result of one cleaning pass."""
+
+    table: Table
+    strategy: str
+    n_rows_in: int
+    n_rows_out: int
+    n_rows_dropped: int
+    n_cells_repaired: int
+    residual_flagged_fraction: float
+
+    @property
+    def retention(self) -> float:
+        return self.n_rows_out / self.n_rows_in if self.n_rows_in else 1.0
+
+
+def clean_dataset(
+    pipeline: DQuaG,
+    table: Table,
+    strategy: str = "hybrid",
+    report: ValidationReport | None = None,
+    repair_iterations: int = 2,
+) -> CleaningOutcome:
+    """Produce a cleaned version of ``table`` using a fitted pipeline."""
+    if strategy not in STRATEGIES:
+        raise ConfigurationError(f"unknown cleaning strategy {strategy!r}; choose from {STRATEGIES}")
+    if report is None:
+        report = pipeline.validate(table)
+
+    n_cells_repaired = 0
+    if strategy == "drop":
+        keep = ~report.row_flags
+        cleaned = table.take(np.flatnonzero(keep))
+    else:
+        cleaned, summary = pipeline.repair(table, report, iterations=repair_iterations)
+        n_cells_repaired = summary.n_cells_repaired
+        if strategy == "hybrid":
+            post = pipeline.validate(cleaned)
+            cleaned = cleaned.take(np.flatnonzero(~post.row_flags))
+
+    residual = pipeline.validate(cleaned).flagged_fraction if cleaned.n_rows else 0.0
+    return CleaningOutcome(
+        table=cleaned,
+        strategy=strategy,
+        n_rows_in=table.n_rows,
+        n_rows_out=cleaned.n_rows,
+        n_rows_dropped=table.n_rows - cleaned.n_rows,
+        n_cells_repaired=n_cells_repaired,
+        residual_flagged_fraction=residual,
+    )
+
+
+def select_cleanest(pipeline: DQuaG, table: Table, k: int) -> Table:
+    """Return the ``k`` rows with the lowest reconstruction error."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k >= table.n_rows:
+        return table.copy()
+    report = pipeline.validate(table)
+    order = np.argsort(report.sample_errors, kind="stable")
+    return table.take(order[:k])

@@ -1,0 +1,83 @@
+"""Interpretability helpers (the paper's §5 interpretability goal).
+
+Two complementary views of *why* a row was flagged:
+
+* :func:`explain_row` — error decomposition: each feature's share of the
+  row's reconstruction error, with the cell values in data space;
+* :func:`attention_summary` — the GAT layers' learned feature-to-feature
+  attention, averaged over a batch: which relationships the encoder
+  actually uses (the learned counterpart of the §3.1.1 feature graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import DQuaG
+from repro.core.validator import ValidationReport
+from repro.data.table import Table
+from repro.exceptions import ValidationError
+from repro.nn import Tensor, no_grad
+
+__all__ = ["FeatureContribution", "explain_row", "attention_summary"]
+
+
+@dataclass(frozen=True)
+class FeatureContribution:
+    """One feature's role in a row's reconstruction error."""
+
+    feature: str
+    value: object
+    cell_error: float
+    share: float
+    flagged: bool
+
+
+def explain_row(report: ValidationReport, table: Table, row: int) -> list[FeatureContribution]:
+    """Decompose a row's error into per-feature contributions (sorted
+    by share, largest first)."""
+    if not 0 <= row < table.n_rows:
+        raise ValidationError(f"row {row} out of range for table of {table.n_rows} rows")
+    cell_errors = report.cell_errors[row]
+    total = float(cell_errors.sum())
+    contributions = []
+    for j, name in enumerate(report.feature_names):
+        contributions.append(
+            FeatureContribution(
+                feature=name,
+                value=table.column(name)[row],
+                cell_error=float(cell_errors[j]),
+                share=float(cell_errors[j]) / total if total > 0 else 0.0,
+                flagged=bool(report.cell_flags[row, j]),
+            )
+        )
+    return sorted(contributions, key=lambda c: -c.share)
+
+
+def attention_summary(pipeline: DQuaG, table: Table, max_rows: int = 512) -> dict[tuple[str, str], float]:
+    """Average GAT attention between feature pairs over a batch.
+
+    Returns ``{(from_feature, to_feature): weight}`` for connected pairs,
+    averaged over heads, layers, and rows. Raises if the encoder has no
+    attention layers (e.g. the ``gcn`` ablation).
+    """
+    if pipeline.model is None:
+        raise ValidationError("pipeline is not fitted")
+    matrix = pipeline.preprocessor.transform(table.head(max_rows))
+    with no_grad():
+        pipeline.model.encode(Tensor(matrix))
+    maps = pipeline.model.encoder.attention_maps()
+    if not maps:
+        raise ValidationError(f"encoder {pipeline.config.architecture!r} has no attention layers")
+    # Each map: (heads, batch, n, n) — average everything but the feature axes.
+    stacked = np.mean([m.mean(axis=(0, 1)) for m in maps], axis=0)
+    names = pipeline.graph.features
+    mask = pipeline.model.ctx.attention_mask
+    summary: dict[tuple[str, str], float] = {}
+    for i, source in enumerate(names):
+        for j, target in enumerate(names):
+            if mask[i, j]:
+                summary[(source, target)] = float(stacked[i, j])
+    return summary

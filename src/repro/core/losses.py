@@ -1,0 +1,87 @@
+"""The dual-decoder multi-task loss (§3.1.2).
+
+``L_total = α · L_validation + β · L_repair`` where
+
+* ``L_validation = (1/N) Σ w_i ‖X_i − X̂_i‖²`` with per-sample weights
+  ``w_i`` that *decrease* with the sample's reconstruction error — normal
+  samples dominate the gradient, suspect samples are down-weighted so the
+  model never learns to reconstruct them well;
+* ``L_repair = (1/N) Σ ‖X_i − X̃_i‖²`` — plain MSE toward the clean
+  values (the training input is clean, so it is its own repair target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["LossParts", "compute_sample_weights", "dquag_loss"]
+
+
+@dataclass
+class LossParts:
+    """Total loss tensor plus detached scalar diagnostics."""
+
+    total: Tensor
+    validation: float
+    repair: float
+
+
+def compute_sample_weights(
+    sample_errors: np.ndarray,
+    temperature: float | None = None,
+) -> np.ndarray:
+    """Map per-sample errors to the §3.1.2 weighting scheme.
+
+    ``w_i = exp(−e_i / τ)``, normalized to mean 1 so the loss scale is
+    independent of the weighting. ``τ`` defaults to the median error of
+    the batch — samples near the typical error keep weight ≈ e^{−1},
+    while outliers (likely residual noise even in "clean" data, §3.1.4)
+    are suppressed exponentially.
+    """
+    errors = np.asarray(sample_errors, dtype=np.float64)
+    if errors.ndim != 1:
+        raise ValueError(f"sample errors must be 1-D, got shape {errors.shape}")
+    if errors.size == 0:
+        return np.ones(0)
+    if temperature is None:
+        temperature = float(np.median(errors))
+    temperature = max(temperature, 1e-12)
+    # Clamp the exponent so extreme outliers keep a tiny-but-positive
+    # weight instead of underflowing to exactly zero.
+    weights = np.exp(np.clip(-errors / temperature, -60.0, 0.0))
+    mean = weights.mean()
+    if mean <= 0:
+        return np.ones_like(weights)
+    return weights / mean
+
+
+def dquag_loss(
+    reconstruction: Tensor,
+    repair: Tensor,
+    target: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    weighting_temperature: float | None = None,
+) -> LossParts:
+    """Assemble the multi-task loss for one mini-batch.
+
+    Weights are computed from the *detached* reconstruction errors of the
+    current forward pass, so no gradient flows through the weighting.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    detached_errors = ((reconstruction.numpy() - target) ** 2).mean(axis=1)
+    weights = compute_sample_weights(detached_errors, weighting_temperature)
+
+    validation_loss = F.weighted_mse_loss(reconstruction, target, weights)
+    repair_loss = F.mse_loss(repair, target)
+    total = validation_loss * alpha + repair_loss * beta
+    return LossParts(
+        total=total,
+        validation=float(validation_loss.numpy()),
+        repair=float(repair_loss.numpy()),
+    )

@@ -1,0 +1,138 @@
+"""The DQuaG model: shared GNN encoder + dual decoders (§3.1.2).
+
+The input is a preprocessed table matrix ``X ∈ R^{B×F}`` (B rows, F
+features). Each row becomes a feature graph whose node ``f`` carries
+``[x_f ⊕ E_f]`` — the scaled cell value concatenated with a learnable
+per-feature identity embedding — so the shared decoders can be
+feature-aware. The encoder produces node embeddings ``Z ∈ R^{B×F×h}``;
+each decoder maps ``[Z_f ⊕ E_f] → x̂_f`` with a per-node MLP, yielding a
+``(B, F)`` reconstruction (validation decoder) and repair proposal
+(repair decoder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DQuaGConfig
+from repro.gnn.context import GraphContext
+from repro.gnn.encoder import GNNEncoder, build_encoder
+from repro.graph.feature_graph import FeatureGraph
+from repro.nn import no_grad
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter, Tensor
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["DQuaGModel"]
+
+
+class DQuaGModel(Module):
+    """GNN encoder + dual decoder over a fixed feature graph."""
+
+    def __init__(
+        self,
+        graph: FeatureGraph,
+        config: DQuaGConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or DQuaGConfig()
+        self.graph = graph
+        self.ctx = GraphContext.from_feature_graph(graph)
+        self.n_features = graph.n_nodes
+        generator = ensure_rng(rng if rng is not None else self.config.seed)
+
+        embed_dim = self.config.feature_embedding_dim
+        scale = 1.0 / np.sqrt(max(embed_dim, 1))
+        self.feature_embeddings = Parameter(
+            derive_rng(generator, "embeddings").normal(0.0, scale, size=(self.n_features, embed_dim)),
+            name="feature_embeddings",
+        )
+
+        self.encoder: GNNEncoder = build_encoder(
+            self.config.architecture,
+            in_features=self.config.node_input_dim,
+            hidden_features=self.config.hidden_dim,
+            graph=graph,
+            n_layers=self.config.n_layers,
+            gat_heads=self.config.gat_heads,
+            rng=derive_rng(generator, "encoder"),
+        )
+
+        decoder_in = self.config.hidden_dim + embed_dim
+        half = max(self.config.hidden_dim // 2, 4)
+        self.validation_decoder = MLP(
+            [decoder_in, half, 1], activation="relu", rng=derive_rng(generator, "val_dec")
+        )
+        self.repair_decoder = MLP(
+            [decoder_in, half, 1], activation="relu", rng=derive_rng(generator, "rep_dec")
+        )
+
+    # -- forward ------------------------------------------------------------
+    def node_inputs(self, x: Tensor) -> Tensor:
+        """(B, F) value matrix → (B, F, 1+e) node-input tensor."""
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(f"expected (batch, {self.n_features}) input, got {x.shape}")
+        batch = x.shape[0]
+        values = x.reshape(batch, self.n_features, 1)
+        if self.config.feature_embedding_dim == 0:
+            return values
+        identity = self.feature_embeddings.expand_dims(0).broadcast_to(
+            (batch, self.n_features, self.config.feature_embedding_dim)
+        )
+        return Tensor.concatenate([values, identity], axis=-1)
+
+    def encode(self, x: Tensor) -> Tensor:
+        """(B, F) → node embeddings (B, F, hidden)."""
+        return self.encoder(self.node_inputs(x), self.ctx)
+
+    def _decode(self, decoder: MLP, embeddings: Tensor) -> Tensor:
+        batch = embeddings.shape[0]
+        if self.config.feature_embedding_dim > 0:
+            identity = self.feature_embeddings.expand_dims(0).broadcast_to(
+                (batch, self.n_features, self.config.feature_embedding_dim)
+            )
+            decoder_in = Tensor.concatenate([embeddings, identity], axis=-1)
+        else:
+            decoder_in = embeddings
+        return decoder(decoder_in).squeeze(-1)  # (B, F)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Return ``(reconstruction, repair)``, each of shape (B, F)."""
+        embeddings = self.encode(x)
+        reconstruction = self._decode(self.validation_decoder, embeddings)
+        repair = self._decode(self.repair_decoder, embeddings)
+        return reconstruction, repair
+
+    # -- inference helpers -------------------------------------------------------
+    def reconstruction_errors(self, matrix: np.ndarray, chunk_size: int = 4096) -> np.ndarray:
+        """Per-cell squared reconstruction errors, shape (B, F), no gradients.
+
+        Large inputs are processed in chunks to bound peak memory — this
+        is the inference path of the Figure 4 scalability study.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        out = np.empty_like(matrix)
+        with no_grad():
+            for start in range(0, matrix.shape[0], chunk_size):
+                chunk = matrix[start : start + chunk_size]
+                recon, _ = self.forward(Tensor(chunk))
+                out[start : start + chunk_size] = (recon.numpy() - chunk) ** 2
+        return out
+
+    def repair_values(self, matrix: np.ndarray, chunk_size: int = 4096) -> np.ndarray:
+        """Repair-decoder proposals in model space, shape (B, F), no gradients."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        out = np.empty_like(matrix)
+        with no_grad():
+            for start in range(0, matrix.shape[0], chunk_size):
+                chunk = matrix[start : start + chunk_size]
+                _, repair = self.forward(Tensor(chunk))
+                out[start : start + chunk_size] = repair.numpy()
+        return out
+
+    @staticmethod
+    def sample_errors(cell_errors: np.ndarray) -> np.ndarray:
+        """Per-sample reconstruction error: mean over features (§3.1.4)."""
+        return np.asarray(cell_errors).mean(axis=1)

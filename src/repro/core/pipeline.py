@@ -1,0 +1,269 @@
+"""The end-to-end DQuaG pipeline (Figure 2 of the paper).
+
+:class:`DQuaG` ties everything together behind the same
+:class:`~repro.baselines.base.BaselineValidator` interface the baselines
+use, so experiments treat all methods uniformly:
+
+* **fit** (Phase 1) — preprocess the clean table, build the feature
+  graph (knowledge + statistics providers), train the dual-decoder GNN,
+  and calibrate the 95th-percentile threshold;
+* **validate / validate_batch** (Phase 2) — reconstruction-error
+  validation with row, cell, and dataset decisions;
+* **repair** — repair-decoder suggestions applied to flagged cells.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.base import BaselineValidator, BatchVerdict
+from repro.core.config import DQuaGConfig
+from repro.core.model import DQuaGModel
+from repro.core.repair import RepairEngine, RepairSummary
+from repro.core.thresholds import ThresholdCalibration
+from repro.core.trainer import Trainer, TrainingHistory
+from repro.core.validator import DataQualityValidator, ValidationReport
+from repro.data.preprocess import TablePreprocessor
+from repro.data.table import Table
+from repro.exceptions import NotFittedError
+from repro.graph.feature_graph import FeatureGraph
+from repro.graph.inference import StatisticalRelationshipInference
+from repro.graph.llm import FeatureGraphBuilder, HybridProvider, KnowledgeBaseProvider
+from repro.nn.serialization import load_state, save_state
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["DQuaG"]
+
+logger = get_logger("core.pipeline")
+
+
+class DQuaG(BaselineValidator):
+    """Data Quality Graph: GNN-based validation and repair.
+
+    >>> pipeline = DQuaG()                          # doctest: +SKIP
+    >>> pipeline.fit(clean_table,                   # doctest: +SKIP
+    ...              knowledge_edges=[("city", "country")])
+    >>> report = pipeline.validate(new_table)       # doctest: +SKIP
+    >>> fixed, _ = pipeline.repair(new_table)       # doctest: +SKIP
+    """
+
+    name = "dquag"
+    supports_row_flags = True
+
+    def __init__(self, config: DQuaGConfig | None = None) -> None:
+        self.config = config or DQuaGConfig()
+        self.preprocessor: TablePreprocessor | None = None
+        self.graph: FeatureGraph | None = None
+        self.model: DQuaGModel | None = None
+        self.calibration: ThresholdCalibration | None = None
+        self.history: TrainingHistory | None = None
+        self._validator: DataQualityValidator | None = None
+        self._repair_engine: RepairEngine | None = None
+
+    # -- phase 1 -----------------------------------------------------------
+    def fit(
+        self,
+        clean: Table,
+        rng: int | np.random.Generator | None = None,
+        knowledge_edges: list[tuple[str, str]] | None = None,
+        future_categories: dict[str, list[str]] | None = None,
+        feature_graph: FeatureGraph | None = None,
+        epochs: int | None = None,
+        calibration_table: Table | None = None,
+    ) -> "DQuaG":
+        """Train on a clean dataset (Phase 1 of Figure 2).
+
+        Parameters
+        ----------
+        knowledge_edges:
+            Semantic relationships to seed the graph provider with (the
+            role ChatGPT-4 plays in §3.1.1).
+        feature_graph:
+            Skip graph construction entirely and use this graph.
+        calibration_table:
+            Optional *held-out* clean table for threshold calibration.
+            The paper collects error statistics on the training data
+            itself (§3.1.4, the default here); a held-out table removes
+            the train/test generalization gap from the threshold and
+            keeps the expected clean flag-rate at 1 − percentile.
+        """
+        generator = ensure_rng(rng if rng is not None else self.config.seed)
+
+        self.preprocessor = TablePreprocessor(
+            clean.schema, missing_sentinel=self.config.missing_sentinel
+        ).fit(clean, future_categories=future_categories)
+
+        if feature_graph is not None:
+            self.graph = feature_graph
+        else:
+            knowledge = KnowledgeBaseProvider()
+            if knowledge_edges:
+                knowledge.register(clean.schema.names, knowledge_edges)
+            inference = StatisticalRelationshipInference(
+                threshold=self.config.graph_threshold,
+                max_degree=self.config.graph_max_degree,
+                seed=int(derive_rng(generator, "graph").integers(2**31)),
+            )
+            builder = FeatureGraphBuilder(
+                HybridProvider(knowledge, inference),
+                seed=int(derive_rng(generator, "graph-sample").integers(2**31)),
+            )
+            self.graph = builder.build(clean)
+        logger.info("feature graph: %d nodes, %d edges", self.graph.n_nodes, self.graph.n_edges)
+
+        self.model = DQuaGModel(self.graph, self.config, rng=derive_rng(generator, "model"))
+        trainer = Trainer(self.model, self.config)
+        matrix = self.preprocessor.transform(clean)
+        self.history = trainer.train(matrix, rng=derive_rng(generator, "train"), epochs=epochs)
+
+        if calibration_table is not None:
+            calib_matrix = self.preprocessor.transform(calibration_table)
+            calib_cell_errors = self.model.reconstruction_errors(calib_matrix)
+        else:
+            calib_cell_errors = self.model.reconstruction_errors(matrix)
+        # Per-feature scales: features the model reconstructs precisely
+        # (tiny clean error) must not be drowned out by intrinsically
+        # noisy ones, so all error statistics live in scaled space.
+        feature_scales = np.maximum(calib_cell_errors.mean(axis=0), 1e-10)
+        scaled_cell_errors = calib_cell_errors / feature_scales[None, :]
+        calib_errors = DQuaGModel.sample_errors(scaled_cell_errors)
+        self.calibration = ThresholdCalibration.from_clean_errors(
+            calib_errors,
+            percentile=self.config.threshold_percentile,
+            confidence=self.config.threshold_confidence,
+        )
+        feature_thresholds = np.percentile(scaled_cell_errors, 99.5, axis=0)
+        self._validator = DataQualityValidator(
+            self.model, self.preprocessor, self.calibration, self.config,
+            feature_thresholds=feature_thresholds,
+            feature_scales=feature_scales,
+        )
+        self._repair_engine = RepairEngine(
+            self.model, self.preprocessor, clean_column_centers=np.median(matrix, axis=0)
+        )
+        logger.info("calibrated threshold=%.6f (p%.0f)", self.calibration.threshold, self.config.threshold_percentile)
+        return self
+
+    # -- phase 2 --------------------------------------------------------------
+    def validate(self, table: Table) -> ValidationReport:
+        """Full validation report for an unseen table."""
+        return self._require_validator().validate(table)
+
+    def validate_batch(self, batch: Table) -> BatchVerdict:
+        """Batch verdict on the shared baseline interface."""
+        report = self._require_validator().validate(batch)
+        return BatchVerdict(
+            is_problematic=report.is_problematic,
+            flagged_rows=report.flagged_rows,
+            score=report.flagged_fraction,
+            details={"threshold": report.threshold, "summary": report.summary()},
+        )
+
+    def repair(
+        self, table: Table, report: ValidationReport | None = None, iterations: int = 1
+    ) -> tuple[Table, RepairSummary]:
+        """Repair flagged cells of ``table`` (validates first if needed).
+
+        With ``iterations > 1`` the repair is reapplied: after each pass
+        the repaired table is re-validated and any still-flagged cells
+        are repaired again. Multi-cell corruptions benefit — the first
+        pass fixes the dominant outlier cell, pulling the row back toward
+        the clean manifold so remaining errors become visible. Stops
+        early once the table is classified clean.
+        """
+        if self._repair_engine is None:
+            raise NotFittedError("DQuaG used before fit()")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if report is None:
+            report = self.validate(table)
+        current = table
+        total_cells = 0
+        touched_rows = 0
+        by_column: dict[str, int] = {}
+        for i in range(iterations):
+            current, summary = self._repair_engine.repair(current, report)
+            total_cells += summary.n_cells_repaired
+            touched_rows = max(touched_rows, summary.n_rows_touched)
+            for column, count in summary.repairs_by_column.items():
+                by_column[column] = by_column.get(column, 0) + count
+            if i + 1 < iterations:
+                report = self.validate(current)
+                if not report.is_problematic and report.n_flagged == 0:
+                    break
+        return current, RepairSummary(
+            n_rows_touched=touched_rows,
+            n_cells_repaired=total_cells,
+            repairs_by_column=by_column,
+        )
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist model weights, config, graph, and calibration."""
+        if self.model is None or self.calibration is None:
+            raise NotFittedError("cannot save an unfitted DQuaG pipeline")
+        validator = self._require_validator()
+        metadata = {
+            "config": self.config.to_dict(),
+            "graph": self.graph.to_dict(),
+            "calibration": {
+                "threshold": self.calibration.threshold,
+                "percentile": self.calibration.percentile,
+                "clean_mean": self.calibration.clean_mean,
+                "clean_p50": self.calibration.clean_p50,
+                "clean_max": self.calibration.clean_max,
+                "n_samples": self.calibration.n_samples,
+            },
+            "feature_scales": (
+                None if validator.feature_scales is None else validator.feature_scales.tolist()
+            ),
+            "feature_thresholds": (
+                None if validator.feature_thresholds is None else validator.feature_thresholds.tolist()
+            ),
+        }
+        save_state(self.model.state_dict(), path, metadata=metadata)
+
+    def load_weights(self, path: str | Path, clean: Table) -> "DQuaG":
+        """Restore a saved pipeline; ``clean`` refits the preprocessor
+        (encoders are data-derived and not stored in the archive)."""
+        state, metadata = load_state(path)
+        self.config = DQuaGConfig.from_dict(metadata["config"])
+        self.graph = FeatureGraph.from_dict(metadata["graph"])
+        self.preprocessor = TablePreprocessor(
+            clean.schema, missing_sentinel=self.config.missing_sentinel
+        ).fit(clean)
+        self.model = DQuaGModel(self.graph, self.config)
+        self.model.load_state_dict(state)
+        calibration = metadata["calibration"]
+        self.calibration = ThresholdCalibration(
+            threshold=calibration["threshold"],
+            percentile=calibration["percentile"],
+            clean_mean=calibration["clean_mean"],
+            clean_p50=calibration["clean_p50"],
+            clean_max=calibration["clean_max"],
+            n_samples=calibration["n_samples"],
+        )
+        scales = metadata.get("feature_scales")
+        thresholds = metadata.get("feature_thresholds")
+        self._validator = DataQualityValidator(
+            self.model,
+            self.preprocessor,
+            self.calibration,
+            self.config,
+            feature_thresholds=None if thresholds is None else np.asarray(thresholds),
+            feature_scales=None if scales is None else np.asarray(scales),
+        )
+        clean_matrix = self.preprocessor.transform(clean)
+        self._repair_engine = RepairEngine(
+            self.model, self.preprocessor, clean_column_centers=np.median(clean_matrix, axis=0)
+        )
+        return self
+
+    # -- internals ------------------------------------------------------------------
+    def _require_validator(self) -> DataQualityValidator:
+        if self._validator is None:
+            raise NotFittedError("DQuaG used before fit()")
+        return self._validator

@@ -1,0 +1,115 @@
+"""Phase 2: repair-suggestion generation (§3.2.2).
+
+Only cells flagged by the validator are modified. The repair decoder's
+model-space proposal is mapped back to data space: numeric features are
+denormalized; categorical features snap to the *nearest valid category*
+of the fitted label encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import DQuaGModel
+from repro.core.validator import ValidationReport
+from repro.data.preprocess import TablePreprocessor
+from repro.data.table import Table
+from repro.exceptions import RepairError, SchemaError
+
+__all__ = ["RepairSummary", "RepairEngine"]
+
+
+@dataclass
+class RepairSummary:
+    """What the repair pass changed."""
+
+    n_rows_touched: int
+    n_cells_repaired: int
+    repairs_by_column: dict[str, int]
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairSummary(rows={self.n_rows_touched}, cells={self.n_cells_repaired}, "
+            f"columns={sorted(self.repairs_by_column)})"
+        )
+
+
+class RepairEngine:
+    """Generates repaired tables from validator output.
+
+    Before querying the repair decoder, flagged cells are *masked* with
+    the clean column centers (model-space medians of the training data):
+    a corrupted value would otherwise poison its own node's embedding and
+    drag the proposal toward the corruption. With the mask, proposals are
+    conditioned only on the row's trustworthy cells.
+    """
+
+    def __init__(
+        self,
+        model: DQuaGModel,
+        preprocessor: TablePreprocessor,
+        clean_column_centers: np.ndarray | None = None,
+    ) -> None:
+        self.model = model
+        self.preprocessor = preprocessor
+        if clean_column_centers is None:
+            clean_column_centers = np.full(len(preprocessor.schema), 0.5)
+        self.clean_column_centers = np.asarray(clean_column_centers, dtype=np.float64)
+
+    def repair(self, table: Table, report: ValidationReport) -> tuple[Table, RepairSummary]:
+        """Return a repaired copy of ``table`` and a change summary.
+
+        Missing cells are always repaired (they are sentinel outliers by
+        construction); other cells only when flagged in ``report``.
+        """
+        if table.schema != self.preprocessor.schema:
+            raise SchemaError("table schema does not match the trained pipeline")
+        cell_flags = np.asarray(report.cell_flags, dtype=bool)
+        if cell_flags.shape != (table.n_rows, table.n_columns):
+            raise RepairError(
+                f"report cell flags {cell_flags.shape} do not match table "
+                f"({table.n_rows}, {table.n_columns})"
+            )
+        # Missing values are always in scope for repair.
+        cell_flags = cell_flags | table.missing_mask()
+
+        matrix = self.preprocessor.transform(table)
+        masked = matrix.copy()
+        masked[cell_flags] = np.broadcast_to(self.clean_column_centers, matrix.shape)[cell_flags]
+        proposals = self.model.repair_values(masked)
+
+        repaired_columns: dict[str, np.ndarray] = {}
+        repairs_by_column: dict[str, int] = {}
+        for j, spec in enumerate(table.schema):
+            rows = np.flatnonzero(cell_flags[:, j])
+            column = table.column(spec.name).copy()
+            if rows.size:
+                if spec.is_categorical:
+                    snapped = self._snap_categorical(spec.name, proposals[rows, j])
+                    for row, value in zip(rows, snapped):
+                        column[row] = value
+                else:
+                    normalizer = self.preprocessor.normalizer(spec.name)
+                    column[rows] = normalizer.inverse_transform(proposals[rows, j])
+                repairs_by_column[spec.name] = int(rows.size)
+            repaired_columns[spec.name] = column
+
+        repaired = Table(table.schema, repaired_columns)
+        summary = RepairSummary(
+            n_rows_touched=int(cell_flags.any(axis=1).sum()),
+            n_cells_repaired=int(cell_flags.sum()),
+            repairs_by_column=repairs_by_column,
+        )
+        return repaired, summary
+
+    def _snap_categorical(self, name: str, scaled_values: np.ndarray) -> list[str]:
+        """Map model-space proposals to the nearest valid category."""
+        positions = self.preprocessor.valid_code_positions(name)
+        encoder = self.preprocessor.label_encoder(name)
+        snapped: list[str] = []
+        for value in scaled_values:
+            nearest = int(np.argmin(np.abs(positions - value)))
+            snapped.append(encoder.classes_[nearest])
+        return snapped

@@ -1,0 +1,130 @@
+"""Training loop for the DQuaG model (§3.1.3).
+
+Adam over mini-batches of the preprocessed clean matrix, minimizing the
+multi-task loss; after the final epoch the trainer collects the clean
+reconstruction-error statistics (§3.1.4) used for threshold calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DQuaGConfig
+from repro.core.losses import dquag_loss
+from repro.core.model import DQuaGModel
+from repro.data.batching import iterate_minibatches
+from repro.exceptions import TrainingError
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["EpochStats", "TrainingHistory", "Trainer"]
+
+logger = get_logger("core.trainer")
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    epoch: int
+    total_loss: float
+    validation_loss: float
+    repair_loss: float
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses plus final clean reconstruction errors."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+    clean_sample_errors: np.ndarray | None = None
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epochs:
+            raise TrainingError("no epochs recorded")
+        return self.epochs[-1].total_loss
+
+    def converged(self, patience_ratio: float = 0.98) -> bool:
+        """Heuristic: last-epoch loss below ``patience_ratio ×`` first-epoch loss."""
+        if len(self.epochs) < 2:
+            return False
+        return self.epochs[-1].total_loss < self.epochs[0].total_loss * patience_ratio
+
+
+class Trainer:
+    """Mini-batch Adam training of a :class:`DQuaGModel`."""
+
+    def __init__(self, model: DQuaGModel, config: DQuaGConfig | None = None) -> None:
+        self.model = model
+        self.config = config or model.config
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+
+    def train(
+        self,
+        matrix: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+        epochs: int | None = None,
+    ) -> TrainingHistory:
+        """Train on the preprocessed clean matrix ``(n_rows, n_features)``."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise TrainingError(f"training matrix must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[0] == 0:
+            raise TrainingError("training matrix has no rows")
+        if matrix.shape[1] != self.model.n_features:
+            raise TrainingError(
+                f"matrix width {matrix.shape[1]} != model features {self.model.n_features}"
+            )
+        generator = ensure_rng(rng if rng is not None else self.config.seed)
+        epochs = epochs or self.config.epochs
+
+        history = TrainingHistory()
+        self.model.train()
+        for epoch in range(epochs):
+            epoch_rng = derive_rng(generator, "epoch", epoch)
+            totals, validations, repairs, batches = 0.0, 0.0, 0.0, 0
+            for indices in iterate_minibatches(matrix.shape[0], self.config.batch_size, epoch_rng):
+                batch = matrix[indices]
+                self.optimizer.zero_grad()
+                reconstruction, repair = self.model(Tensor(batch))
+                parts = dquag_loss(
+                    reconstruction,
+                    repair,
+                    batch,
+                    alpha=self.config.alpha,
+                    beta=self.config.beta,
+                    weighting_temperature=self.config.weighting_temperature,
+                )
+                parts.total.backward()
+                self.optimizer.step()
+                totals += float(parts.total.numpy())
+                validations += parts.validation
+                repairs += parts.repair
+                batches += 1
+            stats = EpochStats(
+                epoch=epoch,
+                total_loss=totals / batches,
+                validation_loss=validations / batches,
+                repair_loss=repairs / batches,
+            )
+            if not np.isfinite(stats.total_loss):
+                raise TrainingError(f"loss diverged at epoch {epoch}: {stats.total_loss}")
+            history.epochs.append(stats)
+            if epoch == 0 or (epoch + 1) % 10 == 0:
+                logger.debug(
+                    "epoch %d: total=%.5f validation=%.5f repair=%.5f",
+                    epoch, stats.total_loss, stats.validation_loss, stats.repair_loss,
+                )
+
+        # §3.1.4: collect per-instance reconstruction errors on clean data.
+        self.model.eval()
+        cell_errors = self.model.reconstruction_errors(matrix)
+        history.clean_sample_errors = DQuaGModel.sample_errors(cell_errors)
+        return history

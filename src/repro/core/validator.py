@@ -1,0 +1,132 @@
+"""Phase 2: data-quality validation of unseen tables (§3.2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DQuaGConfig
+from repro.core.model import DQuaGModel
+from repro.core.thresholds import DatasetDecisionRule, ThresholdCalibration, flag_feature_cells
+from repro.data.preprocess import TablePreprocessor
+from repro.data.table import Table
+from repro.exceptions import SchemaError
+
+__all__ = ["ValidationReport", "DataQualityValidator"]
+
+
+@dataclass
+class ValidationReport:
+    """Full outcome of validating one table.
+
+    Attributes
+    ----------
+    sample_errors:
+        (n_rows,) reconstruction error per row.
+    cell_errors:
+        (n_rows, n_features) per-cell squared errors.
+    row_flags:
+        rows exceeding the clean-data threshold.
+    cell_flags:
+        the μ+kσ per-feature outliers within flagged rows (§3.2.1) —
+        the cells the repair phase will modify.
+    flagged_fraction / is_problematic:
+        the batch-level decision (R_error vs the 5%·n rule).
+    """
+
+    sample_errors: np.ndarray
+    cell_errors: np.ndarray
+    row_flags: np.ndarray
+    cell_flags: np.ndarray
+    threshold: float
+    flagged_fraction: float
+    is_problematic: bool
+    feature_names: list[str] = field(default_factory=list)
+
+    @property
+    def flagged_rows(self) -> np.ndarray:
+        """Indices of problematic instances, as the paper reports them."""
+        return np.flatnonzero(self.row_flags)
+
+    @property
+    def n_flagged(self) -> int:
+        return int(self.row_flags.sum())
+
+    def flagged_features_of(self, row: int) -> list[str]:
+        """Names of problematic features of one row."""
+        return [name for j, name in enumerate(self.feature_names) if self.cell_flags[row, j]]
+
+    def summary(self) -> str:
+        verdict = "PROBLEMATIC" if self.is_problematic else "OK"
+        return (
+            f"{verdict}: {self.n_flagged}/{len(self.sample_errors)} rows flagged "
+            f"({self.flagged_fraction:.2%}), threshold={self.threshold:.5f}"
+        )
+
+
+class DataQualityValidator:
+    """Applies a trained model + calibration to unseen tables."""
+
+    def __init__(
+        self,
+        model: DQuaGModel,
+        preprocessor: TablePreprocessor,
+        calibration: ThresholdCalibration,
+        config: DQuaGConfig | None = None,
+        feature_thresholds: np.ndarray | None = None,
+        feature_scales: np.ndarray | None = None,
+    ) -> None:
+        self.model = model
+        self.preprocessor = preprocessor
+        self.calibration = calibration
+        self.config = config or model.config
+        # Optional per-feature clean-error quantiles: within a flagged
+        # row, cells above their column's clean threshold are flagged
+        # even when the row-relative μ+kσ rule misses them (helps rows
+        # with several corrupted cells of different magnitudes).
+        self.feature_thresholds = (
+            None if feature_thresholds is None else np.asarray(feature_thresholds, dtype=np.float64)
+        )
+        # Optional per-feature error scales (mean clean cell error).
+        # Dividing by them before aggregating makes every feature count
+        # equally in the row error regardless of how precisely the model
+        # reconstructs it — a typo in an easy categorical column then
+        # weighs as much as an anomaly in a hard numeric one. The
+        # calibration must have been computed in the same scaled space.
+        self.feature_scales = (
+            None if feature_scales is None else np.asarray(feature_scales, dtype=np.float64)
+        )
+        self.rule = DatasetDecisionRule(
+            percentile=self.config.threshold_percentile,
+            n_multiplier=self.config.dataset_rule_n,
+        )
+
+    def validate(self, table: Table) -> ValidationReport:
+        """Validate a table with the same schema as the training data."""
+        if table.schema != self.preprocessor.schema:
+            raise SchemaError("table schema does not match the trained pipeline")
+        matrix = self.preprocessor.transform(table)
+        return self.validate_matrix(matrix)
+
+    def validate_matrix(self, matrix: np.ndarray) -> ValidationReport:
+        """Validate an already-preprocessed matrix (used by benchmarks)."""
+        cell_errors = self.model.reconstruction_errors(matrix)
+        if self.feature_scales is not None:
+            cell_errors = cell_errors / self.feature_scales[None, :]
+        sample_errors = DQuaGModel.sample_errors(cell_errors)
+        row_flags = self.calibration.flag_rows(sample_errors)
+        cell_flags = flag_feature_cells(cell_errors, row_flags, sigma=self.config.feature_sigma)
+        if self.feature_thresholds is not None:
+            cell_flags |= (cell_errors > self.feature_thresholds[None, :]) & row_flags[:, None]
+        flagged_fraction = float(row_flags.mean()) if row_flags.size else 0.0
+        return ValidationReport(
+            sample_errors=sample_errors,
+            cell_errors=cell_errors,
+            row_flags=row_flags,
+            cell_flags=cell_flags,
+            threshold=self.calibration.threshold,
+            flagged_fraction=flagged_fraction,
+            is_problematic=self.rule.is_problematic(flagged_fraction),
+            feature_names=list(self.preprocessor.schema.names),
+        )

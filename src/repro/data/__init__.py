@@ -1,0 +1,22 @@
+"""Data layer: schemas, tables, encoding, preprocessing, batching, io."""
+
+from repro.data.schema import ColumnKind, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.data.encoders import LabelEncoder, MinMaxNormalizer
+from repro.data.preprocess import TablePreprocessor
+from repro.data.batching import iterate_minibatches, sample_validation_batches
+from repro.data.io import read_csv, write_csv
+
+__all__ = [
+    "ColumnKind",
+    "ColumnSpec",
+    "TableSchema",
+    "Table",
+    "LabelEncoder",
+    "MinMaxNormalizer",
+    "TablePreprocessor",
+    "iterate_minibatches",
+    "sample_validation_batches",
+    "read_csv",
+    "write_csv",
+]

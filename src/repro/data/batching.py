@@ -1,0 +1,59 @@
+"""Batch sampling utilities.
+
+Two distinct notions of "batch" appear in the paper:
+
+* *training mini-batches* (§4.4: batch size 128) — :func:`iterate_minibatches`;
+* *validation batches* (§4.2: "randomly sampling 10% to generate 50
+  batches") — :func:`sample_validation_batches`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+__all__ = ["iterate_minibatches", "sample_validation_batches"]
+
+
+def iterate_minibatches(
+    n_rows: int,
+    batch_size: int,
+    rng: int | np.random.Generator | None,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n_rows)`` in chunks of ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = np.arange(n_rows)
+    if shuffle:
+        ensure_rng(rng).shuffle(order)
+    for start in range(0, n_rows, batch_size):
+        yield order[start : start + batch_size]
+
+
+def sample_validation_batches(
+    table: Table,
+    count: int,
+    fraction: float = 0.1,
+    size: int | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> list[Table]:
+    """Draw ``count`` independent random batches from ``table``.
+
+    Each batch contains ``size`` rows if given, otherwise
+    ``fraction * len(table)`` rows (the paper's 10% protocol, §4.2).
+    Sampling is with replacement across batches (batches are independent
+    draws) and without replacement within a batch.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    generator = ensure_rng(rng)
+    if size is None:
+        size = max(1, int(round(table.n_rows * fraction)))
+    if size > table.n_rows:
+        raise ValueError(f"batch size {size} exceeds table rows {table.n_rows}")
+    return [table.sample(size, rng=generator) for _ in range(count)]

@@ -1,0 +1,125 @@
+"""Feature encoding and normalization (paper §3.1).
+
+* :class:`LabelEncoder` — categorical → integer codes.  Per the paper,
+  the encoder is "fitted on both clean data and any possible future data"
+  so unseen-but-anticipated categories encode consistently; truly unknown
+  values at transform time map to a dedicated *unknown* code.
+* :class:`MinMaxNormalizer` — numeric → [0, 1] (values outside the fitted
+  range extrapolate past the unit interval, which is exactly what lets
+  out-of-range anomalies surface as reconstruction outliers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["LabelEncoder", "MinMaxNormalizer"]
+
+
+class LabelEncoder:
+    """Map category strings to dense integer codes.
+
+    Unknown values at transform time receive the reserved code
+    ``len(classes_)`` so they remain distinguishable (and, after scaling,
+    sit outside the clean-data manifold). Missing (``None``) maps to NaN.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: list[str] | None = None
+        self._code_of: dict[str, int] | None = None
+
+    def fit(self, values, extra_values=()) -> "LabelEncoder":
+        """Learn the category→code mapping.
+
+        ``extra_values`` implements the paper's "possible future data"
+        clause: anticipated categories not present in the clean sample.
+        """
+        observed = {str(v) for v in values if v is not None}
+        observed |= {str(v) for v in extra_values if v is not None}
+        self.classes_ = sorted(observed)
+        self._code_of = {value: code for code, value in enumerate(self.classes_)}
+        return self
+
+    @property
+    def unknown_code(self) -> int:
+        self._check_fitted()
+        return len(self.classes_)
+
+    def transform(self, values) -> np.ndarray:
+        """Encode to float codes (NaN for missing, unknown_code for novel)."""
+        self._check_fitted()
+        out = np.empty(len(values), dtype=np.float64)
+        for i, value in enumerate(values):
+            if value is None or (isinstance(value, float) and np.isnan(value)):
+                out[i] = np.nan
+            else:
+                out[i] = self._code_of.get(str(value), self.unknown_code)
+        return out
+
+    def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
+        """Decode float codes back to category strings (object array).
+
+        Codes are rounded and clipped into the valid range, so arbitrary
+        model outputs decode to the *nearest* valid category.
+        """
+        self._check_fitted()
+        out = np.empty(len(codes), dtype=object)
+        top = len(self.classes_) - 1
+        for i, code in enumerate(np.asarray(codes, dtype=np.float64)):
+            if np.isnan(code):
+                out[i] = None
+            else:
+                out[i] = self.classes_[int(np.clip(round(code), 0, top))]
+        return out
+
+    def _check_fitted(self) -> None:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder used before fit()")
+
+
+class MinMaxNormalizer:
+    """Scale numeric values to [0, 1] over the fitted range.
+
+    Degenerate columns (constant value) scale to 0.5 so they carry no
+    signal but remain finite.
+    """
+
+    def __init__(self) -> None:
+        self.minimum_: float | None = None
+        self.maximum_: float | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxNormalizer":
+        finite = np.asarray(values, dtype=np.float64)
+        finite = finite[np.isfinite(finite)]
+        if finite.size == 0:
+            raise ValueError("cannot fit MinMaxNormalizer on all-missing column")
+        self.minimum_ = float(finite.min())
+        self.maximum_ = float(finite.max())
+        return self
+
+    @property
+    def span(self) -> float:
+        self._check_fitted()
+        return self.maximum_ - self.minimum_
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        if self.span == 0.0:
+            out = np.full(values.shape, 0.5)
+            out[~np.isfinite(values)] = np.nan
+            return out
+        return (values - self.minimum_) / self.span
+
+    def inverse_transform(self, scaled: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        scaled = np.asarray(scaled, dtype=np.float64)
+        if self.span == 0.0:
+            return np.full(scaled.shape, self.minimum_)
+        return scaled * self.span + self.minimum_
+
+    def _check_fitted(self) -> None:
+        if self.minimum_ is None:
+            raise NotFittedError("MinMaxNormalizer used before fit()")

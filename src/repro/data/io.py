@@ -1,0 +1,68 @@
+"""CSV (de)serialization for :class:`~repro.data.table.Table`.
+
+Only the standard library ``csv`` module is used. Missing values are
+written as empty fields and read back as missing.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.schema import TableSchema
+from repro.data.table import Table
+from repro.exceptions import SchemaError
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = table.schema.names
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        columns = [table.column(name) for name in names]
+        specs = list(table.schema)
+        for i in range(table.n_rows):
+            row = []
+            for spec, column in zip(specs, columns):
+                value = column[i]
+                if spec.is_numeric:
+                    row.append("" if np.isnan(value) else repr(float(value)))
+                else:
+                    row.append("" if value is None else str(value))
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path, schema: TableSchema) -> Table:
+    """Read a CSV written by :func:`write_csv` against ``schema``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        if header != schema.names:
+            raise SchemaError(f"{path} header {header} does not match schema {schema.names}")
+        raw_rows = list(reader)
+
+    columns: dict[str, list] = {name: [] for name in schema.names}
+    for line_no, row in enumerate(raw_rows, start=2):
+        if len(row) != len(schema):
+            raise SchemaError(f"{path}:{line_no}: expected {len(schema)} fields, got {len(row)}")
+        for spec, field in zip(schema, row):
+            if field == "":
+                columns[spec.name].append(np.nan if spec.is_numeric else None)
+            elif spec.is_numeric:
+                columns[spec.name].append(float(field))
+            else:
+                columns[spec.name].append(field)
+    return Table(schema, columns)

@@ -1,0 +1,144 @@
+"""Table → model-matrix preprocessing (paper §3.1).
+
+:class:`TablePreprocessor` is fitted on the clean dataset and applies the
+paper's encoding consistently to any later table with the same schema:
+
+1. categorical columns: label-encode (codes fitted over clean ∪ declared /
+   anticipated categories), then min-max scale the codes to [0, 1];
+2. numeric columns: min-max scale to [0, 1] over the clean range;
+3. missing cells: replaced by a sentinel (default −1.0) *after* scaling —
+   far outside the clean manifold, so they reconstruct poorly and are
+   flagged without any missing-value rule.
+
+``inverse_transform`` maps a model-space matrix back to a :class:`Table`,
+snapping categorical predictions to the nearest valid category.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.encoders import LabelEncoder, MinMaxNormalizer
+from repro.data.schema import TableSchema
+from repro.data.table import Table
+from repro.exceptions import NotFittedError, SchemaError
+
+__all__ = ["TablePreprocessor"]
+
+
+class TablePreprocessor:
+    """Fit-on-clean, apply-anywhere table encoder.
+
+    ``unknown_margin`` places categories never seen at fit time at
+    ``1 + unknown_margin`` in model space — clearly outside the [0, 1]
+    band the clean categories occupy, so typos and novel values produce
+    unmistakable reconstruction outliers even in columns the model finds
+    intrinsically hard to predict.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        missing_sentinel: float = -1.0,
+        unknown_margin: float = 0.5,
+    ) -> None:
+        if unknown_margin < 0:
+            raise ValueError(f"unknown_margin must be >= 0, got {unknown_margin}")
+        self.schema = schema
+        self.missing_sentinel = missing_sentinel
+        self.unknown_margin = unknown_margin
+        self._label_encoders: dict[str, LabelEncoder] = {}
+        self._normalizers: dict[str, MinMaxNormalizer] = {}
+        self._fitted = False
+
+    # -- fitting ------------------------------------------------------------
+    def fit(self, table: Table, future_categories: dict[str, list[str]] | None = None) -> "TablePreprocessor":
+        """Fit encoders on the clean table.
+
+        ``future_categories`` maps column name → anticipated category
+        values, implementing the paper's requirement that the label
+        encoder covers "any possible future data".
+        """
+        if table.schema != self.schema:
+            raise SchemaError("table schema does not match preprocessor schema")
+        future_categories = future_categories or {}
+        for spec in self.schema:
+            column = table.column(spec.name)
+            if spec.is_categorical:
+                extra = list(spec.categories) + list(future_categories.get(spec.name, []))
+                encoder = LabelEncoder().fit(column, extra_values=extra)
+                self._label_encoders[spec.name] = encoder
+                # Scale the *known* codes onto [0, 1]; unknown values are
+                # placed at 1 + unknown_margin in transform().
+                normalizer = MinMaxNormalizer()
+                normalizer.fit(np.arange(0, max(encoder.unknown_code, 2), dtype=np.float64))
+                self._normalizers[spec.name] = normalizer
+            else:
+                self._normalizers[spec.name] = MinMaxNormalizer().fit(column)
+        self._fitted = True
+        return self
+
+    # -- transform -------------------------------------------------------------
+    def transform(self, table: Table) -> np.ndarray:
+        """Encode ``table`` to a ``(n_rows, n_features)`` float matrix."""
+        self._check_fitted()
+        if table.schema != self.schema:
+            raise SchemaError("table schema does not match preprocessor schema")
+        matrix = np.empty((table.n_rows, len(self.schema)), dtype=np.float64)
+        for j, spec in enumerate(self.schema):
+            column = table.column(spec.name)
+            if spec.is_categorical:
+                encoder = self._label_encoders[spec.name]
+                codes = encoder.transform(column)
+                scaled = self._normalizers[spec.name].transform(codes)
+                scaled[codes == encoder.unknown_code] = 1.0 + self.unknown_margin
+                matrix[:, j] = scaled
+            else:
+                matrix[:, j] = self._normalizers[spec.name].transform(column)
+        matrix[~np.isfinite(matrix)] = self.missing_sentinel
+        return matrix
+
+    def inverse_transform(self, matrix: np.ndarray) -> Table:
+        """Decode a model-space matrix back into a :class:`Table`."""
+        self._check_fitted()
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.schema):
+            raise ValueError(f"matrix shape {matrix.shape} does not match schema width {len(self.schema)}")
+        columns: dict[str, np.ndarray] = {}
+        for j, spec in enumerate(self.schema):
+            values = matrix[:, j]
+            denormalized = self._normalizers[spec.name].inverse_transform(values)
+            if spec.is_categorical:
+                columns[spec.name] = self._label_encoders[spec.name].inverse_transform(denormalized)
+            else:
+                columns[spec.name] = denormalized
+        return Table(self.schema, columns)
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def n_features(self) -> int:
+        return len(self.schema)
+
+    def label_encoder(self, name: str) -> LabelEncoder:
+        self._check_fitted()
+        if name not in self._label_encoders:
+            raise SchemaError(f"column {name!r} is not categorical")
+        return self._label_encoders[name]
+
+    def normalizer(self, name: str) -> MinMaxNormalizer:
+        self._check_fitted()
+        return self._normalizers[name]
+
+    def valid_code_positions(self, name: str) -> np.ndarray:
+        """Scaled positions of each valid category of column ``name``.
+
+        Used by the repair engine to snap a predicted scaled value to the
+        nearest legitimate category.
+        """
+        encoder = self.label_encoder(name)
+        codes = np.arange(len(encoder.classes_), dtype=np.float64)
+        return self._normalizers[name].transform(codes)
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("TablePreprocessor used before fit()")

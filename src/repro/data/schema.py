@@ -1,0 +1,135 @@
+"""Table schemas: typed column specifications.
+
+A :class:`TableSchema` describes the columns of a tabular dataset — the
+names (``F``) and descriptions (``D``) referenced by the paper's feature
+graph construction step (§3.1.1) — and is the contract every component
+(preprocessing, validation, baselines) checks tables against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchemaError
+
+__all__ = ["ColumnKind", "ColumnSpec", "TableSchema"]
+
+
+class ColumnKind:
+    """Column type tags (string enum kept simple for serialization)."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+    ALL = (NUMERIC, CATEGORICAL)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Specification of a single column.
+
+    Parameters
+    ----------
+    name:
+        Column identifier, unique within a schema.
+    kind:
+        ``ColumnKind.NUMERIC`` or ``ColumnKind.CATEGORICAL``.
+    description:
+        Human-readable description (the ``D`` input of §3.1.1).
+    categories:
+        For categorical columns, the known domain; extendable at
+        encoder-fit time with anticipated future values.
+    minimum / maximum:
+        Optional soft range hints for numeric columns (documentation and
+        expert-constraint construction; not enforced on data).
+    """
+
+    name: str
+    kind: str
+    description: str = ""
+    categories: tuple[str, ...] = field(default=())
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ColumnKind.ALL:
+            raise SchemaError(f"column {self.name!r}: unknown kind {self.kind!r}")
+        if self.kind == ColumnKind.NUMERIC and self.categories:
+            raise SchemaError(f"column {self.name!r}: numeric columns cannot declare categories")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == ColumnKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == ColumnKind.CATEGORICAL
+
+
+class TableSchema:
+    """An ordered collection of :class:`ColumnSpec`."""
+
+    def __init__(self, columns: list[ColumnSpec] | tuple[ColumnSpec, ...]) -> None:
+        columns = list(columns)
+        if not columns:
+            raise SchemaError("schema must declare at least one column")
+        names = [c.name for c in columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        self._columns = tuple(columns)
+        self._by_name = {c.name: c for c in columns}
+
+    # -- access -----------------------------------------------------------
+    @property
+    def columns(self) -> tuple[ColumnSpec, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    @property
+    def descriptions(self) -> dict[str, str]:
+        return {c.name: c.description for c in self._columns}
+
+    @property
+    def numeric_names(self) -> list[str]:
+        return [c.name for c in self._columns if c.is_numeric]
+
+    @property
+    def categorical_names(self) -> list[str]:
+        return [c.name for c in self._columns if c.is_categorical]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column {name!r} in schema (have {self.names})") from None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TableSchema) and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(f"{c.name}:{c.kind[0]}" for c in self._columns)
+        return f"TableSchema({kinds})"
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in schema order."""
+        for i, column in enumerate(self._columns):
+            if column.name == name:
+                return i
+        raise SchemaError(f"no column {name!r} in schema")
+
+    def subset(self, names: list[str]) -> "TableSchema":
+        """New schema restricted to ``names`` (kept in the given order)."""
+        return TableSchema([self[name] for name in names])

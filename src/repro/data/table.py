@@ -1,0 +1,164 @@
+"""Column-major table container.
+
+A :class:`Table` couples a :class:`~repro.data.schema.TableSchema` with a
+dict of NumPy column arrays:
+
+* numeric columns — ``float64`` arrays; missing values are ``NaN``;
+* categorical columns — ``object`` arrays of ``str``; missing is ``None``.
+
+Tables are the lingua franca between dataset generators, error injectors,
+baselines, and the DQuaG pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.data.schema import ColumnSpec, TableSchema
+from repro.exceptions import SchemaError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable-by-convention column-major table."""
+
+    def __init__(self, schema: TableSchema, columns: Mapping[str, np.ndarray | list]) -> None:
+        self.schema = schema
+        normalized: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for spec in schema:
+            if spec.name not in columns:
+                raise SchemaError(f"missing column {spec.name!r}")
+            normalized[spec.name] = _normalize_column(spec, columns[spec.name])
+            length = len(normalized[spec.name])
+            if n_rows is None:
+                n_rows = length
+            elif length != n_rows:
+                raise SchemaError(f"column {spec.name!r} has {length} rows, expected {n_rows}")
+        extra = set(columns) - set(schema.names)
+        if extra:
+            raise SchemaError(f"columns not in schema: {sorted(extra)}")
+        self._columns = normalized
+        self.n_rows = n_rows or 0
+
+    # -- access ------------------------------------------------------------
+    @property
+    def n_columns(self) -> int:
+        return len(self.schema)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column array (no copy)."""
+        self.schema[name]  # raises SchemaError for unknown names
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return f"Table(rows={self.n_rows}, columns={self.schema.names})"
+
+    def row(self, index: int) -> dict[str, object]:
+        """A single row as a name→value dict (for display/debugging)."""
+        return {name: self._columns[name][index] for name in self.schema.names}
+
+    def copy(self) -> "Table":
+        return Table(self.schema, {name: col.copy() for name, col in self._columns.items()})
+
+    # -- row selection -------------------------------------------------------
+    def take(self, indices: np.ndarray | list[int]) -> "Table":
+        """Select rows by integer index array."""
+        indices = np.asarray(indices)
+        return Table(self.schema, {name: col[indices] for name, col in self._columns.items()})
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self.n_rows)))
+
+    def sample(self, n: int, rng: int | np.random.Generator | None = None, replace: bool = False) -> "Table":
+        """Uniform random row sample."""
+        generator = ensure_rng(rng)
+        if not replace and n > self.n_rows:
+            raise ValueError(f"cannot sample {n} rows from {self.n_rows} without replacement")
+        indices = generator.choice(self.n_rows, size=n, replace=replace)
+        return self.take(indices)
+
+    def split(self, fraction: float, rng: int | np.random.Generator | None = None) -> tuple["Table", "Table"]:
+        """Random (fraction, 1-fraction) row split."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        generator = ensure_rng(rng)
+        order = generator.permutation(self.n_rows)
+        cut = int(round(self.n_rows * fraction))
+        return self.take(order[:cut]), self.take(order[cut:])
+
+    # -- column modification (functional style) ----------------------------
+    def with_column(self, name: str, values: np.ndarray | list) -> "Table":
+        """Return a new table with one column replaced."""
+        if name not in self.schema:
+            raise SchemaError(f"no column {name!r} in schema")
+        columns = dict(self._columns)
+        columns[name] = values
+        return Table(self.schema, columns)
+
+    def select(self, names: list[str]) -> "Table":
+        """Return a new table restricted to ``names``."""
+        sub_schema = self.schema.subset(names)
+        return Table(sub_schema, {name: self._columns[name] for name in names})
+
+    # -- missing-value helpers -----------------------------------------------
+    def missing_mask(self) -> np.ndarray:
+        """Boolean (n_rows, n_columns) mask of missing cells, schema order."""
+        mask = np.zeros((self.n_rows, self.n_columns), dtype=bool)
+        for j, spec in enumerate(self.schema):
+            col = self._columns[spec.name]
+            if spec.is_numeric:
+                mask[:, j] = np.isnan(col)
+            else:
+                mask[:, j] = np.array([v is None for v in col], dtype=bool)
+        return mask
+
+    def missing_fraction(self, name: str) -> float:
+        spec = self.schema[name]
+        col = self._columns[name]
+        if self.n_rows == 0:
+            return 0.0
+        if spec.is_numeric:
+            return float(np.isnan(col).mean())
+        return float(np.mean([v is None for v in col]))
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def concat(tables: Iterable["Table"]) -> "Table":
+        """Stack tables with identical schemas."""
+        tables = list(tables)
+        if not tables:
+            raise ValueError("concat of zero tables")
+        schema = tables[0].schema
+        for table in tables[1:]:
+            if table.schema != schema:
+                raise SchemaError("cannot concat tables with different schemas")
+        return Table(
+            schema,
+            {name: np.concatenate([t.column(name) for t in tables]) for name in schema.names},
+        )
+
+
+def _normalize_column(spec: ColumnSpec, values: np.ndarray | list) -> np.ndarray:
+    if spec.is_numeric:
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise SchemaError(f"column {spec.name!r} must be 1-D, got shape {array.shape}")
+        return array
+    array = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        if value is None or (isinstance(value, float) and np.isnan(value)):
+            array[i] = None
+        else:
+            array[i] = str(value)
+    return array

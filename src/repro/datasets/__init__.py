@@ -1,0 +1,25 @@
+"""Dataset simulators for the six evaluation datasets (§4.1.1)."""
+
+from repro.datasets.base import DatasetBundle, DatasetGenerator
+from repro.datasets.airbnb import AirbnbGenerator
+from repro.datasets.bicycle import BicycleGenerator
+from repro.datasets.credit import CreditCardGenerator
+from repro.datasets.hotel import HotelBookingGenerator
+from repro.datasets.playstore import PlayStoreGenerator
+from repro.datasets.taxi import TaxiGenerator
+from repro.datasets.registry import DATASETS, dataset_names, get_generator, load_dataset
+
+__all__ = [
+    "DatasetBundle",
+    "DatasetGenerator",
+    "AirbnbGenerator",
+    "BicycleGenerator",
+    "CreditCardGenerator",
+    "HotelBookingGenerator",
+    "PlayStoreGenerator",
+    "TaxiGenerator",
+    "DATASETS",
+    "dataset_names",
+    "get_generator",
+    "load_dataset",
+]

@@ -1,0 +1,172 @@
+"""Airbnb NYC listings simulator (Kaggle AB_NYC, cleaned variant).
+
+Real-world-error dataset (§4.1.1): :meth:`generate_dirty` produces the
+organic error mixture of scraped listing data — zero/100× prices,
+absurd minimum-night values, coordinates outside the city, borough-name
+typos, and missing review rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.datasets.base import DatasetGenerator
+from repro.errors.base import InjectionReport, select_rows
+from repro.errors.qwerty import qwerty_typo
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["AirbnbGenerator"]
+
+_BOROUGHS = ("Manhattan", "Brooklyn", "Queens", "Bronx", "Staten Island")
+_BOROUGH_CENTER = {
+    "Manhattan": (40.776, -73.971),
+    "Brooklyn": (40.650, -73.950),
+    "Queens": (40.742, -73.769),
+    "Bronx": (40.837, -73.865),
+    "Staten Island": (40.579, -74.151),
+}
+_BOROUGH_PRICE = {
+    "Manhattan": 190.0,
+    "Brooklyn": 120.0,
+    "Queens": 95.0,
+    "Bronx": 80.0,
+    "Staten Island": 75.0,
+}
+_ROOM_TYPES = ("Entire home/apt", "Private room", "Shared room")
+_ROOM_FACTOR = {"Entire home/apt": 1.35, "Private room": 0.70, "Shared room": 0.45}
+
+
+class AirbnbGenerator(DatasetGenerator):
+    """Synthesizes NYC listings with borough/room-type price structure."""
+
+    name = "airbnb"
+    default_rows = 10000
+
+    def schema(self) -> TableSchema:
+        return TableSchema(
+            [
+                ColumnSpec("neighbourhood_group", ColumnKind.CATEGORICAL, "NYC borough", categories=_BOROUGHS),
+                ColumnSpec("room_type", ColumnKind.CATEGORICAL, "type of room offered", categories=_ROOM_TYPES),
+                ColumnSpec("latitude", ColumnKind.NUMERIC, "listing latitude"),
+                ColumnSpec("longitude", ColumnKind.NUMERIC, "listing longitude"),
+                ColumnSpec("price", ColumnKind.NUMERIC, "nightly price in USD"),
+                ColumnSpec("minimum_nights", ColumnKind.NUMERIC, "minimum nights per stay"),
+                ColumnSpec("number_of_reviews", ColumnKind.NUMERIC, "total review count"),
+                ColumnSpec("reviews_per_month", ColumnKind.NUMERIC, "monthly review rate"),
+                ColumnSpec("availability_365", ColumnKind.NUMERIC, "days available per year"),
+                ColumnSpec("calculated_host_listings_count", ColumnKind.NUMERIC, "listings by the same host"),
+            ]
+        )
+
+    def knowledge_edges(self) -> list[tuple[str, str]]:
+        return [
+            ("neighbourhood_group", "latitude"),
+            ("neighbourhood_group", "longitude"),
+            ("neighbourhood_group", "price"),
+            ("room_type", "price"),
+            ("number_of_reviews", "reviews_per_month"),
+            ("latitude", "longitude"),
+            ("price", "availability_365"),
+            ("minimum_nights", "reviews_per_month"),
+        ]
+
+    def generate_clean(self, n_rows: int, rng: int | np.random.Generator | None = None) -> Table:
+        gen = ensure_rng(rng)
+        borough = gen.choice(_BOROUGHS, size=n_rows, p=[0.38, 0.37, 0.15, 0.06, 0.04]).astype(object)
+        room = gen.choice(_ROOM_TYPES, size=n_rows, p=[0.52, 0.44, 0.04]).astype(object)
+
+        centers = np.array([_BOROUGH_CENTER[b] for b in borough])
+        latitude = centers[:, 0] + gen.normal(0.0, 0.025, n_rows)
+        longitude = centers[:, 1] + gen.normal(0.0, 0.03, n_rows)
+
+        base = np.array([_BOROUGH_PRICE[b] for b in borough])
+        factor = np.array([_ROOM_FACTOR[r] for r in room])
+        price = np.round(base * factor * np.exp(gen.normal(0.0, 0.35, n_rows)), 0)
+        price = np.clip(price, 10, 1500)
+
+        minimum_nights = np.clip(np.round(gen.gamma(1.2, 3.0, n_rows)) + 1, 1, 60)
+        reviews = np.round(gen.gamma(1.0, 40.0, n_rows))
+        months_listed = gen.uniform(3.0, 60.0, n_rows)
+        reviews_per_month = np.round(reviews / months_listed, 2)
+        # Long-minimum-stay listings turn over less often.
+        reviews_per_month *= np.where(minimum_nights > 14, 0.4, 1.0)
+        availability = np.clip(
+            np.round(gen.beta(1.2, 1.8, n_rows) * 365 + 40 * (price > 250)), 0, 365
+        )
+        host_listings = np.clip(np.round(gen.gamma(0.8, 2.5, n_rows)) + 1, 1, 50)
+
+        return Table(
+            self.schema(),
+            {
+                "neighbourhood_group": borough,
+                "room_type": room,
+                "latitude": np.round(latitude, 5),
+                "longitude": np.round(longitude, 5),
+                "price": price,
+                "minimum_nights": minimum_nights,
+                "number_of_reviews": reviews,
+                "reviews_per_month": reviews_per_month,
+                "availability_365": availability,
+                "calculated_host_listings_count": host_listings,
+            },
+        )
+
+    def generate_dirty(
+        self, clean: Table, rng: int | np.random.Generator | None = None
+    ) -> tuple[Table, InjectionReport]:
+        """Organic scraped-data error mixture (~10% of rows affected)."""
+        gen = ensure_rng(rng)
+        dirty = clean.copy()
+        report = InjectionReport.empty(clean, "airbnb real-world errors")
+        schema = clean.schema
+        n = clean.n_rows
+
+        def mark(rows: np.ndarray, column: str) -> None:
+            report.cell_mask[rows, schema.index_of(column)] = True
+
+        # 1. Price glitches: zero (listing error) or ×100 (currency/cents bug).
+        price = dirty.column("price").copy()
+        rows = select_rows(n, 0.025, derive_rng(gen, "price"))
+        halves = np.array_split(rows, 2)
+        price[halves[0]] = 0.0
+        price[halves[1]] *= 100.0
+        dirty = dirty.with_column("price", price)
+        mark(rows, "price")
+
+        # 2. Absurd minimum nights (misused field: "1000" to park a listing).
+        nights = dirty.column("minimum_nights").copy()
+        rows = select_rows(n, 0.02, derive_rng(gen, "nights"))
+        nights[rows] = gen.choice([365.0, 999.0, 1250.0], size=rows.size)
+        dirty = dirty.with_column("minimum_nights", nights)
+        mark(rows, "minimum_nights")
+
+        # 3. Coordinates outside NYC (geocoder failures land at (0, 0) or swap).
+        lat = dirty.column("latitude").copy()
+        lon = dirty.column("longitude").copy()
+        rows = select_rows(n, 0.02, derive_rng(gen, "coords"))
+        halves = np.array_split(rows, 2)
+        lat[halves[0]], lon[halves[0]] = 0.0, 0.0
+        lat[halves[1]], lon[halves[1]] = lon[halves[1]].copy(), lat[halves[1]].copy()
+        dirty = dirty.with_column("latitude", lat).with_column("longitude", lon)
+        mark(rows, "latitude")
+        mark(rows, "longitude")
+
+        # 4. Borough-name typos (free-text ingestion).
+        borough = dirty.column("neighbourhood_group").copy()
+        typo_rng = derive_rng(gen, "typos")
+        rows = select_rows(n, 0.025, typo_rng)
+        for row in rows:
+            borough[row] = qwerty_typo(borough[row], typo_rng)
+        dirty = dirty.with_column("neighbourhood_group", borough)
+        mark(rows, "neighbourhood_group")
+
+        # 5. Missing review rates (new listings exported as blanks).
+        rpm = dirty.column("reviews_per_month").copy()
+        rows = select_rows(n, 0.03, derive_rng(gen, "rpm"))
+        rpm[rows] = np.nan
+        dirty = dirty.with_column("reviews_per_month", rpm)
+        mark(rows, "reviews_per_month")
+
+        return dirty, report

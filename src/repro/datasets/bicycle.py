@@ -1,0 +1,182 @@
+"""Chicago Divvy bike-sharing trip simulator (Kaggle Divvy dataset).
+
+Real-world-error dataset (§4.1.1): :meth:`generate_dirty` reproduces the
+error mixture of raw trip logs — negative or unit-scrambled durations,
+default birth years, station-name typos, and missing rider metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.datasets.base import DatasetGenerator
+from repro.errors.base import InjectionReport, select_rows
+from repro.errors.qwerty import qwerty_typo
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["BicycleGenerator"]
+
+_STATIONS = (
+    "Clark St & Elm St",
+    "Canal St & Adams St",
+    "Clinton St & Madison St",
+    "Columbus Dr & Randolph St",
+    "Daley Center Plaza",
+    "Dearborn St & Monroe St",
+    "Franklin St & Monroe St",
+    "Kingsbury St & Kinzie St",
+    "LaSalle St & Jackson Blvd",
+    "Michigan Ave & Oak St",
+    "Michigan Ave & Washington St",
+    "Millennium Park",
+    "Shedd Aquarium",
+    "Streeter Dr & Grand Ave",
+    "Theater on the Lake",
+)
+_DAYS = ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday")
+
+
+class BicycleGenerator(DatasetGenerator):
+    """Synthesizes Divvy trips with duration/distance/rider structure."""
+
+    name = "bicycle"
+    default_rows = 10000
+
+    def schema(self) -> TableSchema:
+        return TableSchema(
+            [
+                ColumnSpec("trip_duration", ColumnKind.NUMERIC, "trip duration in seconds"),
+                ColumnSpec("distance_km", ColumnKind.NUMERIC, "trip distance in kilometers"),
+                ColumnSpec("from_station", ColumnKind.CATEGORICAL, "origin station", categories=_STATIONS),
+                ColumnSpec("to_station", ColumnKind.CATEGORICAL, "destination station", categories=_STATIONS),
+                ColumnSpec("usertype", ColumnKind.CATEGORICAL, "rider type", categories=("Subscriber", "Customer")),
+                ColumnSpec("gender", ColumnKind.CATEGORICAL, "rider gender", categories=("Male", "Female")),
+                ColumnSpec("birth_year", ColumnKind.NUMERIC, "rider birth year"),
+                ColumnSpec("start_hour", ColumnKind.NUMERIC, "trip start hour (0-23)"),
+                ColumnSpec("day_of_week", ColumnKind.CATEGORICAL, "day of the week", categories=_DAYS),
+                ColumnSpec("temperature_c", ColumnKind.NUMERIC, "air temperature in Celsius"),
+            ]
+        )
+
+    def knowledge_edges(self) -> list[tuple[str, str]]:
+        return [
+            ("trip_duration", "distance_km"),
+            ("trip_duration", "usertype"),
+            ("usertype", "start_hour"),
+            ("usertype", "day_of_week"),
+            ("birth_year", "usertype"),
+            ("start_hour", "day_of_week"),
+            ("temperature_c", "trip_duration"),
+            ("from_station", "to_station"),
+        ]
+
+    def generate_clean(self, n_rows: int, rng: int | np.random.Generator | None = None) -> Table:
+        gen = ensure_rng(rng)
+        usertype = gen.choice(["Subscriber", "Customer"], size=n_rows, p=[0.77, 0.23]).astype(object)
+        subscriber = usertype == "Subscriber"
+
+        day = gen.choice(_DAYS, size=n_rows).astype(object)
+        weekend = np.isin(day, ["Saturday", "Sunday"])
+
+        # Subscribers commute: rush-hour weekday peaks. Customers ride midday.
+        rush = gen.choice([8.0, 17.0], size=n_rows) + gen.normal(0.0, 1.2, n_rows)
+        midday = gen.normal(13.5, 3.0, n_rows)
+        start_hour = np.clip(np.round(np.where(subscriber & ~weekend, rush, midday)), 0, 23)
+
+        distance = np.clip(gen.gamma(2.2, 1.1, n_rows), 0.3, 25.0)
+        distance[~subscriber] *= 1.3  # leisure rides roam farther
+        speed_kmh = np.where(subscriber, gen.normal(15.5, 1.8, n_rows), gen.normal(11.0, 1.8, n_rows))
+        speed_kmh = np.clip(speed_kmh, 6.0, 25.0)
+        duration = np.round(distance / speed_kmh * 3600.0 + gen.normal(40.0, 25.0, n_rows))
+        duration = np.clip(duration, 90, 4 * 3600)
+
+        birth_year = np.round(np.where(subscriber, gen.normal(1985, 9, n_rows), gen.normal(1992, 8, n_rows)))
+        birth_year = np.clip(birth_year, 1945, 2004)
+
+        gender = gen.choice(["Male", "Female"], size=n_rows, p=[0.72, 0.28]).astype(object)
+
+        temperature = np.round(gen.normal(14.0, 9.0, n_rows), 1)
+        # Warm days, slightly longer rides.
+        duration = np.round(duration * (1.0 + np.clip(temperature - 14.0, -10, 15) * 0.004))
+
+        from_station = gen.choice(_STATIONS, size=n_rows).astype(object)
+        offsets = gen.integers(1, len(_STATIONS), n_rows)
+        to_station = np.array(
+            [_STATIONS[(int(_STATIONS.index(s)) + int(o)) % len(_STATIONS)] for s, o in zip(from_station, offsets)],
+            dtype=object,
+        )
+
+        return Table(
+            self.schema(),
+            {
+                "trip_duration": duration,
+                "distance_km": np.round(distance, 2),
+                "from_station": from_station,
+                "to_station": to_station,
+                "usertype": usertype,
+                "gender": gender,
+                "birth_year": birth_year,
+                "start_hour": start_hour,
+                "day_of_week": day,
+                "temperature_c": temperature,
+            },
+        )
+
+    def generate_dirty(
+        self, clean: Table, rng: int | np.random.Generator | None = None
+    ) -> tuple[Table, InjectionReport]:
+        """Raw trip-log error mixture (~20% of rows affected, as the paper's
+        Bicycle dirty data carries a high error rate)."""
+        gen = ensure_rng(rng)
+        dirty = clean.copy()
+        report = InjectionReport.empty(clean, "bicycle real-world errors")
+        schema = clean.schema
+        n = clean.n_rows
+
+        def mark(rows: np.ndarray, column: str) -> None:
+            report.cell_mask[rows, schema.index_of(column)] = True
+
+        # 1. Duration glitches: negative clock skew or milliseconds-as-seconds.
+        duration = dirty.column("trip_duration").copy()
+        rows = select_rows(n, 0.06, derive_rng(gen, "duration"))
+        halves = np.array_split(rows, 2)
+        duration[halves[0]] = -np.abs(duration[halves[0]])
+        duration[halves[1]] *= 1000.0
+        dirty = dirty.with_column("trip_duration", duration)
+        mark(rows, "trip_duration")
+
+        # 2. Default birth years (1900 placeholder for unknown riders).
+        birth = dirty.column("birth_year").copy()
+        rows = select_rows(n, 0.05, derive_rng(gen, "birth"))
+        birth[rows] = 1900.0
+        dirty = dirty.with_column("birth_year", birth)
+        mark(rows, "birth_year")
+
+        # 3. Station-name typos from manual re-entry.
+        stations = dirty.column("from_station").copy()
+        typo_rng = derive_rng(gen, "typos")
+        rows = select_rows(n, 0.05, typo_rng)
+        for row in rows:
+            stations[row] = qwerty_typo(stations[row], typo_rng)
+        dirty = dirty.with_column("from_station", stations)
+        mark(rows, "from_station")
+
+        # 4. Missing gender (Customers often skip profile fields).
+        gender = dirty.column("gender").copy()
+        rows = select_rows(n, 0.06, derive_rng(gen, "gender"))
+        for row in rows:
+            gender[row] = None
+        dirty = dirty.with_column("gender", gender)
+        mark(rows, "gender")
+
+        # 5. Unit mix-up: distance recorded in miles for some trips
+        #    (a subtle joint inconsistency with duration).
+        distance = dirty.column("distance_km").copy()
+        rows = select_rows(n, 0.04, derive_rng(gen, "distance"))
+        distance[rows] *= 5.0
+        dirty = dirty.with_column("distance_km", distance)
+        mark(rows, "distance_km")
+
+        return dirty, report

@@ -1,0 +1,175 @@
+"""Credit Card approval application simulator (Kaggle application_record).
+
+Clean-source dataset (§4.1.1). The generator plants the joint structure
+both hidden-conflict scenarios depend on:
+
+* employment always starts after age 16 (``|DAYS_EMPLOYED| < |DAYS_BIRTH| - 16y``);
+* income rises with education tier and occupation tier;
+* pensioners are old and do not report employment spans longer than
+  their working life.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.datasets.base import DatasetGenerator
+from repro.utils.rng import ensure_rng
+
+__all__ = ["CreditCardGenerator"]
+
+_EDUCATION = (
+    "Lower secondary",
+    "Secondary / secondary special",
+    "Incomplete higher",
+    "Higher education",
+    "Academic degree",
+)
+_EDUCATION_TIER = {name: tier for tier, name in enumerate(_EDUCATION)}
+_OCCUPATIONS = (
+    "Laborers",
+    "Sales staff",
+    "Drivers",
+    "Core staff",
+    "Security staff",
+    "Cooking staff",
+    "Medicine staff",
+    "Accountants",
+    "High skill tech staff",
+    "IT staff",
+    "Managers",
+)
+# occupation tier 0 (manual) .. 2 (advanced); used for income structure
+_OCCUPATION_TIER = {
+    "Laborers": 0, "Sales staff": 0, "Drivers": 0, "Security staff": 0, "Cooking staff": 0,
+    "Core staff": 1, "Medicine staff": 1, "Accountants": 1,
+    "High skill tech staff": 2, "IT staff": 2, "Managers": 2,
+}
+_INCOME_TYPES = ("Working", "Commercial associate", "State servant", "Pensioner", "Student")
+_FAMILY = ("Married", "Single / not married", "Civil marriage", "Separated", "Widow")
+_HOUSING = ("House / apartment", "With parents", "Municipal apartment", "Rented apartment", "Office apartment")
+
+_YEAR = 365.25
+
+
+class CreditCardGenerator(DatasetGenerator):
+    """Synthesizes credit-card applications with income/education/age structure."""
+
+    name = "credit"
+    default_rows = 8000
+
+    def schema(self) -> TableSchema:
+        return TableSchema(
+            [
+                ColumnSpec("CODE_GENDER", ColumnKind.CATEGORICAL, "applicant gender", categories=("M", "F")),
+                ColumnSpec("FLAG_OWN_CAR", ColumnKind.CATEGORICAL, "owns a car", categories=("Y", "N")),
+                ColumnSpec("FLAG_OWN_REALTY", ColumnKind.CATEGORICAL, "owns real estate", categories=("Y", "N")),
+                ColumnSpec("CNT_CHILDREN", ColumnKind.NUMERIC, "number of children"),
+                ColumnSpec("AMT_INCOME_TOTAL", ColumnKind.NUMERIC, "annual income"),
+                ColumnSpec("NAME_INCOME_TYPE", ColumnKind.CATEGORICAL, "income source", categories=_INCOME_TYPES),
+                ColumnSpec("NAME_EDUCATION_TYPE", ColumnKind.CATEGORICAL, "education level", categories=_EDUCATION),
+                ColumnSpec("NAME_FAMILY_STATUS", ColumnKind.CATEGORICAL, "family status", categories=_FAMILY),
+                ColumnSpec("NAME_HOUSING_TYPE", ColumnKind.CATEGORICAL, "housing situation", categories=_HOUSING),
+                ColumnSpec("DAYS_BIRTH", ColumnKind.NUMERIC, "days since birth (negative)"),
+                ColumnSpec("DAYS_EMPLOYED", ColumnKind.NUMERIC, "days since employment start (negative)"),
+                ColumnSpec("OCCUPATION_TYPE", ColumnKind.CATEGORICAL, "occupation", categories=_OCCUPATIONS),
+                ColumnSpec("CNT_FAM_MEMBERS", ColumnKind.NUMERIC, "family member count"),
+            ]
+        )
+
+    def knowledge_edges(self) -> list[tuple[str, str]]:
+        return [
+            ("DAYS_BIRTH", "DAYS_EMPLOYED"),
+            ("DAYS_BIRTH", "NAME_INCOME_TYPE"),
+            ("AMT_INCOME_TOTAL", "NAME_EDUCATION_TYPE"),
+            ("AMT_INCOME_TOTAL", "OCCUPATION_TYPE"),
+            ("AMT_INCOME_TOTAL", "NAME_INCOME_TYPE"),
+            ("NAME_EDUCATION_TYPE", "OCCUPATION_TYPE"),
+            ("CNT_CHILDREN", "CNT_FAM_MEMBERS"),
+            ("CNT_CHILDREN", "NAME_FAMILY_STATUS"),
+            ("NAME_FAMILY_STATUS", "CNT_FAM_MEMBERS"),
+            ("DAYS_EMPLOYED", "NAME_INCOME_TYPE"),
+            ("FLAG_OWN_REALTY", "NAME_HOUSING_TYPE"),
+            ("FLAG_OWN_CAR", "AMT_INCOME_TOTAL"),
+        ]
+
+    def generate_clean(self, n_rows: int, rng: int | np.random.Generator | None = None) -> Table:
+        gen = ensure_rng(rng)
+
+        gender = gen.choice(["M", "F"], size=n_rows, p=[0.45, 0.55]).astype(object)
+        age_years = gen.uniform(21.0, 68.0, n_rows)
+
+        income_type = gen.choice(_INCOME_TYPES, size=n_rows, p=[0.52, 0.22, 0.08, 0.15, 0.03]).astype(object)
+        # Pensioners are old; students are young.
+        pensioner = income_type == "Pensioner"
+        age_years[pensioner] = gen.uniform(58.0, 68.0, int(pensioner.sum()))
+        student = income_type == "Student"
+        age_years[student] = gen.uniform(21.0, 27.0, int(student.sum()))
+
+        education = gen.choice(_EDUCATION, size=n_rows, p=[0.06, 0.50, 0.12, 0.28, 0.04]).astype(object)
+        education_tier = np.array([_EDUCATION_TIER[e] for e in education], dtype=float)
+
+        occupation = np.empty(n_rows, dtype=object)
+        for i in range(n_rows):
+            tier_weights = {
+                0: [0.55, 0.35, 0.10],
+                1: [0.45, 0.40, 0.15],
+                2: [0.25, 0.45, 0.30],
+                3: [0.10, 0.40, 0.50],
+                4: [0.05, 0.25, 0.70],
+            }[int(education_tier[i])]
+            tier = int(gen.choice(3, p=tier_weights))
+            options = [o for o, t in _OCCUPATION_TIER.items() if t == tier]
+            occupation[i] = options[int(gen.integers(len(options)))]
+        occupation_tier = np.array([_OCCUPATION_TIER[o] for o in occupation], dtype=float)
+
+        # Income: multiplicative in education and occupation tier.
+        income = (
+            38_000.0
+            * (1.0 + 0.35 * education_tier)
+            * (1.0 + 0.45 * occupation_tier)
+            * np.exp(gen.normal(0.0, 0.22, n_rows))
+        )
+        income[student] *= 0.45
+        income[pensioner] *= 0.65
+        # Keep cents: a float-valued income is exactly the kind of column
+        # TFDV's inferred schema leaves unbounded (see baselines.tfdv).
+        income = np.round(income, 2)
+
+        # Employment span: starts after age 16, shorter for the young.
+        max_span_years = np.maximum(age_years - 16.0, 0.5)
+        employed_years = np.minimum(gen.gamma(2.5, 4.0, n_rows), max_span_years * gen.uniform(0.5, 0.95, n_rows))
+        days_birth = -np.round(age_years * _YEAR)
+        days_employed = -np.round(employed_years * _YEAR)
+
+        children = np.clip(gen.poisson(0.6, n_rows), 0, 5).astype(float)
+        family_status = gen.choice(_FAMILY, size=n_rows, p=[0.55, 0.20, 0.10, 0.08, 0.07]).astype(object)
+        partner = np.isin(family_status, ["Married", "Civil marriage"]).astype(float)
+        family_members = np.clip(1.0 + partner + children, 1, 9)
+
+        own_car = np.where(gen.random(n_rows) < 0.25 + 0.12 * occupation_tier, "Y", "N").astype(object)
+        housing = gen.choice(_HOUSING, size=n_rows, p=[0.70, 0.12, 0.08, 0.07, 0.03]).astype(object)
+        own_realty = np.where(
+            (housing == "House / apartment") & (gen.random(n_rows) < 0.85), "Y", "N"
+        ).astype(object)
+
+        return Table(
+            self.schema(),
+            {
+                "CODE_GENDER": gender,
+                "FLAG_OWN_CAR": own_car,
+                "FLAG_OWN_REALTY": own_realty,
+                "CNT_CHILDREN": children,
+                "AMT_INCOME_TOTAL": income,
+                "NAME_INCOME_TYPE": income_type,
+                "NAME_EDUCATION_TYPE": education,
+                "NAME_FAMILY_STATUS": family_status,
+                "NAME_HOUSING_TYPE": housing,
+                "DAYS_BIRTH": days_birth,
+                "DAYS_EMPLOYED": days_employed,
+                "OCCUPATION_TYPE": occupation,
+                "CNT_FAM_MEMBERS": family_members,
+            },
+        )

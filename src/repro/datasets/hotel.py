@@ -1,0 +1,143 @@
+"""Hotel Booking Demand simulator (Antonio, de Almeida & Nunes, 2019).
+
+Clean-source dataset (§4.1.1): experiments inject synthetic errors.
+The generator encodes the dependencies the paper's hidden-error scenario
+relies on — in clean data, babies never travel without adults, Group
+bookings carry at least two adults, and the average daily rate (adr)
+follows hotel type, party size, and season.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.datasets.base import DatasetGenerator
+from repro.utils.rng import ensure_rng
+
+__all__ = ["HotelBookingGenerator"]
+
+_MONTHS = (
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+)
+_SEASON_FACTOR = {
+    "January": 0.8, "February": 0.85, "March": 0.9, "April": 1.0,
+    "May": 1.05, "June": 1.15, "July": 1.3, "August": 1.35,
+    "September": 1.1, "October": 1.0, "November": 0.85, "December": 1.05,
+}
+_CUSTOMER_TYPES = ("Transient", "Transient-Party", "Contract", "Group")
+_MEALS = ("BB", "HB", "FB", "SC")
+
+
+class HotelBookingGenerator(DatasetGenerator):
+    """Synthesizes hotel bookings with guest/price/season dependencies."""
+
+    name = "hotel"
+    default_rows = 8000
+
+    def schema(self) -> TableSchema:
+        return TableSchema(
+            [
+                ColumnSpec("hotel", ColumnKind.CATEGORICAL, "hotel type", categories=("City Hotel", "Resort Hotel")),
+                ColumnSpec("lead_time", ColumnKind.NUMERIC, "days between booking and arrival"),
+                ColumnSpec("arrival_month", ColumnKind.CATEGORICAL, "month of arrival", categories=_MONTHS),
+                ColumnSpec("stays_weekend_nights", ColumnKind.NUMERIC, "weekend nights booked"),
+                ColumnSpec("stays_week_nights", ColumnKind.NUMERIC, "week nights booked"),
+                ColumnSpec("adults", ColumnKind.NUMERIC, "number of adults"),
+                ColumnSpec("children", ColumnKind.NUMERIC, "number of children"),
+                ColumnSpec("babies", ColumnKind.NUMERIC, "number of babies"),
+                ColumnSpec("meal", ColumnKind.CATEGORICAL, "meal package", categories=_MEALS),
+                ColumnSpec("customer_type", ColumnKind.CATEGORICAL, "booking customer type", categories=_CUSTOMER_TYPES),
+                ColumnSpec("adr", ColumnKind.NUMERIC, "average daily rate in EUR"),
+                ColumnSpec("total_of_special_requests", ColumnKind.NUMERIC, "count of special requests"),
+            ]
+        )
+
+    def knowledge_edges(self) -> list[tuple[str, str]]:
+        return [
+            ("adults", "babies"),
+            ("adults", "children"),
+            ("adults", "customer_type"),
+            ("babies", "customer_type"),
+            ("adr", "hotel"),
+            ("adr", "arrival_month"),
+            ("adr", "adults"),
+            ("adr", "children"),
+            ("lead_time", "customer_type"),
+            ("lead_time", "arrival_month"),
+            ("stays_weekend_nights", "stays_week_nights"),
+            ("meal", "hotel"),
+            ("total_of_special_requests", "children"),
+        ]
+
+    def generate_clean(self, n_rows: int, rng: int | np.random.Generator | None = None) -> Table:
+        gen = ensure_rng(rng)
+        hotel = np.where(gen.random(n_rows) < 0.6, "City Hotel", "Resort Hotel").astype(object)
+
+        customer_type = gen.choice(_CUSTOMER_TYPES, size=n_rows, p=[0.72, 0.18, 0.06, 0.04]).astype(object)
+
+        # Group bookings: larger parties; Contract: long planned stays.
+        adults = np.clip(np.round(gen.normal(2.0, 0.7, n_rows)), 1, 4)
+        group_mask = customer_type == "Group"
+        adults[group_mask] = np.clip(np.round(gen.normal(3.0, 0.8, int(group_mask.sum()))), 2, 4)
+
+        children = np.where(gen.random(n_rows) < 0.25, gen.integers(1, 3, n_rows), 0).astype(float)
+        # Babies only ever accompany adults (the invariant the hidden error breaks).
+        babies = np.where(gen.random(n_rows) < 0.08, gen.integers(1, 3, n_rows), 0).astype(float)
+
+        # A small legitimate adults=0 segment (school/junior bookings booked
+        # under a Contract): keeps 0 inside the clean *marginal* range of
+        # ``adults`` so the Group/babies conflict stays invisible to
+        # column-local range rules — only the combination is impossible.
+        junior = (gen.random(n_rows) < 0.03) & ~group_mask
+        adults[junior] = 0.0
+        children[junior] = np.maximum(children[junior], 1.0)
+        babies[junior] = 0.0
+        customer_type[junior] = "Contract"
+
+        month = gen.choice(_MONTHS, size=n_rows).astype(object)
+        season = np.array([_SEASON_FACTOR[m] for m in month])
+
+        lead_time = np.round(gen.gamma(2.0, 40.0, n_rows))
+        lead_time[customer_type == "Contract"] += np.round(gen.gamma(2.0, 30.0, int((customer_type == "Contract").sum())))
+        lead_time[month == "August"] *= 1.2
+        lead_time = np.clip(np.round(lead_time), 0, 600)
+
+        weekend = np.clip(np.round(gen.gamma(1.2, 1.0, n_rows)), 0, 6)
+        week = np.clip(np.round(weekend * gen.uniform(1.0, 3.0, n_rows) + gen.poisson(1.0, n_rows)), 0, 15)
+
+        base_rate = np.where(hotel == "City Hotel", 95.0, 120.0)
+        party = adults + 0.6 * children
+        adr = base_rate * season * (0.75 + 0.22 * party) * np.exp(gen.normal(0.0, 0.08, n_rows))
+        adr = np.round(adr, 2)
+
+        resort_mask = hotel == "Resort Hotel"
+        meal_city = gen.choice(_MEALS, size=n_rows, p=[0.62, 0.22, 0.04, 0.12])
+        meal_resort = gen.choice(_MEALS, size=n_rows, p=[0.40, 0.38, 0.14, 0.08])
+        meal = np.where(resort_mask, meal_resort, meal_city).astype(object)
+
+        requests = np.clip(
+            np.round(gen.poisson(0.5, n_rows) + 0.8 * (children > 0) + 0.9 * (babies > 0) + gen.random(n_rows) * 0.5),
+            0,
+            5,
+        )
+
+        return Table(
+            self.schema(),
+            {
+                "hotel": hotel,
+                "lead_time": lead_time,
+                "arrival_month": month,
+                "stays_weekend_nights": weekend,
+                "stays_week_nights": week,
+                "adults": adults,
+                "children": children,
+                "babies": babies,
+                "meal": meal,
+                "customer_type": customer_type,
+                "adr": adr,
+                "total_of_special_requests": requests,
+            },
+        )

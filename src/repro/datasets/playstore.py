@@ -1,0 +1,162 @@
+"""Google Play Store apps simulator (Kaggle Play Store dataset).
+
+Real-world-error dataset (§4.1.1): the dirty variant reproduces the
+infamous quirks of the scraped Play Store dump — ratings on the wrong
+scale (19 instead of 1.9), paid apps listed as Free, shifted columns
+producing impossible install counts, missing sizes, and category typos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.datasets.base import DatasetGenerator
+from repro.errors.base import InjectionReport, select_rows
+from repro.errors.qwerty import qwerty_typo
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["PlayStoreGenerator"]
+
+_CATEGORIES = (
+    "FAMILY", "GAME", "TOOLS", "BUSINESS", "MEDICAL",
+    "PRODUCTIVITY", "PERSONALIZATION", "LIFESTYLE", "FINANCE", "SPORTS",
+)
+_CONTENT_RATINGS = ("Everyone", "Everyone 10+", "Teen", "Mature 17+")
+
+
+class PlayStoreGenerator(DatasetGenerator):
+    """Synthesizes app listings with installs/reviews/price structure."""
+
+    name = "playstore"
+    default_rows = 8000
+
+    def schema(self) -> TableSchema:
+        return TableSchema(
+            [
+                ColumnSpec("category", ColumnKind.CATEGORICAL, "app category", categories=_CATEGORIES),
+                ColumnSpec("rating", ColumnKind.NUMERIC, "average user rating (1-5)"),
+                ColumnSpec("reviews", ColumnKind.NUMERIC, "review count"),
+                ColumnSpec("size_mb", ColumnKind.NUMERIC, "APK size in MB"),
+                ColumnSpec("installs", ColumnKind.NUMERIC, "install count"),
+                ColumnSpec("app_type", ColumnKind.CATEGORICAL, "Free or Paid", categories=("Free", "Paid")),
+                ColumnSpec("price", ColumnKind.NUMERIC, "price in USD"),
+                ColumnSpec("content_rating", ColumnKind.CATEGORICAL, "audience rating", categories=_CONTENT_RATINGS),
+                ColumnSpec("days_since_update", ColumnKind.NUMERIC, "days since last update"),
+            ]
+        )
+
+    def knowledge_edges(self) -> list[tuple[str, str]]:
+        return [
+            ("app_type", "price"),
+            ("installs", "reviews"),
+            ("rating", "reviews"),
+            ("category", "size_mb"),
+            ("category", "content_rating"),
+            ("installs", "days_since_update"),
+            ("price", "installs"),
+        ]
+
+    def generate_clean(self, n_rows: int, rng: int | np.random.Generator | None = None) -> Table:
+        gen = ensure_rng(rng)
+        category = gen.choice(_CATEGORIES, size=n_rows).astype(object)
+
+        app_type = gen.choice(["Free", "Paid"], size=n_rows, p=[0.92, 0.08]).astype(object)
+        paid = app_type == "Paid"
+        price = np.where(paid, np.round(np.exp(gen.normal(1.2, 0.8, n_rows)) - 0.01, 2), 0.0)
+        price = np.clip(price, 0.0, 80.0)
+
+        # Install magnitude drives review volume; paid apps install less.
+        install_magnitude = gen.integers(2, 8, n_rows).astype(float)  # 10^2..10^7
+        install_magnitude[paid] = np.clip(install_magnitude[paid] - 1, 2, 6)
+        installs = np.round(10.0**install_magnitude * gen.uniform(0.5, 5.0, n_rows))
+        reviews = np.round(installs * gen.uniform(0.005, 0.05, n_rows))
+
+        # Ratings: mild positive link with review volume, clipped to [1, 5].
+        rating = np.clip(
+            np.round(gen.normal(4.1, 0.45, n_rows) + 0.05 * (np.log10(reviews + 1) - 3.0), 1), 1.0, 5.0
+        )
+
+        base_size = np.where(np.isin(category, ["GAME", "FAMILY"]), 80.0, 25.0)
+        size_mb = np.clip(np.round(base_size * np.exp(gen.normal(0.0, 0.5, n_rows)), 1), 1.0, 500.0)
+
+        content = np.empty(n_rows, dtype=object)
+        game_like = np.isin(category, ["GAME", "FAMILY"])
+        content[game_like] = gen.choice(_CONTENT_RATINGS, size=int(game_like.sum()), p=[0.55, 0.2, 0.2, 0.05])
+        content[~game_like] = gen.choice(_CONTENT_RATINGS, size=int((~game_like).sum()), p=[0.8, 0.05, 0.1, 0.05])
+
+        # Popular apps update frequently.
+        days_update = np.round(gen.gamma(1.5, 120.0, n_rows) / np.maximum(np.log10(installs + 10) / 3.0, 0.5))
+        days_update = np.clip(days_update, 0, 2500)
+
+        return Table(
+            self.schema(),
+            {
+                "category": category,
+                "rating": rating,
+                "reviews": reviews,
+                "size_mb": size_mb,
+                "installs": installs,
+                "app_type": app_type,
+                "price": price,
+                "content_rating": content,
+                "days_since_update": days_update,
+            },
+        )
+
+    def generate_dirty(
+        self, clean: Table, rng: int | np.random.Generator | None = None
+    ) -> tuple[Table, InjectionReport]:
+        """Scraper-artifact error mixture (~12% of rows affected)."""
+        gen = ensure_rng(rng)
+        dirty = clean.copy()
+        report = InjectionReport.empty(clean, "playstore real-world errors")
+        schema = clean.schema
+        n = clean.n_rows
+
+        def mark(rows: np.ndarray, column: str) -> None:
+            report.cell_mask[rows, schema.index_of(column)] = True
+
+        # 1. Ratings on the wrong scale (the real dataset's famous "19").
+        rating = dirty.column("rating").copy()
+        rows = select_rows(n, 0.03, derive_rng(gen, "rating"))
+        rating[rows] *= 10.0
+        dirty = dirty.with_column("rating", rating)
+        mark(rows, "rating")
+
+        # 2. Paid apps mislabeled Free while keeping a nonzero price.
+        app_type = dirty.column("app_type").copy()
+        price = dirty.column("price").copy()
+        paid_rows = np.flatnonzero(price > 0)
+        take = select_rows(paid_rows.size, 0.5, derive_rng(gen, "type")) if paid_rows.size else np.array([], dtype=int)
+        rows = paid_rows[take] if take.size else np.array([], dtype=int)
+        for row in rows:
+            app_type[row] = "Free"
+        dirty = dirty.with_column("app_type", app_type)
+        mark(rows, "app_type")
+
+        # 3. Column-shift artifact: install counts landing in the review field.
+        reviews = dirty.column("reviews").copy()
+        rows = select_rows(n, 0.03, derive_rng(gen, "reviews"))
+        reviews[rows] = dirty.column("installs")[rows] * 10.0
+        dirty = dirty.with_column("reviews", reviews)
+        mark(rows, "reviews")
+
+        # 4. Missing sizes ("Varies with device" exported as blank).
+        size = dirty.column("size_mb").copy()
+        rows = select_rows(n, 0.04, derive_rng(gen, "size"))
+        size[rows] = np.nan
+        dirty = dirty.with_column("size_mb", size)
+        mark(rows, "size_mb")
+
+        # 5. Category typos.
+        category = dirty.column("category").copy()
+        typo_rng = derive_rng(gen, "typos")
+        rows = select_rows(n, 0.02, typo_rng)
+        for row in rows:
+            category[row] = qwerty_typo(category[row], typo_rng)
+        dirty = dirty.with_column("category", category)
+        mark(rows, "category")
+
+        return dirty, report

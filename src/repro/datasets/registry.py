@@ -1,0 +1,48 @@
+"""Dataset registry: name → generator lookup and one-call loading."""
+
+from __future__ import annotations
+
+from repro.datasets.airbnb import AirbnbGenerator
+from repro.datasets.base import DatasetBundle, DatasetGenerator
+from repro.datasets.bicycle import BicycleGenerator
+from repro.datasets.credit import CreditCardGenerator
+from repro.datasets.hotel import HotelBookingGenerator
+from repro.datasets.playstore import PlayStoreGenerator
+from repro.datasets.taxi import TaxiGenerator
+
+__all__ = ["DATASETS", "get_generator", "load_dataset", "dataset_names"]
+
+DATASETS: dict[str, type[DatasetGenerator]] = {
+    AirbnbGenerator.name: AirbnbGenerator,
+    BicycleGenerator.name: BicycleGenerator,
+    PlayStoreGenerator.name: PlayStoreGenerator,
+    TaxiGenerator.name: TaxiGenerator,
+    HotelBookingGenerator.name: HotelBookingGenerator,
+    CreditCardGenerator.name: CreditCardGenerator,
+}
+
+
+def dataset_names() -> list[str]:
+    return sorted(DATASETS)
+
+
+def get_generator(name: str) -> DatasetGenerator:
+    try:
+        return DATASETS[name]()
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}") from None
+
+
+def load_dataset(
+    name: str,
+    n_rows: int | None = None,
+    seed: int = 0,
+    with_dirty: bool = False,
+) -> DatasetBundle:
+    """Generate a dataset bundle by registry name.
+
+    ``with_dirty=True`` is only valid for the real-world-error datasets
+    (airbnb, bicycle, playstore); clean-source datasets raise, directing
+    callers to the §4.1.2 synthetic injectors.
+    """
+    return get_generator(name).load(n_rows=n_rows, seed=seed, with_dirty=with_dirty)

@@ -1,0 +1,32 @@
+"""Error injection: ordinary errors, hidden conflicts, composition."""
+
+from repro.errors.base import ErrorInjector, InjectionReport, select_rows
+from repro.errors.qwerty import QWERTY_NEIGHBORS, qwerty_typo
+from repro.errors.ordinary import (
+    MissingValueInjector,
+    NumericAnomalyInjector,
+    StringTypoInjector,
+)
+from repro.errors.hidden import (
+    CreditEmploymentBeforeBirthInjector,
+    CreditIncomeEducationConflictInjector,
+    HotelGroupConflictInjector,
+    RowRuleConflictInjector,
+)
+from repro.errors.compose import CompositeInjector
+
+__all__ = [
+    "ErrorInjector",
+    "InjectionReport",
+    "select_rows",
+    "QWERTY_NEIGHBORS",
+    "qwerty_typo",
+    "MissingValueInjector",
+    "NumericAnomalyInjector",
+    "StringTypoInjector",
+    "CreditEmploymentBeforeBirthInjector",
+    "CreditIncomeEducationConflictInjector",
+    "HotelGroupConflictInjector",
+    "RowRuleConflictInjector",
+    "CompositeInjector",
+]

@@ -1,0 +1,89 @@
+"""Error-injection framework.
+
+Injectors corrupt a clean :class:`~repro.data.table.Table` and return the
+dirty copy together with an :class:`InjectionReport` recording exactly
+which cells were touched — the ground truth every detection experiment
+scores against.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+__all__ = ["InjectionReport", "ErrorInjector", "select_rows"]
+
+
+class InjectionReport:
+    """Ground-truth record of injected errors.
+
+    ``cell_mask`` is boolean ``(n_rows, n_columns)`` in schema order;
+    ``row_mask`` marks rows with at least one corrupted cell.
+    """
+
+    def __init__(self, cell_mask: np.ndarray, description: str = "") -> None:
+        cell_mask = np.asarray(cell_mask, dtype=bool)
+        if cell_mask.ndim != 2:
+            raise ValueError(f"cell mask must be 2-D, got shape {cell_mask.shape}")
+        self.cell_mask = cell_mask
+        self.description = description
+
+    @property
+    def row_mask(self) -> np.ndarray:
+        return self.cell_mask.any(axis=1)
+
+    @property
+    def n_dirty_rows(self) -> int:
+        return int(self.row_mask.sum())
+
+    @property
+    def n_dirty_cells(self) -> int:
+        return int(self.cell_mask.sum())
+
+    def error_rate(self) -> float:
+        """Fraction of rows carrying at least one injected error."""
+        if self.cell_mask.shape[0] == 0:
+            return 0.0
+        return float(self.row_mask.mean())
+
+    def merge(self, other: "InjectionReport") -> "InjectionReport":
+        if self.cell_mask.shape != other.cell_mask.shape:
+            raise ValueError(
+                f"cannot merge reports of shapes {self.cell_mask.shape} and {other.cell_mask.shape}"
+            )
+        description = "; ".join(d for d in (self.description, other.description) if d)
+        return InjectionReport(self.cell_mask | other.cell_mask, description)
+
+    @staticmethod
+    def empty(table: Table, description: str = "") -> "InjectionReport":
+        return InjectionReport(np.zeros((table.n_rows, table.n_columns), dtype=bool), description)
+
+    def __repr__(self) -> str:
+        return f"InjectionReport(rows={self.n_dirty_rows}, cells={self.n_dirty_cells}, {self.description!r})"
+
+
+class ErrorInjector(abc.ABC):
+    """Base class: corrupt a table, report the ground truth."""
+
+    description: str = "error"
+
+    @abc.abstractmethod
+    def inject(self, table: Table, rng: int | np.random.Generator | None = None) -> tuple[Table, InjectionReport]:
+        """Return ``(dirty_table, report)``; the input table is not mutated."""
+
+    def __call__(self, table: Table, rng: int | np.random.Generator | None = None) -> tuple[Table, InjectionReport]:
+        return self.inject(table, rng)
+
+
+def select_rows(n_rows: int, fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """Choose ``round(fraction * n_rows)`` distinct row indices."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    count = max(1, int(round(n_rows * fraction))) if n_rows > 0 else 0
+    if count == 0:
+        return np.array([], dtype=int)
+    return rng.choice(n_rows, size=min(count, n_rows), replace=False)

@@ -1,0 +1,38 @@
+"""Composite injectors: run several error generators over one table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors.base import ErrorInjector, InjectionReport
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["CompositeInjector"]
+
+
+class CompositeInjector(ErrorInjector):
+    """Apply child injectors in sequence, merging their reports.
+
+    Later injectors see the output of earlier ones (as in real pipelines
+    where, e.g., a typo can land on a row that already lost a value).
+    Each child draws from an independent derived RNG stream, so adding a
+    child never changes the corruption produced by the others.
+    """
+
+    description = "composite"
+
+    def __init__(self, injectors: list[ErrorInjector]) -> None:
+        if not injectors:
+            raise ValueError("CompositeInjector requires at least one child")
+        self.injectors = list(injectors)
+
+    def inject(self, table: Table, rng: int | np.random.Generator | None = None) -> tuple[Table, InjectionReport]:
+        generator = ensure_rng(rng)
+        report = InjectionReport.empty(table, "")
+        current = table
+        for i, injector in enumerate(self.injectors):
+            child_rng = derive_rng(generator, "composite", i, injector.description)
+            current, child_report = injector.inject(current, child_rng)
+            report = report.merge(child_report)
+        return current, report

@@ -1,0 +1,205 @@
+"""Hidden errors: logical and temporal conflicts between attributes (§4.1.2).
+
+Each injected row stays *individually* plausible per column — every value
+remains inside its column's clean range — but the combination is
+impossible. Rule-based validators that check columns in isolation cannot
+see these; the paper's Table 1 "Conflicts" rows probe exactly this.
+
+Concrete injectors reproduce the paper's three scenarios:
+
+* :class:`CreditEmploymentBeforeBirthInjector` — ``DAYS_EMPLOYED`` magnitude
+  exceeds ``DAYS_BIRTH`` (employment precedes birth);
+* :class:`CreditIncomeEducationConflictInjector` — high education and an
+  advanced occupation paired with an implausibly low income;
+* :class:`HotelGroupConflictInjector` — ``customer_type='Group'`` bookings
+  with zero adults but babies present.
+
+:class:`RowRuleConflictInjector` is the generic engine: give it a
+row-transform and the columns it touches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors.base import ErrorInjector, InjectionReport, select_rows
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "RowRuleConflictInjector",
+    "CreditEmploymentBeforeBirthInjector",
+    "CreditIncomeEducationConflictInjector",
+    "HotelGroupConflictInjector",
+]
+
+
+class RowRuleConflictInjector(ErrorInjector):
+    """Apply a conflicting row-transform to a fraction of rows.
+
+    Parameters
+    ----------
+    transform:
+        ``transform(row_dict, rng) -> dict`` returning the new values for
+        the columns it corrupts. Only keys in ``touched_columns`` may be
+        returned.
+    touched_columns:
+        Columns the transform may modify — these cells enter the
+        ground-truth mask.
+    eligible:
+        Optional row predicate; rows failing it are never corrupted
+        (e.g. only bookings that *have* babies can become conflicting).
+    """
+
+    description = "hidden conflict"
+
+    def __init__(
+        self,
+        transform: Callable[[dict, np.random.Generator], dict],
+        touched_columns: list[str],
+        fraction: float = 0.2,
+        eligible: Callable[[dict], bool] | None = None,
+        description: str | None = None,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not touched_columns:
+            raise ValueError("touched_columns must not be empty")
+        self.transform = transform
+        self.touched_columns = list(touched_columns)
+        self.fraction = fraction
+        self.eligible = eligible
+        if description:
+            self.description = description
+
+    def prepare(self, table: Table) -> None:
+        """Hook for subclasses to precompute table-level statistics the
+        transform needs (e.g. clean marginal extremes). Default: no-op."""
+
+    def inject(self, table: Table, rng: int | np.random.Generator | None = None) -> tuple[Table, InjectionReport]:
+        generator = ensure_rng(rng)
+        for name in self.touched_columns:
+            table.schema[name]  # validate early
+        self.prepare(table)
+        if self.eligible is not None:
+            candidates = np.array(
+                [i for i in range(table.n_rows) if self.eligible(table.row(i))], dtype=int
+            )
+        else:
+            candidates = np.arange(table.n_rows)
+        report = InjectionReport.empty(table, self.description)
+        if candidates.size == 0:
+            return table.copy(), report
+        n_target = max(1, int(round(table.n_rows * self.fraction)))
+        chosen = generator.choice(candidates, size=min(n_target, candidates.size), replace=False)
+
+        columns = {name: table.column(name).copy() for name in self.touched_columns}
+        for row in chosen:
+            updates = self.transform(table.row(int(row)), generator)
+            unknown = set(updates) - set(self.touched_columns)
+            if unknown:
+                raise ValueError(f"transform modified undeclared columns: {sorted(unknown)}")
+            for name, value in updates.items():
+                columns[name][row] = value
+                report.cell_mask[row, table.schema.index_of(name)] = True
+        dirty = table.copy()
+        for name, values in columns.items():
+            dirty = dirty.with_column(name, values)
+        return dirty, report
+
+
+class CreditEmploymentBeforeBirthInjector(RowRuleConflictInjector):
+    """Conflicts-1 (Credit Card): employment longer than the lifetime.
+
+    Both ``DAYS_BIRTH`` and ``DAYS_EMPLOYED`` are negative day counts
+    ("days ago"). The corrupted ``DAYS_EMPLOYED`` magnitude exceeds the
+    *victim's own lifetime* but stays below the dataset's clean
+    ``DAYS_EMPLOYED`` maximum, so the marginal remains in range while the
+    pair is impossible — invisible to column-local range constraints.
+    Only sufficiently young applicants are eligible (their lifetime fits
+    under the clean employment maximum).
+    """
+
+    def __init__(self, fraction: float = 0.2) -> None:
+        self._max_employed_magnitude: float = float("inf")
+
+        def transform(row: dict, rng: np.random.Generator) -> dict:
+            lifetime = abs(row["DAYS_BIRTH"])
+            ceiling = min(1.4 * lifetime, self._max_employed_magnitude)
+            magnitude = rng.uniform(1.02 * lifetime, max(ceiling, 1.03 * lifetime))
+            return {"DAYS_EMPLOYED": -round(magnitude)}
+
+        def eligible(row: dict) -> bool:
+            return abs(row["DAYS_BIRTH"]) * 1.02 < self._max_employed_magnitude
+
+        super().__init__(
+            transform,
+            touched_columns=["DAYS_EMPLOYED"],
+            fraction=fraction,
+            eligible=eligible,
+            description="credit conflict: employed before birth",
+        )
+
+    def prepare(self, table: Table) -> None:
+        # Conservative ceiling: the 99th percentile of the observed
+        # employment magnitudes. The table being corrupted is typically a
+        # *held-out* slice; its absolute maximum can exceed the range a
+        # validator learned from training data, which would let a plain
+        # range rule catch what must stay a purely relational conflict.
+        # q99 keeps every forced value well inside any training range
+        # while still exceeding the lifetimes of young applicants.
+        self._max_employed_magnitude = float(
+            np.quantile(np.abs(table.column("DAYS_EMPLOYED")), 0.99)
+        )
+
+
+class CreditIncomeEducationConflictInjector(RowRuleConflictInjector):
+    """Conflicts-2 (Credit Card): advanced degree + advanced occupation,
+    yet an income far below what that combination ever earns.
+
+    The forced income is drawn from the *bottom of the clean income
+    range* (still a legal value for, say, students), so only the joint
+    distribution betrays the error.
+    """
+
+    ADVANCED_EDUCATION = ("Higher education", "Academic degree")
+    ADVANCED_OCCUPATION = ("Managers", "High skill tech staff", "IT staff")
+
+    def __init__(self, fraction: float = 0.2, forced_income: tuple[float, float] = (15_000.0, 30_000.0)) -> None:
+        low, high = forced_income
+
+        def transform(row: dict, rng: np.random.Generator) -> dict:
+            return {
+                "NAME_EDUCATION_TYPE": str(rng.choice(self.ADVANCED_EDUCATION)),
+                "OCCUPATION_TYPE": str(rng.choice(self.ADVANCED_OCCUPATION)),
+                "AMT_INCOME_TOTAL": float(rng.uniform(low, high)),
+            }
+
+        super().__init__(
+            transform,
+            touched_columns=["NAME_EDUCATION_TYPE", "OCCUPATION_TYPE", "AMT_INCOME_TOTAL"],
+            fraction=fraction,
+            description="credit conflict: elite education/occupation with minimal income",
+        )
+
+
+class HotelGroupConflictInjector(RowRuleConflictInjector):
+    """Hotel Booking hidden error: 'Group' bookings with zero adults and
+    more than zero babies — babies cannot travel alone."""
+
+    def __init__(self, fraction: float = 0.2) -> None:
+        def transform(row: dict, rng: np.random.Generator) -> dict:
+            return {
+                "customer_type": "Group",
+                "adults": 0.0,
+                "babies": float(rng.integers(1, 3)),
+            }
+
+        super().__init__(
+            transform,
+            touched_columns=["customer_type", "adults", "babies"],
+            fraction=fraction,
+            description="hotel conflict: group booking of unaccompanied babies",
+        )

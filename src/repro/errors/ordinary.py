@@ -1,0 +1,132 @@
+"""The paper's three ordinary error types (§4.1.2).
+
+Each injector targets a configurable set of columns and corrupts a
+fraction (default 20%, per the paper) of the values in each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors.base import ErrorInjector, InjectionReport, select_rows
+from repro.errors.qwerty import qwerty_typo
+from repro.exceptions import SchemaError
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["MissingValueInjector", "NumericAnomalyInjector", "StringTypoInjector"]
+
+
+class _ColumnTargetedInjector(ErrorInjector):
+    """Shared plumbing: validate targets, loop columns, build the report."""
+
+    def __init__(self, columns: list[str], fraction: float = 0.2) -> None:
+        if not columns:
+            raise ValueError("at least one target column required")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.columns = list(columns)
+        self.fraction = fraction
+
+    def inject(self, table: Table, rng: int | np.random.Generator | None = None) -> tuple[Table, InjectionReport]:
+        generator = ensure_rng(rng)
+        self._validate_targets(table)
+        dirty = table.copy()
+        report = InjectionReport.empty(table, self.description)
+        for name in self.columns:
+            column_rng = derive_rng(generator, self.description, name)
+            rows = select_rows(table.n_rows, self.fraction, column_rng)
+            if rows.size == 0:
+                continue
+            corrupted = self._corrupt(dirty.column(name).copy(), rows, table, name, column_rng)
+            dirty = dirty.with_column(name, corrupted)
+            report.cell_mask[rows, table.schema.index_of(name)] = True
+        return dirty, report
+
+    def _validate_targets(self, table: Table) -> None:
+        for name in self.columns:
+            table.schema[name]  # raises SchemaError when unknown
+
+    def _corrupt(
+        self,
+        values: np.ndarray,
+        rows: np.ndarray,
+        table: Table,
+        name: str,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MissingValueInjector(_ColumnTargetedInjector):
+    """Empty cells "due to collection or integration errors"."""
+
+    description = "missing values"
+
+    def _corrupt(self, values, rows, table, name, rng):
+        if table.schema[name].is_numeric:
+            values[rows] = np.nan
+        else:
+            for row in rows:
+                values[row] = None
+        return values
+
+
+class NumericAnomalyInjector(_ColumnTargetedInjector):
+    """Out-of-range values from "sensor malfunctions or scaling issues".
+
+    Each corrupted cell gets one of two treatments, mirroring the two
+    causes the paper names:
+
+    * scaling issue — value multiplied by ``scale_factor`` (default 100);
+    * sensor malfunction — value replaced by a draw far outside the
+      column's observed range.
+    """
+
+    description = "numeric anomalies"
+
+    def __init__(
+        self,
+        columns: list[str],
+        fraction: float = 0.2,
+        scale_factor: float = 100.0,
+        out_of_range_sigma: float = 10.0,
+    ) -> None:
+        super().__init__(columns, fraction)
+        self.scale_factor = scale_factor
+        self.out_of_range_sigma = out_of_range_sigma
+
+    def _validate_targets(self, table: Table) -> None:
+        super()._validate_targets(table)
+        non_numeric = [n for n in self.columns if not table.schema[n].is_numeric]
+        if non_numeric:
+            raise SchemaError(f"numeric anomalies require numeric columns, got {non_numeric}")
+
+    def _corrupt(self, values, rows, table, name, rng):
+        finite = values[np.isfinite(values)]
+        center = float(finite.mean()) if finite.size else 0.0
+        spread = float(finite.std()) if finite.size else 1.0
+        spread = spread if spread > 0 else max(abs(center), 1.0)
+        use_scaling = rng.random(rows.size) < 0.5
+        scaled = values[rows] * self.scale_factor
+        shifted = center + np.sign(rng.normal(size=rows.size)) * self.out_of_range_sigma * spread
+        values[rows] = np.where(use_scaling, scaled, shifted)
+        return values
+
+
+class StringTypoInjector(_ColumnTargetedInjector):
+    """Spelling errors via neighboring QWERTY keys."""
+
+    description = "string typos"
+
+    def _validate_targets(self, table: Table) -> None:
+        super()._validate_targets(table)
+        non_categorical = [n for n in self.columns if not table.schema[n].is_categorical]
+        if non_categorical:
+            raise SchemaError(f"string typos require categorical columns, got {non_categorical}")
+
+    def _corrupt(self, values, rows, table, name, rng):
+        for row in rows:
+            if values[row] is not None:
+                values[row] = qwerty_typo(values[row], rng)
+        return values

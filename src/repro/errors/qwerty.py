@@ -1,0 +1,53 @@
+"""QWERTY-keyboard typo model (paper §4.1.2).
+
+String typos are "simulated by randomly replacing letters with
+neighboring keys on a qwerty keyboard".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QWERTY_NEIGHBORS", "qwerty_typo"]
+
+_ROWS = ["qwertyuiop", "asdfghjkl", "zxcvbnm"]
+
+
+def _build_neighbors() -> dict[str, str]:
+    neighbors: dict[str, set[str]] = {}
+    for r, row in enumerate(_ROWS):
+        for c, char in enumerate(row):
+            adjacent = neighbors.setdefault(char, set())
+            if c > 0:
+                adjacent.add(row[c - 1])
+            if c < len(row) - 1:
+                adjacent.add(row[c + 1])
+            for other_r in (r - 1, r + 1):
+                if 0 <= other_r < len(_ROWS):
+                    other_row = _ROWS[other_r]
+                    for cc in (c - 1, c, c + 1):
+                        if 0 <= cc < len(other_row):
+                            adjacent.add(other_row[cc])
+    return {char: "".join(sorted(adj)) for char, adj in neighbors.items()}
+
+
+QWERTY_NEIGHBORS: dict[str, str] = _build_neighbors()
+
+
+def qwerty_typo(text: str, rng: np.random.Generator) -> str:
+    """Replace one random letter of ``text`` with a keyboard neighbor.
+
+    Case is preserved. Strings without any mappable letter get a
+    neighbor-key character appended instead, so the output always
+    differs from the input.
+    """
+    candidates = [i for i, ch in enumerate(text) if ch.lower() in QWERTY_NEIGHBORS]
+    if not candidates:
+        return text + "q"
+    position = int(rng.choice(candidates))
+    original = text[position]
+    neighbors = QWERTY_NEIGHBORS[original.lower()]
+    replacement = neighbors[int(rng.integers(len(neighbors)))]
+    if original.isupper():
+        replacement = replacement.upper()
+    return text[:position] + replacement + text[position + 1 :]

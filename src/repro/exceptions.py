@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by library code derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries while still being able
+to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SchemaError(ReproError):
+    """A table does not conform to the expected :class:`TableSchema`."""
+
+
+class NotFittedError(ReproError):
+    """A stateful component was used before ``fit`` was called."""
+
+
+class GraphConstructionError(ReproError):
+    """The feature graph could not be constructed or validated."""
+
+
+class TrainingError(ReproError):
+    """Model training failed (diverged, empty data, bad configuration)."""
+
+
+class ValidationError(ReproError):
+    """Data-quality validation could not be performed."""
+
+
+class RepairError(ReproError):
+    """Repair-suggestion generation failed."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SerializationError(ReproError):
+    """Model or state (de)serialization failed."""

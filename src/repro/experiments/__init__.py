@@ -1,0 +1,60 @@
+"""Experiment harness: one module per paper table/figure (§4)."""
+
+from repro.experiments.harness import (
+    DataSplits,
+    ExperimentScale,
+    METHOD_ORDER,
+    fit_baselines,
+    fit_dquag,
+    prepare_splits,
+    resolve_scale,
+    run_detection,
+)
+from repro.experiments.cache import clear_cache, get_pipeline, get_splits
+from repro.experiments.reporting import ResultTable
+from repro.experiments.synthetic import PAPER_TABLE1, Table1Result, run_table1
+from repro.experiments.realworld import PAPER_FIGURE3, Figure3Result, run_figure3
+from repro.experiments.encoders import ENCODER_ORDER, PAPER_TABLE2, Table2Result, run_table2
+from repro.experiments.scalability import Figure4Result, run_figure4
+from repro.experiments.sample_size import PAPER_TABLE3, Table3Result, run_table3
+from repro.experiments.repair_eval import PAPER_REPAIR, RepairEvalResult, run_repair_eval
+from repro.experiments.ablations import AblationResult, AblationRow, run_ablations
+from repro.experiments.row_detection import RowDetectionResult, run_row_detection
+
+__all__ = [
+    "DataSplits",
+    "ExperimentScale",
+    "METHOD_ORDER",
+    "fit_baselines",
+    "fit_dquag",
+    "prepare_splits",
+    "resolve_scale",
+    "run_detection",
+    "clear_cache",
+    "get_pipeline",
+    "get_splits",
+    "ResultTable",
+    "PAPER_TABLE1",
+    "Table1Result",
+    "run_table1",
+    "PAPER_FIGURE3",
+    "Figure3Result",
+    "run_figure3",
+    "ENCODER_ORDER",
+    "PAPER_TABLE2",
+    "Table2Result",
+    "run_table2",
+    "Figure4Result",
+    "run_figure4",
+    "PAPER_TABLE3",
+    "Table3Result",
+    "run_table3",
+    "PAPER_REPAIR",
+    "RepairEvalResult",
+    "run_repair_eval",
+    "AblationResult",
+    "AblationRow",
+    "run_ablations",
+    "RowDetectionResult",
+    "run_row_detection",
+]

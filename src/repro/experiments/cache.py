@@ -1,0 +1,101 @@
+"""Process-wide and on-disk memoization of expensive experiment artifacts.
+
+Several experiments (Table 1, Figure 3, Table 3, §4.6) need the same
+trained pipelines and data splits; training a GNN on the CPU autograd
+substrate is the dominant cost, so fitted pipelines are cached twice:
+
+* in-process, keyed by (dataset, scale, seed, architecture);
+* on disk (``.repro_cache/`` in the repo root, or ``$REPRO_CACHE_DIR``),
+  as model archives — a fresh process reloads weights instead of
+  retraining. Data splits regenerate deterministically from the seed, so
+  only weights + calibration need persisting.
+
+Disable the disk layer with ``REPRO_NO_DISK_CACHE=1`` (tests that check
+training behavior do this).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import DQuaG
+from repro.exceptions import ReproError
+from repro.experiments.harness import DataSplits, ExperimentScale, fit_dquag, prepare_splits
+from repro.utils.logging import get_logger
+
+__all__ = ["get_splits", "get_pipeline", "clear_cache", "disk_cache_dir"]
+
+logger = get_logger("experiments.cache")
+
+#: bump when model/preprocessing semantics change — stale weight archives
+#: trained under different encodings must never be reused.
+CACHE_VERSION = 2
+
+_SPLITS: dict[tuple, DataSplits] = {}
+_PIPELINES: dict[tuple, DQuaG] = {}
+
+
+def disk_cache_dir() -> Path | None:
+    """Resolve the on-disk cache directory (None when disabled)."""
+    if os.environ.get("REPRO_NO_DISK_CACHE"):
+        return None
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def get_splits(dataset: str, scale: ExperimentScale, seed: int = 0) -> DataSplits:
+    key = (dataset, scale.name, seed)
+    if key not in _SPLITS:
+        _SPLITS[key] = prepare_splits(dataset, scale, seed=seed)
+    return _SPLITS[key]
+
+
+def get_pipeline(
+    dataset: str,
+    scale: ExperimentScale,
+    seed: int = 0,
+    architecture: str = "gat_gin",
+) -> DQuaG:
+    key = (dataset, scale.name, seed, architecture)
+    if key in _PIPELINES:
+        return _PIPELINES[key]
+
+    splits = get_splits(dataset, scale, seed)
+    cache_dir = disk_cache_dir()
+    archive = (
+        cache_dir / f"{dataset}-{scale.name}-s{seed}-{architecture}-v{CACHE_VERSION}.npz"
+        if cache_dir
+        else None
+    )
+
+    pipeline: DQuaG | None = None
+    if archive is not None and archive.exists():
+        try:
+            pipeline = DQuaG().load_weights(archive, splits.train)
+            logger.info("loaded cached pipeline %s", archive.name)
+        except (ReproError, KeyError, ValueError) as exc:
+            logger.warning("stale pipeline cache %s (%s); retraining", archive.name, exc)
+            pipeline = None
+
+    if pipeline is None:
+        logger.info("training DQuaG (%s, %s, seed=%d, %s)", dataset, scale.name, seed, architecture)
+        pipeline = fit_dquag(splits, scale, seed=seed, architecture=architecture)
+        if archive is not None:
+            archive.parent.mkdir(parents=True, exist_ok=True)
+            pipeline.save(archive)
+
+    _PIPELINES[key] = pipeline
+    return pipeline
+
+
+def clear_cache() -> None:
+    """Drop all in-process cached splits and pipelines (tests use this).
+
+    The disk layer is left untouched; remove ``.repro_cache/`` manually
+    or set ``REPRO_NO_DISK_CACHE=1`` to bypass it.
+    """
+    _SPLITS.clear()
+    _PIPELINES.clear()

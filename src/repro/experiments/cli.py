@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    repro-experiments table1 --scale fast
+    repro-experiments figure4 --seed 7
+    python -m repro.experiments.cli all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.encoders import run_table2
+from repro.experiments.row_detection import run_row_detection
+from repro.experiments.realworld import run_figure3
+from repro.experiments.repair_eval import run_repair_eval
+from repro.experiments.sample_size import run_table3
+from repro.experiments.scalability import run_figure4
+from repro.experiments.synthetic import run_table1
+from repro.utils.logging import configure_demo_logging
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "figure3": run_figure3,
+    "table2": run_table2,
+    "figure4": run_figure4,
+    "table3": run_table3,
+    "repair": run_repair_eval,
+    "ablations": run_ablations,
+    "rows": run_row_detection,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the DQuaG paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--scale", default=None, choices=["smoke", "fast", "standard", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
+    args = parser.parse_args(argv)
+
+    if args.verbose:
+        configure_demo_logging()
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Shared experiment infrastructure.
+
+Implements the paper's evaluation protocol (§4.2): split a dataset into
+train / calibration / evaluation parts, fit every method on the clean
+training data, draw N clean and N dirty batches (10% of the evaluation
+table each), and score each method's batch verdicts as binary
+classifications.
+
+Scales
+------
+Experiments run at one of four scales (env ``REPRO_SCALE`` or explicit):
+
+========  ======= ===== ====== ====== ======== =========
+scale     n_rows  train calib  epochs hidden   batches/side
+========  ======= ===== ====== ====== ======== =========
+smoke       1200    500   300     4     16        6
+fast        8000   2000  1500    12     32       15
+standard   16000   3000  2000    22     64       25
+full       20000   4000  2500    40     64       50
+========  ======= ===== ====== ====== ======== =========
+
+``full`` matches the paper's 50+50 batches and §4.4 hyperparameters;
+lower scales preserve every qualitative outcome at a fraction of the
+wall-clock (the substrate is a CPU autograd engine, not an A100).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import (
+    ADQVValidator,
+    BaselineValidator,
+    DeequValidator,
+    GateValidator,
+    TFDVValidator,
+)
+from repro.core import DQuaG, DQuaGConfig
+from repro.data.batching import sample_validation_batches
+from repro.data.table import Table
+from repro.datasets import get_generator
+from repro.metrics import BinaryMetrics, evaluate_predictions
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+
+__all__ = [
+    "ExperimentScale",
+    "resolve_scale",
+    "DataSplits",
+    "prepare_splits",
+    "fit_dquag",
+    "fit_baselines",
+    "run_detection",
+    "METHOD_ORDER",
+]
+
+logger = get_logger("experiments.harness")
+
+METHOD_ORDER = ["dquag", "adqv", "deequ_auto", "deequ_expert", "tfdv_auto", "tfdv_expert", "gate"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Resource envelope of one experiment run."""
+
+    name: str
+    n_rows: int
+    train_rows: int
+    calib_rows: int
+    epochs: int
+    hidden_dim: int
+    n_batches: int
+    batch_fraction: float = 0.1
+
+    @staticmethod
+    def smoke() -> "ExperimentScale":
+        return ExperimentScale("smoke", 1200, 500, 300, 4, 16, 6)
+
+    @staticmethod
+    def fast() -> "ExperimentScale":
+        return ExperimentScale("fast", 8000, 2000, 1500, 12, 32, 15)
+
+    @staticmethod
+    def standard() -> "ExperimentScale":
+        return ExperimentScale("standard", 16000, 3000, 2000, 22, 64, 25)
+
+    @staticmethod
+    def full() -> "ExperimentScale":
+        return ExperimentScale("full", 20000, 4000, 2500, 40, 64, 50)
+
+
+_SCALES = {
+    "smoke": ExperimentScale.smoke,
+    "fast": ExperimentScale.fast,
+    "standard": ExperimentScale.standard,
+    "full": ExperimentScale.full,
+}
+
+
+def resolve_scale(scale: "str | ExperimentScale | None" = None) -> ExperimentScale:
+    """Resolve a scale name / instance / the ``REPRO_SCALE`` env default."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    name = scale or os.environ.get("REPRO_SCALE", "standard")
+    try:
+        return _SCALES[name]()
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(_SCALES)}") from None
+
+
+@dataclass
+class DataSplits:
+    """Disjoint clean splits of one dataset plus protocol metadata."""
+
+    dataset: str
+    train: Table
+    calibration: Table
+    evaluation: Table
+    batch_size: int
+    knowledge_edges: list[tuple[str, str]]
+
+
+def prepare_splits(dataset: str, scale: ExperimentScale, seed: int = 0) -> DataSplits:
+    """Generate a dataset and cut the train/calibration/evaluation splits."""
+    generator = get_generator(dataset)
+    clean = generator.generate_clean(scale.n_rows, rng=ensure_rng(seed))
+    train = clean.take(np.arange(0, scale.train_rows))
+    calibration = clean.take(np.arange(scale.train_rows, scale.train_rows + scale.calib_rows))
+    evaluation = clean.take(np.arange(scale.train_rows + scale.calib_rows, clean.n_rows))
+    batch_size = max(1, int(round(evaluation.n_rows * scale.batch_fraction)))
+    return DataSplits(
+        dataset=dataset,
+        train=train,
+        calibration=calibration,
+        evaluation=evaluation,
+        batch_size=batch_size,
+        knowledge_edges=generator.knowledge_edges(),
+    )
+
+
+def fit_dquag(
+    splits: DataSplits,
+    scale: ExperimentScale,
+    seed: int = 0,
+    architecture: str = "gat_gin",
+) -> DQuaG:
+    """Fit the DQuaG pipeline at the given scale."""
+    config = DQuaGConfig(
+        architecture=architecture,
+        hidden_dim=scale.hidden_dim,
+        epochs=scale.epochs,
+        seed=seed,
+    )
+    pipeline = DQuaG(config)
+    pipeline.fit(
+        splits.train,
+        rng=seed,
+        knowledge_edges=splits.knowledge_edges,
+        calibration_table=splits.calibration,
+    )
+    return pipeline
+
+
+def fit_baselines(splits: DataSplits, seed: int = 0) -> dict[str, BaselineValidator]:
+    """Fit the six baseline configurations on the clean training data."""
+    methods: dict[str, BaselineValidator] = {
+        "deequ_auto": DeequValidator("auto"),
+        "deequ_expert": DeequValidator("expert"),
+        "tfdv_auto": TFDVValidator("auto"),
+        "tfdv_expert": TFDVValidator("expert"),
+        "adqv": ADQVValidator(reference_batch_size=splits.batch_size),
+        "gate": GateValidator(reference_batch_size=splits.batch_size),
+    }
+    seeds = spawn_seeds(seed, len(methods))
+    for method_seed, method in zip(seeds, methods.values()):
+        method.fit(splits.train, rng=method_seed)
+    return methods
+
+
+def run_detection(
+    methods: dict[str, BaselineValidator],
+    clean_table: Table,
+    dirty_table: Table,
+    n_batches: int,
+    batch_size: int,
+    seed: int = 0,
+) -> dict[str, BinaryMetrics]:
+    """The §4.2 protocol: N clean + N dirty batches, scored per method."""
+    generator = ensure_rng(seed)
+    clean_batches = sample_validation_batches(
+        clean_table, n_batches, size=min(batch_size, clean_table.n_rows), rng=derive_rng(generator, "clean")
+    )
+    dirty_batches = sample_validation_batches(
+        dirty_table, n_batches, size=min(batch_size, dirty_table.n_rows), rng=derive_rng(generator, "dirty")
+    )
+    batches = clean_batches + dirty_batches
+    labels = [False] * len(clean_batches) + [True] * len(dirty_batches)
+
+    results: dict[str, BinaryMetrics] = {}
+    for name, method in methods.items():
+        predictions = [method.validate_batch(batch).is_problematic for batch in batches]
+        results[name] = evaluate_predictions(labels, predictions)
+        logger.debug("%s: acc=%.3f recall=%.3f", name, results[name].accuracy, results[name].recall)
+    return results

@@ -1,0 +1,91 @@
+"""§4.6 — data-repair evaluation on Airbnb and Bicycle.
+
+Protocol: validate the dirty dataset (error rate = flagged-row
+fraction), apply repair-decoder suggestions to flagged cells, re-validate
+the repaired dataset, and compare against the clean dataset's own rate.
+The paper reports Airbnb 10.52% → 4.97% (clean: 4.95%) and Bicycle
+21.11% → 2.75%, with the repaired data classified clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import get_generator
+from repro.experiments.cache import get_pipeline, get_splits
+from repro.experiments.harness import ExperimentScale, resolve_scale
+from repro.experiments.reporting import ResultTable
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["RepairOutcome", "RepairEvalResult", "run_repair_eval", "PAPER_REPAIR"]
+
+# Paper §4.6: (dirty %, repaired %, clean reference %).
+PAPER_REPAIR = {
+    "airbnb": (10.52, 4.97, 4.95),
+    "bicycle": (21.11, 2.75, None),
+}
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    dataset: str
+    dirty_error_rate: float
+    repaired_error_rate: float
+    clean_error_rate: float
+    repaired_classified_clean: bool
+    n_cells_repaired: int
+
+
+@dataclass
+class RepairEvalResult:
+    scale_name: str
+    outcomes: dict[str, RepairOutcome] = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = ResultTable(
+            f"§4.6 — repair evaluation (scale={self.scale_name})",
+            ["dataset", "dirty %", "repaired %", "clean %", "classified clean", "cells repaired"],
+        )
+        for dataset, outcome in sorted(self.outcomes.items()):
+            table.add_row(
+                dataset,
+                100.0 * outcome.dirty_error_rate,
+                100.0 * outcome.repaired_error_rate,
+                100.0 * outcome.clean_error_rate,
+                "yes" if outcome.repaired_classified_clean else "no",
+                outcome.n_cells_repaired,
+            )
+        table.add_note("paper: Airbnb 10.52% → 4.97% (clean 4.95%); Bicycle 21.11% → 2.75%; repaired data classified clean")
+        return table.render()
+
+
+def run_repair_eval(
+    scale: "str | ExperimentScale | None" = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("airbnb", "bicycle"),
+    repair_iterations: int = 3,
+) -> RepairEvalResult:
+    """Run the repair experiment on the real-world-error datasets."""
+    scale = resolve_scale(scale)
+    result = RepairEvalResult(scale_name=scale.name)
+    for dataset in datasets:
+        splits = get_splits(dataset, scale, seed)
+        pipeline = get_pipeline(dataset, scale, seed)
+        dirty, _ = get_generator(dataset).generate_dirty(
+            splits.evaluation, rng=derive_rng(ensure_rng(seed), dataset, "repair-dirty")
+        )
+
+        clean_report = pipeline.validate(splits.evaluation)
+        dirty_report = pipeline.validate(dirty)
+        repaired, summary = pipeline.repair(dirty, dirty_report, iterations=repair_iterations)
+        repaired_report = pipeline.validate(repaired)
+
+        result.outcomes[dataset] = RepairOutcome(
+            dataset=dataset,
+            dirty_error_rate=dirty_report.flagged_fraction,
+            repaired_error_rate=repaired_report.flagged_fraction,
+            clean_error_rate=clean_report.flagged_fraction,
+            repaired_classified_clean=not repaired_report.is_problematic,
+            n_cells_repaired=summary.n_cells_repaired,
+        )
+    return result

@@ -1,0 +1,56 @@
+"""ASCII reporting for experiment results (paper-vs-measured tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A printable result table with a title and column headers."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def _formatted_cells(self) -> list[list[str]]:
+        formatted = []
+        for row in self.rows:
+            cells = []
+            for value in row:
+                if isinstance(value, float):
+                    cells.append(f"{value:.3f}")
+                else:
+                    cells.append(str(value))
+            formatted.append(cells)
+        return formatted
+
+    def render(self) -> str:
+        cells = self._formatted_cells()
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(items: list[str]) -> str:
+            return "  ".join(item.ljust(width) for item, width in zip(items, widths)).rstrip()
+
+        parts = [self.title, "=" * len(self.title), line(self.headers), line(["-" * w for w in widths])]
+        parts.extend(line(row) for row in cells)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,140 @@
+"""Figure 4 — scalability of validation time (§4.5).
+
+Validation time of a trained DQuaG pipeline on the New York Taxi data,
+sweeping the number of rows at 5 / 10 / 18 feature dimensions. The
+paper's claim is *linear* scaling in both rows and dimensionality; the
+result object fits a least-squares line per dimension and reports R².
+
+Row counts default to {10k, 50k, 100k, 200k}; set ``REPRO_FULL_SCALE=1``
+to extend to the paper's 10⁶ (CPU minutes, not hours).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.datasets import TaxiGenerator
+from repro.experiments.harness import ExperimentScale, resolve_scale
+from repro.experiments.reporting import ResultTable
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+__all__ = ["Figure4Result", "run_figure4", "DEFAULT_ROW_COUNTS"]
+
+DEFAULT_ROW_COUNTS = (10_000, 50_000, 100_000, 200_000)
+FULL_SCALE_ROW_COUNTS = (10_000, 100_000, 250_000, 500_000, 1_000_000)
+
+
+@dataclass
+class Figure4Result:
+    scale_name: str
+    # (n_dims, n_rows) -> seconds
+    timings: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def seconds(self, n_dims: int, n_rows: int) -> float:
+        return self.timings[(n_dims, n_rows)]
+
+    def linearity_r2(self, n_dims: int) -> float:
+        """R² of a rows→seconds linear fit for one dimensionality."""
+        points = sorted((rows, secs) for (dims, rows), secs in self.timings.items() if dims == n_dims)
+        if len(points) < 3:
+            raise ValueError(f"need >= 3 row counts for a fit, have {len(points)}")
+        x = np.array([p[0] for p in points], dtype=float)
+        y = np.array([p[1] for p in points], dtype=float)
+        slope, intercept = np.polyfit(x, y, 1)
+        predicted = slope * x + intercept
+        residual = ((y - predicted) ** 2).sum()
+        total = ((y - y.mean()) ** 2).sum()
+        return 1.0 - residual / total if total > 0 else 1.0
+
+    def render(self) -> str:
+        table = ResultTable(
+            f"Figure 4 — validation time vs data size (scale={self.scale_name})",
+            ["dims", "rows", "seconds"],
+        )
+        for (dims, rows), secs in sorted(self.timings.items()):
+            table.add_row(dims, rows, secs)
+        dims_list = sorted({d for d, _ in self.timings})
+        for dims in dims_list:
+            try:
+                table.add_note(f"{dims} dims: linear-fit R² = {self.linearity_r2(dims):.4f}")
+            except ValueError:
+                pass
+        table.add_note("paper: time grows linearly in rows and dimensionality (~10 min at 10⁶ rows on an A100)")
+        return table.render()
+
+
+def run_figure4(
+    scale: "str | ExperimentScale | None" = None,
+    seed: int = 0,
+    dimensions: tuple[int, ...] = (5, 10, 18),
+    row_counts: tuple[int, ...] | None = None,
+) -> Figure4Result:
+    """Train per-dimension pipelines and time validation at each size."""
+    scale = resolve_scale(scale)
+    if row_counts is None:
+        if os.environ.get("REPRO_FULL_SCALE"):
+            row_counts = FULL_SCALE_ROW_COUNTS
+        elif scale.name == "smoke":
+            row_counts = (1_000, 3_000, 6_000, 10_000)
+        else:
+            row_counts = DEFAULT_ROW_COUNTS
+
+    generator = TaxiGenerator()
+    subsets = TaxiGenerator.dimension_subsets()
+    max_rows = max(row_counts)
+    full_table = generator.generate_clean(max_rows, rng=ensure_rng(seed))
+    train_full = generator.generate_clean(scale.train_rows, rng=ensure_rng(seed + 1))
+
+    result = Figure4Result(scale_name=scale.name)
+    for dims in dimensions:
+        if dims not in subsets:
+            raise ValueError(f"no column subset for {dims} dims; have {sorted(subsets)}")
+        columns = subsets[dims]
+        train = train_full.select(columns)
+        evaluation = full_table.select(columns)
+        config = DQuaGConfig(hidden_dim=scale.hidden_dim, epochs=scale.epochs, seed=seed)
+        pipeline = _fit_cached(dims, scale, seed, config, train, generator, columns)
+        # One warm-up pass so first-touch allocation noise stays out of timings.
+        pipeline.validate(evaluation.head(min(1000, max_rows)))
+        for rows in row_counts:
+            subset = evaluation.head(rows)
+            best = float("inf")
+            for _ in range(2):  # best-of-2 damps allocator/GC noise
+                with Timer() as timer:
+                    pipeline.validate(subset)
+                best = min(best, timer.elapsed)
+            result.timings[(dims, rows)] = best
+    return result
+
+
+def _subset_edges(generator: TaxiGenerator, columns: list[str]) -> list[tuple[str, str]]:
+    keep = set(columns)
+    return [(a, b) for a, b in generator.knowledge_edges() if a in keep and b in keep]
+
+
+def _fit_cached(dims, scale, seed, config, train, generator, columns) -> DQuaG:
+    """Fit (or reload) the per-dimension pipeline via the experiment disk
+    cache — training is not what Figure 4 measures."""
+    from repro.experiments.cache import CACHE_VERSION, disk_cache_dir
+
+    cache_dir = disk_cache_dir()
+    archive = (
+        cache_dir / f"taxi{dims}d-{scale.name}-s{seed}-figure4-v{CACHE_VERSION}.npz"
+        if cache_dir
+        else None
+    )
+    if archive is not None and archive.exists():
+        try:
+            return DQuaG().load_weights(archive, train)
+        except Exception:  # stale or corrupt archive — retrain below
+            pass
+    pipeline = DQuaG(config).fit(train, rng=seed, knowledge_edges=_subset_edges(generator, columns))
+    if archive is not None:
+        archive.parent.mkdir(parents=True, exist_ok=True)
+        pipeline.save(archive)
+    return pipeline

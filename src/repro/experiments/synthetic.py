@@ -1,0 +1,162 @@
+"""Table 1 — synthetic-error detection on Hotel Booking and Credit Card.
+
+For each dataset, four dirty scenarios are generated from the clean
+evaluation split (§4.1.2):
+
+* ``N`` — numeric anomalies, ``S`` — string typos, ``M`` — missing
+  values (20% of one selected attribute each);
+* hidden conflicts — the dataset's logical-conflict injector(s).
+
+Every method (7 configurations) is fitted on the clean training split
+and scored on N clean + N dirty batches per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.table import Table
+from repro.errors import (
+    CreditEmploymentBeforeBirthInjector,
+    CreditIncomeEducationConflictInjector,
+    ErrorInjector,
+    HotelGroupConflictInjector,
+    MissingValueInjector,
+    NumericAnomalyInjector,
+    StringTypoInjector,
+)
+from repro.experiments.cache import get_pipeline, get_splits
+from repro.experiments.harness import (
+    ExperimentScale,
+    fit_baselines,
+    resolve_scale,
+    run_detection,
+)
+from repro.experiments.reporting import ResultTable
+from repro.metrics import BinaryMetrics
+
+__all__ = ["SYNTHETIC_SCENARIOS", "Table1Result", "run_table1", "PAPER_TABLE1"]
+
+
+def _hotel_scenarios() -> dict[str, ErrorInjector]:
+    # N targets ``adults`` — a small-int column whose inferred TFDV schema
+    # carries bounds, matching the paper's "TFDV auto catches Hotel N"
+    # asymmetry (Credit's N targets the unbounded float income instead).
+    return {
+        "N": NumericAnomalyInjector(["adults"], fraction=0.2),
+        "S": StringTypoInjector(["meal"], fraction=0.2),
+        "M": MissingValueInjector(["adr"], fraction=0.2),
+        "Conflicts": HotelGroupConflictInjector(fraction=0.2),
+    }
+
+
+def _credit_scenarios() -> dict[str, ErrorInjector]:
+    return {
+        "N": NumericAnomalyInjector(["AMT_INCOME_TOTAL"], fraction=0.2),
+        "S": StringTypoInjector(["OCCUPATION_TYPE"], fraction=0.2),
+        "M": MissingValueInjector(["NAME_EDUCATION_TYPE"], fraction=0.2),
+        "Conflicts-1": CreditEmploymentBeforeBirthInjector(fraction=0.2),
+        "Conflicts-2": CreditIncomeEducationConflictInjector(fraction=0.2),
+    }
+
+
+SYNTHETIC_SCENARIOS = {
+    "hotel": _hotel_scenarios,
+    "credit": _credit_scenarios,
+}
+
+# Paper Table 1 values for the scenarios we reproduce (accuracy, recall).
+PAPER_TABLE1 = {
+    ("hotel", "N,S,M", "deequ_auto"): (0.530, 1.0),
+    ("hotel", "N,S,M", "deequ_expert"): (1.0, 1.0),
+    ("hotel", "N,S,M", "tfdv_auto"): (1.0, 1.0),
+    ("hotel", "N,S,M", "tfdv_expert"): (1.0, 1.0),
+    ("hotel", "N,S,M", "adqv"): (0.963, 1.0),
+    ("hotel", "N,S,M", "dquag"): (1.0, 1.0),
+    ("hotel", "Conflicts", "deequ_expert"): (0.5, 0.0),
+    ("hotel", "Conflicts", "tfdv_expert"): (0.5, 0.0),
+    ("hotel", "Conflicts", "adqv"): (0.970, 1.0),
+    ("hotel", "Conflicts", "gate"): (0.820, 0.640),
+    ("hotel", "Conflicts", "dquag"): (1.0, 1.0),
+    ("credit", "N,S,M", "deequ_auto"): (0.550, 1.0),
+    ("credit", "N,S,M", "deequ_expert"): (0.970, 1.0),
+    ("credit", "N", "tfdv_auto"): (0.5, 0.0),
+    ("credit", "S,M", "tfdv_auto"): (1.0, 1.0),
+    ("credit", "N,S,M", "tfdv_expert"): (1.0, 1.0),
+    ("credit", "N,S,M", "adqv"): (0.960, 1.0),
+    ("credit", "N,S,M", "gate"): (0.510, 1.0),
+    ("credit", "N,S,M", "dquag"): (1.0, 1.0),
+    ("credit", "Conflicts-1", "deequ_expert"): (0.5, 0.0),
+    ("credit", "Conflicts-1", "tfdv_expert"): (0.5, 0.0),
+    ("credit", "Conflicts-1", "adqv"): (0.5, 1.0),
+    ("credit", "Conflicts-1", "gate"): (0.510, 1.0),
+    ("credit", "Conflicts-1", "dquag"): (1.0, 1.0),
+    ("credit", "Conflicts-2", "deequ_expert"): (0.5, 0.0),
+    ("credit", "Conflicts-2", "tfdv_expert"): (0.5, 0.0),
+    ("credit", "Conflicts-2", "adqv"): (0.960, 1.0),
+    ("credit", "Conflicts-2", "gate"): (0.560, 1.0),
+    ("credit", "Conflicts-2", "dquag"): (1.0, 1.0),
+}
+
+
+@dataclass
+class Table1Result:
+    """All (dataset, scenario, method) metrics plus rendering."""
+
+    scale_name: str
+    metrics: dict[tuple[str, str, str], BinaryMetrics] = field(default_factory=dict)
+
+    def accuracy(self, dataset: str, scenario: str, method: str) -> float:
+        return self.metrics[(dataset, scenario, method)].accuracy
+
+    def recall(self, dataset: str, scenario: str, method: str) -> float:
+        return self.metrics[(dataset, scenario, method)].recall
+
+    def ordinary_average(self, dataset: str, method: str) -> tuple[float, float]:
+        """Mean accuracy/recall over the N, S, M scenarios (paper's '*' rows)."""
+        accs, recs = [], []
+        for scenario in ("N", "S", "M"):
+            metric = self.metrics[(dataset, scenario, method)]
+            accs.append(metric.accuracy)
+            recs.append(metric.recall)
+        return sum(accs) / len(accs), sum(recs) / len(recs)
+
+    def render(self) -> str:
+        table = ResultTable(
+            f"Table 1 — synthetic error detection (scale={self.scale_name})",
+            ["dataset", "errors", "method", "accuracy", "recall"],
+        )
+        for (dataset, scenario, method), metric in sorted(self.metrics.items()):
+            table.add_row(dataset, scenario, method, metric.accuracy, metric.recall)
+        table.add_note("paper: DQuaG = 1.0/1.0 everywhere; experts fail on conflicts (acc 0.5, recall 0)")
+        return table.render()
+
+
+def run_table1(
+    scale: "str | ExperimentScale | None" = None,
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("hotel", "credit"),
+    methods_subset: tuple[str, ...] | None = None,
+) -> Table1Result:
+    """Run the Table 1 experiment and return all metrics."""
+    scale = resolve_scale(scale)
+    result = Table1Result(scale_name=scale.name)
+    for dataset in datasets:
+        splits = get_splits(dataset, scale, seed)
+        methods = dict(fit_baselines(splits, seed=seed))
+        methods["dquag"] = get_pipeline(dataset, scale, seed)
+        if methods_subset is not None:
+            methods = {k: v for k, v in methods.items() if k in methods_subset}
+        for scenario_name, injector in SYNTHETIC_SCENARIOS[dataset]().items():
+            dirty, _ = injector.inject(splits.evaluation, rng=seed + 17)
+            metrics = run_detection(
+                methods,
+                clean_table=splits.evaluation,
+                dirty_table=dirty,
+                n_batches=scale.n_batches,
+                batch_size=splits.batch_size,
+                seed=seed + 29,
+            )
+            for method_name, metric in metrics.items():
+                result.metrics[(dataset, scenario_name, method_name)] = metric
+    return result

@@ -1,0 +1,28 @@
+"""GNN layers and encoder assembly for feature graphs."""
+
+from repro.gnn.context import GraphContext
+from repro.gnn.gcn import GCNConv
+from repro.gnn.gat import GATConv
+from repro.gnn.gin import GINConv
+from repro.gnn.graph2vec import Graph2VecEncoder, wl_subtree_signatures
+from repro.gnn.sage import SAGEConv
+from repro.gnn.encoder import (
+    ENCODER_ARCHITECTURES,
+    PAPER_ARCHITECTURES,
+    GNNEncoder,
+    build_encoder,
+)
+
+__all__ = [
+    "GraphContext",
+    "GCNConv",
+    "GATConv",
+    "GINConv",
+    "Graph2VecEncoder",
+    "wl_subtree_signatures",
+    "SAGEConv",
+    "ENCODER_ARCHITECTURES",
+    "PAPER_ARCHITECTURES",
+    "GNNEncoder",
+    "build_encoder",
+]

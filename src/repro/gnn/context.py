@@ -1,0 +1,42 @@
+"""Precomputed matrix views of a feature graph shared by all GNN layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.feature_graph import FeatureGraph
+
+__all__ = ["GraphContext"]
+
+
+@dataclass(frozen=True)
+class GraphContext:
+    """Dense adjacency views of one feature graph.
+
+    Attributes
+    ----------
+    adjacency:
+        (n, n) 0/1 matrix, no self-loops — GIN neighbor aggregation.
+    norm_adjacency:
+        D^{-1/2}(A+I)D^{-1/2} — GCN propagation.
+    attention_mask:
+        boolean (n, n) with self-loops — allowed GAT attention pairs.
+    """
+
+    adjacency: np.ndarray
+    norm_adjacency: np.ndarray
+    attention_mask: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @staticmethod
+    def from_feature_graph(graph: FeatureGraph) -> "GraphContext":
+        return GraphContext(
+            adjacency=graph.adjacency(self_loops=False),
+            norm_adjacency=graph.normalized_adjacency(),
+            attention_mask=graph.attention_mask(),
+        )

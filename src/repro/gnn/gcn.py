@@ -1,0 +1,44 @@
+"""Graph Convolutional Network layer (Kipf & Welling, 2017).
+
+Dense batched formulation: ``out = Â X W + b`` with
+``Â = D^{-1/2}(A+I)D^{-1/2}`` precomputed in :class:`GraphContext`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.context import GraphContext
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter, Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = ["GCNConv"]
+
+
+class GCNConv(Module):
+    """One GCN propagation layer over batched node features (B, N, d)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), generator), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        if x.shape[-2] != ctx.n_nodes:
+            raise ValueError(f"node axis {x.shape[-2]} != graph nodes {ctx.n_nodes}")
+        support = x @ self.weight
+        propagated = Tensor(ctx.norm_adjacency) @ support
+        return propagated + self.bias
+
+    def __repr__(self) -> str:
+        return f"GCNConv({self.in_features}, {self.out_features})"

@@ -1,0 +1,50 @@
+"""Graph Isomorphism Network layer (Xu et al., 2019).
+
+``h'_i = MLP((1 + ε) h_i + Σ_{j∈N(i)} h_j)`` with a learnable ε and a
+two-layer MLP, giving injective (multiset-distinguishing) aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.context import GraphContext
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter, Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = ["GINConv"]
+
+
+class GINConv(Module):
+    """One GIN aggregation layer over batched node features (B, N, d)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        hidden_features: int | None = None,
+        train_eps: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        hidden_features = hidden_features or out_features
+        self.in_features = in_features
+        self.out_features = out_features
+        self.train_eps = train_eps
+        self.eps = Parameter(np.zeros(()), name="eps")
+        if not train_eps:
+            self.eps.requires_grad = False
+        self.mlp = MLP([in_features, hidden_features, out_features], activation="relu", rng=generator)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        if x.shape[-2] != ctx.n_nodes:
+            raise ValueError(f"node axis {x.shape[-2]} != graph nodes {ctx.n_nodes}")
+        neighbor_sum = Tensor(ctx.adjacency) @ x
+        combined = x * (self.eps + 1.0) + neighbor_sum
+        return self.mlp(combined)
+
+    def __repr__(self) -> str:
+        return f"GINConv({self.in_features}, {self.out_features}, train_eps={self.train_eps})"

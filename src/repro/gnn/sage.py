@@ -1,0 +1,56 @@
+"""GraphSAGE layer (Hamilton, Ying & Leskovec, 2017) — extension encoder.
+
+Mean-aggregator variant: ``h'_i = W_self·h_i + W_neigh·mean_{j∈N(i)} h_j``.
+Not part of the paper's Table 2 ablation; provided as an additional
+architecture (``graphsage`` / ``sage_gin``) for users extending the
+encoder study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.context import GraphContext
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter, Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SAGEConv"]
+
+
+class SAGEConv(Module):
+    """GraphSAGE-mean over batched node features (B, N, d)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_self = Parameter(init.xavier_uniform((in_features, out_features), generator), name="weight_self")
+        self.weight_neigh = Parameter(init.xavier_uniform((in_features, out_features), generator), name="weight_neigh")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias")
+        self._mean_adjacency: np.ndarray | None = None
+        self._mean_adjacency_src: int | None = None
+
+    def _mean_adj(self, ctx: GraphContext) -> np.ndarray:
+        # Row-normalize the (cached) adjacency: mean over neighbors.
+        if self._mean_adjacency is None or self._mean_adjacency_src != id(ctx):
+            degree = ctx.adjacency.sum(axis=1, keepdims=True)
+            self._mean_adjacency = ctx.adjacency / np.maximum(degree, 1.0)
+            self._mean_adjacency_src = id(ctx)
+        return self._mean_adjacency
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        if x.shape[-2] != ctx.n_nodes:
+            raise ValueError(f"node axis {x.shape[-2]} != graph nodes {ctx.n_nodes}")
+        neighbor_mean = Tensor(self._mean_adj(ctx)) @ x
+        return x @ self.weight_self + neighbor_mean @ self.weight_neigh + self.bias
+
+    def __repr__(self) -> str:
+        return f"SAGEConv({self.in_features}, {self.out_features})"

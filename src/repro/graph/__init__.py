@@ -1,0 +1,38 @@
+"""Feature-graph construction (paper §3.1.1).
+
+Builds the knowledge-based feature graph G = (V, E) over table columns,
+either from pairwise association statistics or through the paper's
+LLM-prompt protocol with offline providers.
+"""
+
+from repro.graph.feature_graph import FeatureGraph
+from repro.graph.inference import (
+    AssociationScore,
+    StatisticalRelationshipInference,
+    correlation_ratio,
+    cramers_v,
+)
+from repro.graph.llm import (
+    FeatureGraphBuilder,
+    HybridProvider,
+    KnowledgeBaseProvider,
+    RelationshipProvider,
+    StatisticalProvider,
+    build_prompt,
+    parse_relationships_json,
+)
+
+__all__ = [
+    "FeatureGraph",
+    "AssociationScore",
+    "StatisticalRelationshipInference",
+    "correlation_ratio",
+    "cramers_v",
+    "FeatureGraphBuilder",
+    "HybridProvider",
+    "KnowledgeBaseProvider",
+    "RelationshipProvider",
+    "StatisticalProvider",
+    "build_prompt",
+    "parse_relationships_json",
+]

@@ -1,0 +1,16 @@
+"""Evaluation metrics."""
+
+from repro.metrics.classification import BinaryMetrics, evaluate_predictions
+from repro.metrics.quality import (
+    RowDetectionMetrics,
+    error_rate_reduction,
+    row_detection_metrics,
+)
+
+__all__ = [
+    "BinaryMetrics",
+    "evaluate_predictions",
+    "RowDetectionMetrics",
+    "error_rate_reduction",
+    "row_detection_metrics",
+]

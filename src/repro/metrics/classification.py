@@ -1,0 +1,67 @@
+"""Batch-classification metrics (accuracy/recall as reported in §4.2-4.3).
+
+The evaluation treats each batch as one binary classification: label 1 =
+batch drawn from the dirty dataset, prediction 1 = method said
+"problematic". Accuracy and recall over the 50+50 batch protocol are the
+paper's headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BinaryMetrics", "evaluate_predictions"]
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Confusion-matrix summary of batch-level predictions."""
+
+    accuracy: float
+    recall: float
+    precision: float
+    f1: float
+    true_positives: int
+    true_negatives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def n_total(self) -> int:
+        return self.true_positives + self.true_negatives + self.false_positives + self.false_negatives
+
+
+def evaluate_predictions(labels, predictions) -> BinaryMetrics:
+    """Compute metrics from parallel boolean sequences.
+
+    ``labels[i]`` — whether batch i truly came from dirty data;
+    ``predictions[i]`` — whether the method flagged it.
+    """
+    labels = np.asarray(labels, dtype=bool)
+    predictions = np.asarray(predictions, dtype=bool)
+    if labels.shape != predictions.shape:
+        raise ValueError(f"labels shape {labels.shape} != predictions shape {predictions.shape}")
+    if labels.size == 0:
+        raise ValueError("cannot evaluate zero predictions")
+
+    tp = int((labels & predictions).sum())
+    tn = int((~labels & ~predictions).sum())
+    fp = int((~labels & predictions).sum())
+    fn = int((labels & ~predictions).sum())
+
+    accuracy = (tp + tn) / labels.size
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return BinaryMetrics(
+        accuracy=accuracy,
+        recall=recall,
+        precision=precision,
+        f1=f1,
+        true_positives=tp,
+        true_negatives=tn,
+        false_positives=fp,
+        false_negatives=fn,
+    )

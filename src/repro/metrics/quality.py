@@ -1,0 +1,47 @@
+"""Data-quality and repair metrics (§4.6 and row/cell-level evaluation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RowDetectionMetrics", "row_detection_metrics", "error_rate_reduction"]
+
+
+@dataclass(frozen=True)
+class RowDetectionMetrics:
+    """Row-level detection quality against injection ground truth."""
+
+    precision: float
+    recall: float
+    f1: float
+    n_true_dirty: int
+    n_flagged: int
+
+
+def row_detection_metrics(true_dirty_rows: np.ndarray, flagged_rows: np.ndarray, n_rows: int) -> RowDetectionMetrics:
+    """Score flagged row indices against ground-truth dirty row indices."""
+    truth = np.zeros(n_rows, dtype=bool)
+    truth[np.asarray(true_dirty_rows, dtype=int)] = True
+    flags = np.zeros(n_rows, dtype=bool)
+    flags[np.asarray(flagged_rows, dtype=int)] = True
+
+    tp = int((truth & flags).sum())
+    precision = tp / flags.sum() if flags.any() else 0.0
+    recall = tp / truth.sum() if truth.any() else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return RowDetectionMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        n_true_dirty=int(truth.sum()),
+        n_flagged=int(flags.sum()),
+    )
+
+
+def error_rate_reduction(rate_before: float, rate_after: float) -> float:
+    """Relative reduction of the flagged-row rate achieved by repair (§4.6)."""
+    if rate_before <= 0:
+        return 0.0
+    return (rate_before - rate_after) / rate_before

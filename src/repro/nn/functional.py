@@ -1,0 +1,106 @@
+"""Stateless functional interface over :class:`repro.nn.tensor.Tensor`.
+
+Mirrors the subset of ``torch.nn.functional`` the GNN stack uses, plus the
+loss primitives of the paper (§3.1.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "dropout",
+    "mse_loss",
+    "weighted_mse_loss",
+    "masked_softmax",
+    "l2_regularization",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    return x.leaky_relu(negative_slope)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    return x.elu(alpha)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over all elements (the repair loss, §3.1.2)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def weighted_mse_loss(
+    prediction: Tensor,
+    target: Tensor | np.ndarray,
+    sample_weights: np.ndarray,
+) -> Tensor:
+    """Per-sample weighted MSE — the validation-decoder loss (§3.1.2).
+
+    ``sample_weights`` has shape ``(batch,)`` and is treated as a constant
+    (no gradient flows into the weighting scheme).
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target.detach()
+    per_sample = (diff * diff).mean(axis=tuple(range(1, prediction.ndim)))
+    weights = np.asarray(sample_weights, dtype=np.float64)
+    if weights.shape != per_sample.shape:
+        raise ValueError(f"weights shape {weights.shape} != per-sample loss shape {per_sample.shape}")
+    return (per_sample * Tensor(weights)).mean()
+
+
+def masked_softmax(scores: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax over ``axis`` restricted to positions where ``mask`` is true.
+
+    Used by GAT attention: disconnected feature pairs receive a large
+    negative additive bias before normalization.
+    """
+    bias = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
+    return (scores + Tensor(bias)).softmax(axis=axis)
+
+
+def l2_regularization(parameters, coefficient: float) -> Tensor:
+    """Sum of squared parameter norms scaled by ``coefficient``."""
+    total: Tensor | None = None
+    for param in parameters:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coefficient

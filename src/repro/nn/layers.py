@@ -1,0 +1,171 @@
+"""Core neural-network layers: Linear, MLP, Dropout, LayerNorm, Sequential."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter, Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Linear", "MLP", "Dropout", "LayerNorm", "Sequential", "Identity", "ACTIVATIONS"]
+
+ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": F.relu,
+    "leaky_relu": F.leaky_relu,
+    "elu": F.elu,
+    "sigmoid": F.sigmoid,
+    "tanh": F.tanh,
+    "identity": lambda x: x,
+}
+
+
+def resolve_activation(activation: str | Callable[[Tensor], Tensor]) -> Callable[[Tensor], Tensor]:
+    """Map an activation name to its function (callables pass through)."""
+    if callable(activation):
+        return activation
+    try:
+        return ACTIVATIONS[activation]
+    except KeyError:
+        raise ValueError(f"unknown activation {activation!r}; choose from {sorted(ACTIVATIONS)}") from None
+
+
+class Identity(Module):
+    """No-op module, useful as a placeholder."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` applied to the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(f"features must be positive, got ({in_features}, {out_features})")
+        generator = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), generator), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learnable scale/shift."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_shape), name="gamma")
+        self.beta = Parameter(np.zeros(normalized_shape), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (var + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for i, module in enumerate(modules):
+            self.register_module(f"layer{i}", module)
+            self._items.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    ``sizes = [in, h1, ..., out]``; the activation is applied between
+    layers (not after the last one unless ``final_activation`` is set).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation: str | Callable[[Tensor], Tensor] = "relu",
+        final_activation: str | Callable[[Tensor], Tensor] | None = None,
+        dropout: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError(f"MLP needs at least [in, out] sizes, got {list(sizes)}")
+        generator = ensure_rng(rng)
+        self.sizes = list(sizes)
+        self._activation = resolve_activation(activation)
+        self._final_activation = resolve_activation(final_activation) if final_activation else None
+        self._layers: list[Linear] = []
+        self._dropouts: list[Dropout | None] = []
+        for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layer = Linear(n_in, n_out, rng=generator)
+            self.register_module(f"linear{i}", layer)
+            self._layers.append(layer)
+            if dropout > 0.0 and i < len(sizes) - 2:
+                drop = Dropout(dropout, rng=generator)
+                self.register_module(f"dropout{i}", drop)
+                self._dropouts.append(drop)
+            else:
+                self._dropouts.append(None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self._layers) - 1
+        for i, layer in enumerate(self._layers):
+            x = layer(x)
+            if i < last:
+                x = self._activation(x)
+                if self._dropouts[i] is not None:
+                    x = self._dropouts[i](x)
+        if self._final_activation is not None:
+            x = self._final_activation(x)
+        return x

@@ -1,0 +1,99 @@
+"""Module base class with automatic parameter/submodule registration.
+
+A thin re-creation of ``torch.nn.Module``: assigning a
+:class:`~repro.nn.tensor.Parameter` or another :class:`Module` to an
+attribute registers it, ``parameters()`` walks the tree, and
+``state_dict``/``load_state_dict`` expose flat name→array mappings for
+serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for all neural-network components."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a submodule that is not a direct attribute (e.g. list items)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal --------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters in this module and its submodules."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- training state ----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # -- state dict ---------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of dotted parameter names to array copies."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} != {param.data.shape}")
+            param.data = value.copy()
+
+    # -- call protocol --------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

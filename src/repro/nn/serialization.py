@@ -1,0 +1,53 @@
+"""Save/load module state dicts as ``.npz`` archives with a JSON manifest."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.nn.module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_into_module"]
+
+_MANIFEST_KEY = "__manifest__"
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path, metadata: dict | None = None) -> None:
+    """Persist a flat name→array mapping (plus optional JSON metadata)."""
+    path = Path(path)
+    payload = dict(state)
+    manifest = {"names": sorted(state), "metadata": metadata or {}}
+    payload[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a state dict saved with :func:`save_state`; returns (state, metadata)."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such state file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise SerializationError(f"{path} is not a repro state archive (missing manifest)")
+        manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+        state = {name: archive[name] for name in manifest["names"]}
+    return state, manifest.get("metadata", {})
+
+
+def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> None:
+    """Persist a module's parameters."""
+    save_state(module.state_dict(), path, metadata=metadata)
+
+
+def load_into_module(module: Module, path: str | Path) -> dict:
+    """Load parameters into ``module`` in place; returns stored metadata."""
+    state, metadata = load_state(path)
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"state in {path} does not match module: {exc}") from exc
+    return metadata

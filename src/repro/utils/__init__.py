@@ -1,0 +1,7 @@
+"""Shared utilities: RNG management, logging, timing."""
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer
+
+__all__ = ["derive_rng", "ensure_rng", "spawn_seeds", "get_logger", "Timer"]

@@ -1,0 +1,36 @@
+"""Package-wide logging helpers.
+
+All modules obtain loggers through :func:`get_logger` so the package shares
+one namespace (``repro.*``) and applications can configure it in one place.
+The library itself never calls ``basicConfig``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("core.trainer")`` and ``get_logger("repro.core.trainer")``
+    resolve to the same logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_demo_logging(level: int = logging.INFO) -> None:
+    """Opt-in console logging used by the example scripts and the CLI."""
+    logger = logging.getLogger(_ROOT_NAME)
+    if logger.handlers:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)

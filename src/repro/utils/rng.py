@@ -1,0 +1,60 @@
+"""Deterministic random-number management.
+
+The library never touches NumPy's global RNG state.  Every stochastic
+component accepts either an integer seed or a ``numpy.random.Generator``
+and normalizes it through :func:`ensure_rng`.  Sub-streams for independent
+components are derived with :func:`derive_rng` / :func:`spawn_seeds` so
+that adding a consumer never perturbs the draws seen by another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``Generator`` for ``seed``.
+
+    ``None`` produces a fresh non-deterministic generator, an ``int`` a
+    seeded one, and an existing ``Generator`` is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(seed: int | np.random.Generator | None, *keys: object) -> np.random.Generator:
+    """Derive an independent generator keyed by ``keys``.
+
+    Deriving with the same (seed, keys) pair always yields the same
+    stream; different key tuples yield statistically independent streams.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Fork deterministically from the generator's own bit stream.
+        child_seed = int(seed.integers(0, 2**63 - 1))
+    elif seed is None:
+        child_seed = int(np.random.default_rng().integers(0, 2**63 - 1))
+    else:
+        child_seed = int(seed)
+    mix = np.random.SeedSequence([child_seed, _hash_keys(keys)])
+    return np.random.default_rng(mix)
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Produce ``count`` independent integer seeds derived from ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def _hash_keys(keys: tuple[object, ...]) -> int:
+    """Stable non-negative hash of a key tuple (independent of PYTHONHASHSEED)."""
+    acc = 1469598103934665603  # FNV-1a offset basis
+    for key in keys:
+        for byte in repr(key).encode("utf-8"):
+            acc ^= byte
+            acc = (acc * 1099511628211) % (2**63)
+    return acc

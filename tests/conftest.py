@@ -1,0 +1,33 @@
+"""Shared pytest fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+# Unit tests must never reuse weight archives trained by earlier code:
+# the experiment disk cache is for the benchmark/CLI workflows only.
+os.environ.setdefault("REPRO_NO_DISK_CACHE", "1")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def finite_difference_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad

@@ -1,0 +1,48 @@
+"""Smoke tests for the ablation experiment module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale, clear_cache, run_ablations
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablations(scale=ExperimentScale.smoke(), seed=0, n_batches=4)
+
+
+class TestAblations:
+    def test_all_three_ablations_present(self, result):
+        ablations = {row.ablation for row in result.rows}
+        assert ablations == {"loss weighting", "feature graph", "threshold percentile"}
+
+    def test_loss_weighting_variants(self, result):
+        variants = result.by_variant("loss weighting")
+        assert set(variants) == {"weighted (paper)", "unweighted"}
+
+    def test_graph_variants(self, result):
+        variants = result.by_variant("feature graph")
+        assert set(variants) == {"hybrid (paper)", "statistics only", "star (no inference)"}
+
+    def test_percentile_monotone_clean_rate(self, result):
+        variants = result.by_variant("threshold percentile")
+        assert variants["p90"].clean_flag_rate >= variants["p95"].clean_flag_rate
+        assert variants["p95"].clean_flag_rate >= variants["p99"].clean_flag_rate
+
+    def test_separation_is_rate_difference(self, result):
+        row = result.rows[0]
+        assert row.separation == pytest.approx(
+            100.0 * (row.dirty_flag_rate - row.clean_flag_rate)
+        )
+
+    def test_render(self, result):
+        rendered = result.render()
+        assert "Ablations" in rendered and "p95" in rendered

@@ -1,0 +1,248 @@
+"""Tests for the four baseline validators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ADQVValidator,
+    DeequValidator,
+    GateValidator,
+    TFDVValidator,
+    batch_statistics_vector,
+    histogram_distance,
+    partition_summary,
+    profile_table,
+)
+from repro.data import ColumnKind, ColumnSpec, Table, TableSchema
+from repro.errors import MissingValueInjector, NumericAnomalyInjector, StringTypoInjector
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+def make_table(n: int, seed: int, integral: bool = False) -> Table:
+    rng = np.random.default_rng(seed)
+    values = rng.normal(50.0, 10.0, n)
+    if integral:
+        values = np.round(values)
+    schema = TableSchema(
+        [
+            ColumnSpec("value", ColumnKind.NUMERIC),
+            ColumnSpec("count", ColumnKind.NUMERIC),
+            ColumnSpec("kind", ColumnKind.CATEGORICAL),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "value": values,
+            "count": rng.integers(0, 20, n).astype(float),
+            "kind": rng.choice(["red", "green", "blue"], n),
+        },
+    )
+
+
+@pytest.fixture
+def train() -> Table:
+    return make_table(2000, seed=0)
+
+
+@pytest.fixture
+def clean_batch() -> Table:
+    return make_table(300, seed=1)
+
+
+class TestProfiles:
+    def test_profile_numeric(self, train):
+        profiles = profile_table(train)
+        value = profiles["value"]
+        assert value.completeness == 1.0
+        assert value.minimum < value.mean < value.maximum
+        assert not value.is_integral  # continuous normals
+
+    def test_profile_integral_detection(self):
+        table = make_table(100, seed=0, integral=True)
+        assert profile_table(table)["value"].is_integral
+
+    def test_profile_categorical(self, train):
+        kind = profile_table(train)["kind"]
+        assert kind.domain == frozenset({"red", "green", "blue"})
+
+    def test_histogram_distance_zero_for_same_data(self, train):
+        profile = profile_table(train)["value"]
+        assert histogram_distance(profile, train["value"]) < 0.05
+
+    def test_histogram_distance_large_for_shift(self, train):
+        profile = profile_table(train)["value"]
+        assert histogram_distance(profile, train["value"] + 100.0) > 0.5
+
+
+class TestDeequ:
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            DeequValidator("hybrid")
+
+    def test_unfitted(self, clean_batch):
+        with pytest.raises(NotFittedError):
+            DeequValidator("auto").validate_batch(clean_batch)
+
+    def test_auto_overly_strict_on_clean(self, train):
+        # Auto profiles a 10% sample: held-out clean batches routinely
+        # carry values beyond the sample extremes -> false positives.
+        validator = DeequValidator("auto").fit(train, rng=0)
+        flags = [
+            validator.validate_batch(make_table(300, seed=s)).is_problematic for s in range(2, 22)
+        ]
+        assert np.mean(flags) > 0.5
+
+    def test_expert_accepts_clean(self, train):
+        validator = DeequValidator("expert").fit(train, rng=0)
+        flags = [
+            validator.validate_batch(make_table(300, seed=s)).is_problematic for s in range(2, 12)
+        ]
+        assert np.mean(flags) <= 0.1
+
+    def test_expert_catches_anomalies(self, train, clean_batch):
+        validator = DeequValidator("expert").fit(train, rng=0)
+        dirty, _ = NumericAnomalyInjector(["value"], fraction=0.2).inject(clean_batch, rng=3)
+        verdict = validator.validate_batch(dirty)
+        assert verdict.is_problematic
+        assert verdict.flagged_rows.size > 0
+
+    def test_expert_catches_typos_and_missing(self, train, clean_batch):
+        validator = DeequValidator("expert").fit(train, rng=0)
+        typos, _ = StringTypoInjector(["kind"], fraction=0.2).inject(clean_batch, rng=4)
+        missing, _ = MissingValueInjector(["count"], fraction=0.2).inject(clean_batch, rng=5)
+        assert validator.validate_batch(typos).is_problematic
+        assert validator.validate_batch(missing).is_problematic
+
+    def test_row_flags_match_corrupted_rows(self, train, clean_batch):
+        validator = DeequValidator("expert").fit(train, rng=0)
+        dirty, truth = NumericAnomalyInjector(["value"], fraction=0.2).inject(clean_batch, rng=6)
+        verdict = validator.validate_batch(dirty)
+        flagged = set(verdict.flagged_rows.tolist())
+        corrupted = set(np.flatnonzero(truth.row_mask).tolist())
+        # Range violations only fire on truly out-of-range cells.
+        assert flagged <= corrupted
+        assert len(flagged) > 0.5 * len(corrupted)
+
+
+class TestTFDV:
+    def test_auto_misses_float_anomalies(self, train, clean_batch):
+        # Continuous float columns get no bounds in the inferred schema.
+        validator = TFDVValidator("auto").fit(train)
+        dirty, _ = NumericAnomalyInjector(["value"], fraction=0.2, scale_factor=3.0,
+                                          out_of_range_sigma=6.0).inject(clean_batch, rng=3)
+        assert not validator.validate_batch(dirty).is_problematic
+
+    def test_auto_catches_small_int_anomalies(self, train, clean_batch):
+        # "count" is a small-cardinality integer column: its inferred
+        # schema carries bounds, so scaled-out values are anomalies.
+        validator = TFDVValidator("auto").fit(train)
+        dirty, _ = NumericAnomalyInjector(["count"], fraction=0.2).inject(clean_batch, rng=3)
+        assert validator.validate_batch(dirty).is_problematic
+
+    def test_auto_ignores_wide_int_anomalies(self, clean_batch):
+        # Integral but high-cardinality columns (ids, day counts) get no
+        # bounds in the inferred schema — TFDV's documented blind spot.
+        train_int = make_table(2000, seed=0, integral=True)
+        validator = TFDVValidator("auto").fit(train_int)
+        batch = make_table(300, seed=9, integral=True)
+        dirty, _ = NumericAnomalyInjector(["value"], fraction=0.2, scale_factor=3.0,
+                                          out_of_range_sigma=6.0).inject(batch, rng=3)
+        assert not validator.validate_batch(dirty).is_problematic
+
+    def test_expert_catches_float_anomalies(self, train, clean_batch):
+        validator = TFDVValidator("expert").fit(train)
+        dirty, _ = NumericAnomalyInjector(["value"], fraction=0.2).inject(clean_batch, rng=3)
+        assert validator.validate_batch(dirty).is_problematic
+
+    def test_auto_catches_new_categories(self, train, clean_batch):
+        validator = TFDVValidator("auto").fit(train)
+        dirty, _ = StringTypoInjector(["kind"], fraction=0.2).inject(clean_batch, rng=4)
+        assert validator.validate_batch(dirty).is_problematic
+
+    def test_auto_catches_missingness(self, train, clean_batch):
+        validator = TFDVValidator("auto").fit(train)
+        dirty, _ = MissingValueInjector(["value"], fraction=0.2).inject(clean_batch, rng=5)
+        assert validator.validate_batch(dirty).is_problematic
+
+    def test_clean_batches_pass(self, train):
+        for mode in ("auto", "expert"):
+            validator = TFDVValidator(mode).fit(train)
+            flags = [
+                validator.validate_batch(make_table(300, seed=s)).is_problematic
+                for s in range(2, 12)
+            ]
+            assert np.mean(flags) <= 0.2, mode
+
+    def test_drift_detection(self, train):
+        validator = TFDVValidator("expert").fit(train)
+        shifted = make_table(300, seed=3)
+        verdict = validator.validate_batch(shifted.with_column("value", shifted["value"] + 25.0))
+        assert verdict.is_problematic
+        assert verdict.details["drifted_columns"] == ["value"]
+
+
+class TestADQV:
+    def test_statistics_vector_fixed_length(self, train):
+        a = batch_statistics_vector(make_table(100, seed=1))
+        b = batch_statistics_vector(make_table(200, seed=2))
+        assert a.shape == b.shape
+
+    def test_clean_batches_pass(self, train):
+        validator = ADQVValidator(reference_batch_size=300).fit(train, rng=0)
+        flags = [
+            validator.validate_batch(make_table(300, seed=s)).is_problematic for s in range(2, 22)
+        ]
+        assert np.mean(flags) <= 0.15
+
+    def test_marginal_shifts_detected(self, train, clean_batch):
+        validator = ADQVValidator(reference_batch_size=300).fit(train, rng=0)
+        anomalies, _ = NumericAnomalyInjector(["value"], fraction=0.2).inject(clean_batch, rng=3)
+        missing, _ = MissingValueInjector(["value"], fraction=0.2).inject(clean_batch, rng=4)
+        assert validator.validate_batch(anomalies).is_problematic
+        assert validator.validate_batch(missing).is_problematic
+
+    def test_no_row_flags(self, train, clean_batch):
+        validator = ADQVValidator(reference_batch_size=300).fit(train, rng=0)
+        assert not validator.supports_row_flags
+        assert validator.validate_batch(clean_batch).flagged_rows.size == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ADQVValidator(k=0)
+
+    def test_unfitted(self, clean_batch):
+        with pytest.raises(NotFittedError):
+            ADQVValidator().validate_batch(clean_batch)
+
+
+class TestGate:
+    def test_partition_summary_keys(self, train):
+        summary = partition_summary(train)
+        assert "value.mean" in summary and "kind.cardinality" in summary
+
+    def test_clean_batches_mostly_pass(self, train):
+        validator = GateValidator(reference_batch_size=300).fit(train, rng=0)
+        flags = [
+            validator.validate_batch(make_table(300, seed=s)).is_problematic for s in range(2, 22)
+        ]
+        assert np.mean(flags) <= 0.4  # Gate is strict by design
+
+    def test_shifts_detected(self, train, clean_batch):
+        validator = GateValidator(reference_batch_size=300).fit(train, rng=0)
+        dirty, _ = NumericAnomalyInjector(["value"], fraction=0.2).inject(clean_batch, rng=3)
+        verdict = validator.validate_batch(dirty)
+        assert verdict.is_problematic
+        assert any("value" in name for name in verdict.details["out_of_band_statistics"])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GateValidator(sensitivity=0.0)
+        with pytest.raises(ValueError):
+            GateValidator(vote_fraction=0.0)
+
+    def test_unfitted(self, clean_batch):
+        with pytest.raises(NotFittedError):
+            GateValidator().validate_batch(clean_batch)

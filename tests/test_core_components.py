@@ -1,0 +1,257 @@
+"""Unit tests for DQuaG core components: config, model, losses,
+thresholds, trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DQuaGConfig,
+    DQuaGModel,
+    DatasetDecisionRule,
+    ThresholdCalibration,
+    Trainer,
+    compute_sample_weights,
+    dquag_loss,
+    flag_feature_cells,
+)
+from repro.exceptions import ConfigurationError, TrainingError, ValidationError
+from repro.graph import FeatureGraph
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def graph() -> FeatureGraph:
+    return FeatureGraph(["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("c", "d")])
+
+
+@pytest.fixture
+def small_config() -> DQuaGConfig:
+    return DQuaGConfig(hidden_dim=8, epochs=2, feature_embedding_dim=3, batch_size=16)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = DQuaGConfig()
+        assert config.architecture == "gat_gin"
+        assert config.hidden_dim == 64
+        assert config.n_layers == 4
+        assert config.learning_rate == 0.01
+        assert config.batch_size == 128
+        assert config.threshold_percentile == 95.0
+        assert config.dataset_rule_n == 1.2
+        assert config.alpha == 1.0 and config.beta == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"architecture": "transformer"},
+            {"hidden_dim": 0},
+            {"n_layers": 0},
+            {"learning_rate": -0.1},
+            {"batch_size": 0},
+            {"epochs": 0},
+            {"threshold_percentile": 100.0},
+            {"dataset_rule_n": 0.0},
+            {"feature_sigma": 0.0},
+            {"alpha": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DQuaGConfig(**kwargs)
+
+    def test_dict_roundtrip(self):
+        config = DQuaGConfig(hidden_dim=32, epochs=7)
+        assert DQuaGConfig.from_dict(config.to_dict()) == config
+
+    def test_node_input_dim(self):
+        assert DQuaGConfig(feature_embedding_dim=7).node_input_dim == 8
+
+
+class TestModel:
+    def test_forward_shapes(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        x = Tensor(np.random.default_rng(0).uniform(size=(5, 4)))
+        recon, repair = model(x)
+        assert recon.shape == (5, 4)
+        assert repair.shape == (5, 4)
+
+    def test_input_width_checked(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((5, 7))))
+
+    def test_decoders_are_independent(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        x = Tensor(np.random.default_rng(0).uniform(size=(3, 4)))
+        recon, repair = model(x)
+        assert not np.allclose(recon.numpy(), repair.numpy())
+
+    def test_reconstruction_errors_chunked_consistent(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        matrix = np.random.default_rng(1).uniform(size=(50, 4))
+        full = model.reconstruction_errors(matrix, chunk_size=50)
+        chunked = model.reconstruction_errors(matrix, chunk_size=7)
+        np.testing.assert_allclose(full, chunked)
+
+    def test_sample_errors_mean_over_features(self):
+        cells = np.array([[1.0, 3.0], [0.0, 2.0]])
+        np.testing.assert_allclose(DQuaGModel.sample_errors(cells), [2.0, 1.0])
+
+    def test_deterministic_construction(self, graph, small_config):
+        a = DQuaGModel(graph, small_config, rng=3)
+        b = DQuaGModel(graph, small_config, rng=3)
+        x = Tensor(np.random.default_rng(2).uniform(size=(2, 4)))
+        np.testing.assert_array_equal(a(x)[0].numpy(), b(x)[0].numpy())
+
+    def test_zero_embedding_dim(self, graph):
+        config = DQuaGConfig(hidden_dim=8, epochs=1, feature_embedding_dim=0)
+        model = DQuaGModel(graph, config, rng=0)
+        recon, _ = model(Tensor(np.zeros((2, 4))))
+        assert recon.shape == (2, 4)
+
+
+class TestSampleWeights:
+    def test_lower_error_gets_higher_weight(self):
+        weights = compute_sample_weights(np.array([0.1, 1.0, 5.0]))
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_mean_normalized_to_one(self):
+        weights = compute_sample_weights(np.random.default_rng(0).exponential(size=100))
+        assert weights.mean() == pytest.approx(1.0)
+
+    def test_constant_errors_uniform_weights(self):
+        weights = compute_sample_weights(np.full(10, 2.0))
+        np.testing.assert_allclose(weights, 1.0)
+
+    def test_explicit_temperature(self):
+        errors = np.array([0.0, 1.0])
+        sharp = compute_sample_weights(errors, temperature=0.1)
+        soft = compute_sample_weights(errors, temperature=10.0)
+        assert sharp[1] / sharp[0] < soft[1] / soft[0]
+
+    def test_empty_input(self):
+        assert compute_sample_weights(np.array([])).size == 0
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            compute_sample_weights(np.zeros((2, 2)))
+
+
+class TestLoss:
+    def test_loss_components_positive(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        target = np.random.default_rng(0).uniform(size=(8, 4))
+        recon, repair = model(Tensor(target))
+        parts = dquag_loss(recon, repair, target)
+        assert parts.validation > 0 and parts.repair > 0
+        assert float(parts.total.numpy()) == pytest.approx(parts.validation + parts.repair, rel=1e-9)
+
+    def test_alpha_beta_scale_components(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        target = np.random.default_rng(0).uniform(size=(8, 4))
+        recon, repair = model(Tensor(target))
+        only_validation = dquag_loss(recon, repair, target, alpha=1.0, beta=0.0)
+        np.testing.assert_allclose(float(only_validation.total.numpy()), only_validation.validation)
+
+    def test_gradients_flow_to_both_decoders(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        target = np.random.default_rng(0).uniform(size=(8, 4))
+        recon, repair = model(Tensor(target))
+        dquag_loss(recon, repair, target).total.backward()
+        val_grads = [p.grad for p in model.validation_decoder.parameters()]
+        rep_grads = [p.grad for p in model.repair_decoder.parameters()]
+        assert all(g is not None for g in val_grads)
+        assert all(g is not None for g in rep_grads)
+
+
+class TestThresholds:
+    def test_percentile_threshold(self):
+        errors = np.arange(100, dtype=float)
+        calib = ThresholdCalibration.from_clean_errors(errors, percentile=95.0)
+        assert calib.threshold == pytest.approx(np.percentile(errors, 95))
+        assert calib.clean_max == 99.0
+
+    def test_empty_errors_rejected(self):
+        with pytest.raises(ValidationError):
+            ThresholdCalibration.from_clean_errors(np.array([]))
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValidationError):
+            ThresholdCalibration.from_clean_errors(np.ones(10), percentile=0.0)
+
+    def test_flag_rows(self):
+        calib = ThresholdCalibration.from_clean_errors(np.linspace(0, 1, 100), percentile=90.0)
+        flags = calib.flag_rows(np.array([0.5, 0.95]))
+        assert not flags[0] and flags[1]
+
+    def test_dataset_rule_cutoff(self):
+        rule = DatasetDecisionRule(percentile=95.0, n_multiplier=1.2)
+        assert rule.cutoff == pytest.approx(0.06)
+        assert not rule.is_problematic(0.05)
+        assert rule.is_problematic(0.07)
+
+    def test_flag_feature_cells_single_outlier(self):
+        errors = np.full((1, 12), 0.01)
+        errors[0, 3] = 5.0
+        flags = flag_feature_cells(errors, np.array([True]), sigma=2.5)
+        assert flags[0, 3]
+        assert flags.sum() == 1
+
+    def test_flag_feature_cells_respects_row_mask(self):
+        errors = np.full((2, 12), 0.01)
+        errors[:, 3] = 5.0
+        flags = flag_feature_cells(errors, np.array([True, False]), sigma=2.5)
+        assert flags[0, 3] and not flags[1, 3]
+
+    def test_flag_feature_cells_paper_sigma_unreachable(self):
+        # With 12 features and one outlier, max z-score is sqrt(11) ≈ 3.3:
+        # the literal paper rule (k=5) cannot fire (see config docstring).
+        errors = np.zeros((1, 12))
+        errors[0, 0] = 100.0
+        assert flag_feature_cells(errors, sigma=5.0).sum() == 0
+        assert flag_feature_cells(errors, sigma=2.5).sum() == 1
+
+    def test_flag_feature_cells_requires_2d(self):
+        with pytest.raises(ValidationError):
+            flag_feature_cells(np.zeros(5))
+
+
+class TestTrainer:
+    def test_loss_decreases(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        rng = np.random.default_rng(0)
+        base = rng.uniform(size=(200, 1))
+        matrix = np.hstack([base, base * 0.5 + 0.2, 1.0 - base, base**2])
+        history = Trainer(model, small_config).train(matrix, rng=0, epochs=8)
+        assert history.epochs[-1].total_loss < history.epochs[0].total_loss
+        assert history.converged()
+
+    def test_clean_errors_collected(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        matrix = np.random.default_rng(0).uniform(size=(64, 4))
+        history = Trainer(model, small_config).train(matrix, rng=0, epochs=1)
+        assert history.clean_sample_errors.shape == (64,)
+        assert (history.clean_sample_errors >= 0).all()
+
+    def test_empty_matrix_rejected(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        with pytest.raises(TrainingError):
+            Trainer(model, small_config).train(np.zeros((0, 4)), rng=0)
+
+    def test_wrong_width_rejected(self, graph, small_config):
+        model = DQuaGModel(graph, small_config, rng=0)
+        with pytest.raises(TrainingError):
+            Trainer(model, small_config).train(np.zeros((10, 9)), rng=0)
+
+    def test_deterministic_training(self, graph, small_config):
+        matrix = np.random.default_rng(0).uniform(size=(64, 4))
+        histories = []
+        for _ in range(2):
+            model = DQuaGModel(graph, small_config, rng=5)
+            histories.append(Trainer(model, small_config).train(matrix, rng=5, epochs=2))
+        assert histories[0].epochs[-1].total_loss == pytest.approx(
+            histories[1].epochs[-1].total_loss, rel=1e-12
+        )

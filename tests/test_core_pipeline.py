@@ -1,0 +1,196 @@
+"""Integration tests for the end-to-end DQuaG pipeline.
+
+A small synthetic dataset with a strong feature dependency is used so a
+tiny model (few epochs, small hidden dim) trains in seconds while still
+demonstrating detection, cell localization, and repair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.data import ColumnKind, ColumnSpec, Table, TableSchema
+from repro.errors import MissingValueInjector, NumericAnomalyInjector, RowRuleConflictInjector
+from repro.exceptions import NotFittedError, SchemaError
+
+
+def make_dependent_table(n: int, seed: int) -> Table:
+    """x, y = 2x, z = 1-x, plus a category determined by x."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.1, 0.9, n)
+    schema = TableSchema(
+        [
+            ColumnSpec("x", ColumnKind.NUMERIC, "driver"),
+            ColumnSpec("y", ColumnKind.NUMERIC, "2x + noise"),
+            ColumnSpec("z", ColumnKind.NUMERIC, "1 - x + noise"),
+            ColumnSpec("c", ColumnKind.CATEGORICAL, "sign of x - 0.5", categories=("lo", "hi")),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "x": x,
+            "y": 2.0 * x + rng.normal(0, 0.01, n),
+            "z": 1.0 - x + rng.normal(0, 0.01, n),
+            "c": np.where(x > 0.5, "hi", "lo"),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted() -> tuple[DQuaG, Table]:
+    train = make_dependent_table(600, seed=0)
+    calib = make_dependent_table(800, seed=1)
+    config = DQuaGConfig(hidden_dim=24, epochs=30, batch_size=32, feature_embedding_dim=4)
+    pipeline = DQuaG(config).fit(train, rng=0, calibration_table=calib)
+    # A holdout large enough that the 6% dataset cutoff sits ~2σ above
+    # the expected 5% clean flag rate (binomial noise shrinks with n).
+    holdout = make_dependent_table(1500, seed=2)
+    return pipeline, holdout
+
+
+class TestFitValidate:
+    def test_unfitted_raises(self):
+        pipeline = DQuaG(DQuaGConfig(hidden_dim=8, epochs=1))
+        with pytest.raises(NotFittedError):
+            pipeline.validate(make_dependent_table(10, seed=3))
+
+    def test_clean_holdout_not_problematic(self, fitted):
+        pipeline, holdout = fitted
+        report = pipeline.validate(holdout)
+        assert not report.is_problematic
+        assert report.flagged_fraction < 0.10
+
+    def test_anomalies_detected(self, fitted):
+        pipeline, holdout = fitted
+        dirty, truth = NumericAnomalyInjector(["y"], fraction=0.2).inject(holdout, rng=5)
+        report = pipeline.validate(dirty)
+        assert report.is_problematic
+        # Most corrupted rows are flagged.
+        flagged = set(report.flagged_rows.tolist())
+        dirty_rows = set(np.flatnonzero(truth.row_mask).tolist())
+        recall = len(flagged & dirty_rows) / len(dirty_rows)
+        assert recall > 0.9
+
+    def test_missing_detected(self, fitted):
+        pipeline, holdout = fitted
+        dirty, _ = MissingValueInjector(["z"], fraction=0.2).inject(holdout, rng=6)
+        assert pipeline.validate(dirty).is_problematic
+
+    def test_hidden_conflict_detected(self, fitted):
+        pipeline, holdout = fitted
+        # Values stay in-range individually; the (x, c) pair becomes wrong.
+        injector = RowRuleConflictInjector(
+            transform=lambda row, rng: {"c": "lo" if row["c"] == "hi" else "hi"},
+            touched_columns=["c"],
+            fraction=0.3,
+        )
+        dirty, _ = injector.inject(holdout, rng=7)
+        assert pipeline.validate(dirty).is_problematic
+
+    def test_cell_localization(self, fitted):
+        pipeline, holdout = fitted
+        dirty, truth = NumericAnomalyInjector(["y"], fraction=0.2).inject(holdout, rng=8)
+        report = pipeline.validate(dirty)
+        y_index = holdout.schema.index_of("y")
+        flagged_cells = report.cell_flags
+        # Of the cells flagged in column y, most are truly corrupted.
+        hits = flagged_cells[:, y_index] & truth.cell_mask[:, y_index]
+        assert hits.sum() >= 0.7 * flagged_cells[:, y_index].sum() > 0
+
+    def test_flagged_features_of(self, fitted):
+        pipeline, holdout = fitted
+        dirty, truth = NumericAnomalyInjector(["y"], fraction=0.3).inject(holdout, rng=9)
+        report = pipeline.validate(dirty)
+        some_dirty_row = int(np.flatnonzero(truth.row_mask & report.row_flags)[0])
+        assert "y" in report.flagged_features_of(some_dirty_row)
+
+    def test_schema_mismatch_rejected(self, fitted):
+        pipeline, holdout = fitted
+        with pytest.raises(SchemaError):
+            pipeline.validate(holdout.select(["x", "y"]))
+
+    def test_validate_batch_interface(self, fitted):
+        pipeline, holdout = fitted
+        verdict = pipeline.validate_batch(holdout.sample(500, rng=1))
+        assert not verdict.is_problematic
+        assert verdict.score < 0.10
+        assert "threshold" in verdict.details
+
+
+class TestRepair:
+    def test_repair_reduces_flagged_fraction(self, fitted):
+        pipeline, holdout = fitted
+        dirty, _ = NumericAnomalyInjector(["y"], fraction=0.2).inject(holdout, rng=11)
+        report = pipeline.validate(dirty)
+        repaired, summary = pipeline.repair(dirty, report, iterations=2)
+        after = pipeline.validate(repaired)
+        assert after.flagged_fraction < report.flagged_fraction / 2
+        assert summary.n_cells_repaired > 0
+
+    def test_repaired_numeric_values_plausible(self, fitted):
+        pipeline, holdout = fitted
+        dirty, truth = NumericAnomalyInjector(["y"], fraction=0.2).inject(holdout, rng=12)
+        report = pipeline.validate(dirty)
+        repaired, _ = pipeline.repair(dirty, report)
+        rows = np.flatnonzero(truth.cell_mask[:, holdout.schema.index_of("y")] & report.row_flags)
+        # Repaired y should approximate the true relationship y = 2x.
+        expected = 2.0 * repaired["x"][rows]
+        errors = np.abs(repaired["y"][rows] - expected)
+        assert np.median(errors) < 0.25
+
+    def test_missing_cells_always_repaired(self, fitted):
+        pipeline, holdout = fitted
+        dirty, _ = MissingValueInjector(["z"], fraction=0.2).inject(holdout, rng=13)
+        report = pipeline.validate(dirty)
+        repaired, _ = pipeline.repair(dirty, report)
+        assert not np.isnan(repaired["z"]).any()
+
+    def test_untouched_cells_preserved_exactly(self, fitted):
+        pipeline, holdout = fitted
+        dirty, _ = NumericAnomalyInjector(["y"], fraction=0.1).inject(holdout, rng=14)
+        report = pipeline.validate(dirty)
+        repaired, _ = pipeline.repair(dirty, report)
+        untouched = ~(report.cell_flags[:, holdout.schema.index_of("x")])
+        np.testing.assert_array_equal(repaired["x"][untouched], dirty["x"][untouched])
+
+    def test_invalid_iterations(self, fitted):
+        pipeline, holdout = fitted
+        with pytest.raises(ValueError):
+            pipeline.repair(holdout, iterations=0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "dquag.npz"
+        pipeline.save(path)
+
+        train = make_dependent_table(600, seed=0)
+        clone = DQuaG().load_weights(path, train)
+        original = pipeline.validate(holdout)
+        restored = clone.validate(holdout)
+        np.testing.assert_allclose(original.sample_errors, restored.sample_errors)
+        assert restored.threshold == original.threshold
+
+    def test_save_unfitted_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            DQuaG().save(tmp_path / "x.npz")
+
+    def test_graph2vec_roundtrip_exact(self, tmp_path):
+        # Regression: the graph2vec projection is not trained, but it must
+        # survive (de)serialization — a reloaded pipeline with a different
+        # projection silently invalidates its calibration.
+        train = make_dependent_table(400, seed=0)
+        config = DQuaGConfig(architecture="graph2vec", hidden_dim=16, epochs=4)
+        pipeline = DQuaG(config).fit(train, rng=0)
+        path = tmp_path / "g2v.npz"
+        pipeline.save(path)
+        clone = DQuaG().load_weights(path, train)
+        holdout = make_dependent_table(200, seed=1)
+        np.testing.assert_allclose(
+            pipeline.validate(holdout).sample_errors,
+            clone.validate(holdout).sample_errors,
+        )

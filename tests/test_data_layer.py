@@ -1,0 +1,347 @@
+"""Tests for schemas, tables, encoders, preprocessing, batching, and io."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ColumnKind,
+    ColumnSpec,
+    LabelEncoder,
+    MinMaxNormalizer,
+    Table,
+    TablePreprocessor,
+    TableSchema,
+    iterate_minibatches,
+    read_csv,
+    sample_validation_batches,
+    write_csv,
+)
+from repro.exceptions import NotFittedError, SchemaError
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    return TableSchema(
+        [
+            ColumnSpec("age", ColumnKind.NUMERIC, "age in years"),
+            ColumnSpec("income", ColumnKind.NUMERIC, "annual income"),
+            ColumnSpec("city", ColumnKind.CATEGORICAL, "home city", categories=("paris", "london")),
+        ]
+    )
+
+
+@pytest.fixture
+def table(schema) -> Table:
+    return Table(
+        schema,
+        {
+            "age": np.array([25.0, 40.0, 31.0, np.nan]),
+            "income": np.array([30e3, 80e3, 55e3, 42e3]),
+            "city": ["paris", "london", "paris", None],
+        },
+    )
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([ColumnSpec("x", "numeric"), ColumnSpec("x", "numeric")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("x", "weird")
+
+    def test_numeric_with_categories_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("x", "numeric", categories=("a",))
+
+    def test_kind_partitions(self, schema):
+        assert schema.numeric_names == ["age", "income"]
+        assert schema.categorical_names == ["city"]
+
+    def test_index_of(self, schema):
+        assert schema.index_of("income") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+    def test_subset_preserves_specs(self, schema):
+        sub = schema.subset(["city", "age"])
+        assert sub.names == ["city", "age"]
+        assert sub["city"].categories == ("paris", "london")
+
+    def test_getitem_unknown(self, schema):
+        with pytest.raises(SchemaError):
+            schema["nope"]
+
+
+class TestTable:
+    def test_row_count(self, table):
+        assert len(table) == 4
+        assert table.n_columns == 3
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema, {"age": [1.0]})
+
+    def test_extra_column_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table(
+                schema,
+                {"age": [1.0], "income": [1.0], "city": ["paris"], "zzz": [1]},
+            )
+
+    def test_ragged_columns_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema, {"age": [1.0, 2.0], "income": [1.0], "city": ["paris"]})
+
+    def test_categorical_normalized_to_str(self, schema):
+        t = Table(schema, {"age": [1.0], "income": [2.0], "city": [123]})
+        assert t["city"][0] == "123"
+
+    def test_categorical_nan_becomes_none(self, schema):
+        t = Table(schema, {"age": [1.0], "income": [2.0], "city": [float("nan")]})
+        assert t["city"][0] is None
+
+    def test_take_and_head(self, table):
+        assert table.take([2, 0])["age"][0] == 31.0
+        assert len(table.head(2)) == 2
+
+    def test_sample_deterministic(self, table):
+        a = table.sample(3, rng=7)
+        b = table.sample(3, rng=7)
+        np.testing.assert_array_equal(a["income"], b["income"])
+
+    def test_sample_too_large(self, table):
+        with pytest.raises(ValueError):
+            table.sample(10)
+
+    def test_split_partitions_rows(self, table):
+        left, right = table.split(0.5, rng=0)
+        assert len(left) + len(right) == len(table)
+
+    def test_missing_mask(self, table):
+        mask = table.missing_mask()
+        assert mask[3, 0] and mask[3, 2]
+        assert mask.sum() == 2
+
+    def test_missing_fraction(self, table):
+        assert table.missing_fraction("age") == 0.25
+        assert table.missing_fraction("income") == 0.0
+
+    def test_with_column(self, table):
+        t2 = table.with_column("income", np.zeros(4))
+        assert t2["income"].sum() == 0.0
+        assert table["income"].sum() > 0.0  # original untouched
+
+    def test_concat(self, table):
+        combined = Table.concat([table, table])
+        assert len(combined) == 8
+
+    def test_concat_schema_mismatch(self, table, schema):
+        other = Table(schema.subset(["age"]), {"age": [1.0]})
+        with pytest.raises(SchemaError):
+            Table.concat([table.select(["age", "income"]), other])
+
+    def test_select(self, table):
+        sub = table.select(["city"])
+        assert sub.schema.names == ["city"]
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder().fit(["b", "a", "c"])
+        codes = enc.transform(["a", "b", "c"])
+        np.testing.assert_array_equal(codes, [0.0, 1.0, 2.0])
+        decoded = enc.inverse_transform(codes)
+        assert list(decoded) == ["a", "b", "c"]
+
+    def test_future_values_included(self):
+        enc = LabelEncoder().fit(["a"], extra_values=["z"])
+        assert enc.classes_ == ["a", "z"]
+
+    def test_unknown_maps_to_reserved_code(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        assert enc.transform(["mystery"])[0] == enc.unknown_code
+
+    def test_missing_roundtrip(self):
+        enc = LabelEncoder().fit(["a"])
+        codes = enc.transform([None])
+        assert np.isnan(codes[0])
+        assert enc.inverse_transform(codes)[0] is None
+
+    def test_inverse_snaps_to_nearest(self):
+        enc = LabelEncoder().fit(["a", "b", "c"])
+        assert enc.inverse_transform(np.array([0.4]))[0] == "a"
+        assert enc.inverse_transform(np.array([1.6]))[0] == "c"
+        assert enc.inverse_transform(np.array([99.0]))[0] == "c"
+        assert enc.inverse_transform(np.array([-5.0]))[0] == "a"
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().transform(["a"])
+
+
+class TestMinMaxNormalizer:
+    def test_unit_interval(self):
+        norm = MinMaxNormalizer().fit(np.array([10.0, 20.0]))
+        np.testing.assert_allclose(norm.transform(np.array([10.0, 15.0, 20.0])), [0.0, 0.5, 1.0])
+
+    def test_out_of_range_extrapolates(self):
+        norm = MinMaxNormalizer().fit(np.array([0.0, 10.0]))
+        assert norm.transform(np.array([20.0]))[0] == 2.0
+        assert norm.transform(np.array([-10.0]))[0] == -1.0
+
+    def test_inverse_roundtrip(self):
+        norm = MinMaxNormalizer().fit(np.array([3.0, 9.0]))
+        values = np.array([3.0, 6.0, 9.0, 12.0])
+        np.testing.assert_allclose(norm.inverse_transform(norm.transform(values)), values)
+
+    def test_constant_column(self):
+        norm = MinMaxNormalizer().fit(np.array([5.0, 5.0]))
+        np.testing.assert_allclose(norm.transform(np.array([5.0])), [0.5])
+        np.testing.assert_allclose(norm.inverse_transform(np.array([0.1])), [5.0])
+
+    def test_nan_ignored_in_fit(self):
+        norm = MinMaxNormalizer().fit(np.array([np.nan, 1.0, 3.0]))
+        assert norm.minimum_ == 1.0 and norm.maximum_ == 3.0
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit(np.array([np.nan, np.nan]))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxNormalizer().transform(np.array([1.0]))
+
+
+class TestPreprocessor:
+    def test_matrix_shape_and_range(self, schema, table):
+        prep = TablePreprocessor(schema).fit(table)
+        matrix = prep.transform(table)
+        assert matrix.shape == (4, 3)
+        finite = matrix[matrix != prep.missing_sentinel]
+        assert finite.min() >= 0.0 and finite.max() <= 1.0
+
+    def test_missing_becomes_sentinel(self, schema, table):
+        prep = TablePreprocessor(schema).fit(table)
+        matrix = prep.transform(table)
+        assert matrix[3, 0] == -1.0  # age NaN
+        assert matrix[3, 2] == -1.0  # city None
+
+    def test_inverse_transform_roundtrip(self, schema):
+        complete = Table(
+            schema,
+            {
+                "age": np.array([25.0, 40.0]),
+                "income": np.array([30e3, 80e3]),
+                "city": ["paris", "london"],
+            },
+        )
+        prep = TablePreprocessor(schema).fit(complete)
+        restored = prep.inverse_transform(prep.transform(complete))
+        np.testing.assert_allclose(restored["age"], complete["age"])
+        assert list(restored["city"]) == list(complete["city"])
+
+    def test_novel_category_out_of_clean_positions(self, schema, table):
+        prep = TablePreprocessor(schema).fit(table)
+        novel = Table(
+            schema,
+            {"age": [30.0], "income": [50e3], "city": ["atlantis"]},
+        )
+        value = prep.transform(novel)[0, 2]
+        assert value == 1.5  # unknown categories sit at 1 + unknown_margin
+        clean_positions = prep.valid_code_positions("city")
+        assert clean_positions.max() <= 1.0
+        assert value not in clean_positions
+
+    def test_unknown_margin_configurable(self, schema, table):
+        prep = TablePreprocessor(schema, unknown_margin=0.25).fit(table)
+        novel = Table(schema, {"age": [30.0], "income": [50e3], "city": ["atlantis"]})
+        assert prep.transform(novel)[0, 2] == 1.25
+        with pytest.raises(ValueError):
+            TablePreprocessor(schema, unknown_margin=-0.1)
+
+    def test_future_categories_expand_domain(self, schema, table):
+        prep = TablePreprocessor(schema).fit(table, future_categories={"city": ["tokyo"]})
+        assert "tokyo" in prep.label_encoder("city").classes_
+
+    def test_schema_mismatch_rejected(self, schema, table):
+        other = TableSchema([ColumnSpec("x", "numeric")])
+        prep = TablePreprocessor(other)
+        with pytest.raises(SchemaError):
+            prep.fit(table)
+
+    def test_not_fitted(self, schema, table):
+        with pytest.raises(NotFittedError):
+            TablePreprocessor(schema).transform(table)
+
+    def test_label_encoder_access_for_numeric_rejected(self, schema, table):
+        prep = TablePreprocessor(schema).fit(table)
+        with pytest.raises(SchemaError):
+            prep.label_encoder("age")
+
+    def test_inverse_bad_width(self, schema, table):
+        prep = TablePreprocessor(schema).fit(table)
+        with pytest.raises(ValueError):
+            prep.inverse_transform(np.zeros((2, 5)))
+
+
+class TestBatching:
+    def test_minibatches_cover_all_rows(self):
+        batches = list(iterate_minibatches(10, 3, rng=0))
+        assert sorted(np.concatenate(batches).tolist()) == list(range(10))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+
+    def test_minibatches_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0, rng=0))
+
+    def test_validation_batches_fraction(self, table):
+        batches = sample_validation_batches(table, count=5, fraction=0.5, rng=0)
+        assert len(batches) == 5
+        assert all(len(b) == 2 for b in batches)
+
+    def test_validation_batches_fixed_size(self, table):
+        batches = sample_validation_batches(table, count=3, size=4, rng=0)
+        assert all(len(b) == 4 for b in batches)
+
+    def test_validation_batches_size_too_big(self, table):
+        with pytest.raises(ValueError):
+            sample_validation_batches(table, count=1, size=99, rng=0)
+
+    def test_validation_batches_deterministic(self, table):
+        a = sample_validation_batches(table, count=2, fraction=0.5, rng=3)
+        b = sample_validation_batches(table, count=2, fraction=0.5, rng=3)
+        np.testing.assert_array_equal(a[1]["income"], b[1]["income"])
+
+
+class TestCsvIo:
+    def test_roundtrip(self, schema, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        restored = read_csv(path, schema)
+        np.testing.assert_allclose(restored["income"], table["income"])
+        assert np.isnan(restored["age"][3])
+        assert restored["city"][3] is None
+
+    def test_header_mismatch(self, schema, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        with pytest.raises(SchemaError):
+            read_csv(path, schema.subset(["age"]))
+
+    def test_missing_file(self, schema, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_csv(tmp_path / "nope.csv", schema)
+
+    def test_empty_file(self, schema, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path, schema)

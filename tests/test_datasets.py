@@ -1,0 +1,232 @@
+"""Tests for the six dataset simulators: schema fidelity, dependency
+structure, clean invariants, and real-world dirty variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    TaxiGenerator,
+    dataset_names,
+    get_generator,
+    load_dataset,
+)
+
+REAL_WORLD = ("airbnb", "bicycle", "playstore")
+CLEAN_SOURCE = ("taxi", "hotel", "credit")
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        assert dataset_names() == sorted(["airbnb", "bicycle", "playstore", "taxi", "hotel", "credit"])
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_generator("mnist")
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_load_clean(self, name):
+        bundle = load_dataset(name, n_rows=300, seed=1)
+        assert bundle.clean.n_rows == 300
+        assert bundle.name == name
+        assert not bundle.has_dirty
+
+    @pytest.mark.parametrize("name", REAL_WORLD)
+    def test_load_with_dirty(self, name):
+        bundle = load_dataset(name, n_rows=500, seed=1, with_dirty=True)
+        assert bundle.has_dirty
+        assert bundle.dirty.n_rows == 500
+        assert bundle.dirty_report.n_dirty_rows > 0
+
+    @pytest.mark.parametrize("name", CLEAN_SOURCE)
+    def test_clean_source_has_no_dirty(self, name):
+        with pytest.raises(NotImplementedError):
+            load_dataset(name, n_rows=200, seed=1, with_dirty=True)
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+class TestCommonProperties:
+    def test_schema_matches_table(self, name):
+        generator = get_generator(name)
+        table = generator.generate_clean(200, rng=0)
+        assert table.schema == generator.schema()
+
+    def test_deterministic(self, name):
+        generator = get_generator(name)
+        a = generator.generate_clean(150, rng=42)
+        b = generator.generate_clean(150, rng=42)
+        for column in a.schema.numeric_names:
+            np.testing.assert_array_equal(a[column], b[column])
+
+    def test_clean_is_complete(self, name):
+        table = get_generator(name).generate_clean(300, rng=0)
+        assert table.missing_mask().sum() == 0
+
+    def test_categories_within_declared_domain(self, name):
+        generator = get_generator(name)
+        table = generator.generate_clean(300, rng=0)
+        for spec in table.schema:
+            if spec.is_categorical and spec.categories:
+                assert set(table[spec.name]) <= set(spec.categories)
+
+    def test_knowledge_edges_reference_schema(self, name):
+        generator = get_generator(name)
+        names = set(generator.schema().names)
+        for a, b in generator.knowledge_edges():
+            assert a in names and b in names and a != b
+
+
+class TestHotelStructure:
+    def test_babies_never_unaccompanied(self):
+        table = get_generator("hotel").generate_clean(2000, rng=0)
+        unaccompanied = (table["babies"] > 0) & (table["adults"] == 0)
+        assert not unaccompanied.any()
+
+    def test_group_bookings_have_multiple_adults(self):
+        table = get_generator("hotel").generate_clean(3000, rng=0)
+        group = table["customer_type"] == "Group"
+        assert (table["adults"][group] >= 2).all()
+
+    def test_adr_depends_on_party_size(self):
+        table = get_generator("hotel").generate_clean(3000, rng=0)
+        party = table["adults"] + table["children"]
+        assert np.corrcoef(party, table["adr"])[0, 1] > 0.3
+
+    def test_resort_pricier_than_city(self):
+        table = get_generator("hotel").generate_clean(3000, rng=0)
+        resort = table["adr"][table["hotel"] == "Resort Hotel"].mean()
+        city = table["adr"][table["hotel"] == "City Hotel"].mean()
+        assert resort > city
+
+
+class TestCreditStructure:
+    def test_employment_within_lifetime(self):
+        table = get_generator("credit").generate_clean(3000, rng=0)
+        assert (np.abs(table["DAYS_EMPLOYED"]) < np.abs(table["DAYS_BIRTH"])).all()
+
+    def test_income_rises_with_education(self):
+        table = get_generator("credit").generate_clean(5000, rng=0)
+        low = table["AMT_INCOME_TOTAL"][table["NAME_EDUCATION_TYPE"] == "Lower secondary"]
+        high = table["AMT_INCOME_TOTAL"][table["NAME_EDUCATION_TYPE"] == "Academic degree"]
+        assert high.mean() > low.mean() * 1.3
+
+    def test_pensioners_are_old(self):
+        table = get_generator("credit").generate_clean(3000, rng=0)
+        pension_age = np.abs(table["DAYS_BIRTH"][table["NAME_INCOME_TYPE"] == "Pensioner"]) / 365.25
+        assert pension_age.min() >= 55
+
+    def test_family_members_cover_children(self):
+        table = get_generator("credit").generate_clean(3000, rng=0)
+        assert (table["CNT_FAM_MEMBERS"] >= table["CNT_CHILDREN"] + 1).all()
+
+
+class TestAirbnbStructure:
+    def test_price_structure(self):
+        table = get_generator("airbnb").generate_clean(5000, rng=0)
+        manhattan = table["price"][table["neighbourhood_group"] == "Manhattan"].mean()
+        bronx = table["price"][table["neighbourhood_group"] == "Bronx"].mean()
+        assert manhattan > bronx
+        entire = table["price"][table["room_type"] == "Entire home/apt"].mean()
+        shared = table["price"][table["room_type"] == "Shared room"].mean()
+        assert entire > shared
+
+    def test_coordinates_in_nyc(self):
+        table = get_generator("airbnb").generate_clean(3000, rng=0)
+        assert table["latitude"].min() > 40.3 and table["latitude"].max() < 41.1
+        assert table["longitude"].min() > -74.5 and table["longitude"].max() < -73.5
+
+    def test_dirty_mixture_has_all_error_families(self):
+        bundle = load_dataset("airbnb", n_rows=2000, seed=3, with_dirty=True)
+        dirty, report = bundle.dirty, bundle.dirty_report
+        assert (dirty["price"] == 0).any()
+        assert dirty["minimum_nights"].max() >= 365
+        assert np.isnan(dirty["reviews_per_month"]).any()
+        boroughs = set(bundle.clean["neighbourhood_group"])
+        assert any(v not in boroughs for v in dirty["neighbourhood_group"])
+        assert 0.05 < report.error_rate() < 0.20
+
+
+class TestBicycleStructure:
+    def test_duration_tracks_distance(self):
+        table = get_generator("bicycle").generate_clean(5000, rng=0)
+        assert np.corrcoef(table["distance_km"], table["trip_duration"])[0, 1] > 0.8
+
+    def test_durations_positive(self):
+        table = get_generator("bicycle").generate_clean(3000, rng=0)
+        assert table["trip_duration"].min() > 0
+
+    def test_dirty_mixture(self):
+        bundle = load_dataset("bicycle", n_rows=2000, seed=3, with_dirty=True)
+        dirty, report = bundle.dirty, bundle.dirty_report
+        assert (dirty["trip_duration"] < 0).any()
+        assert (dirty["birth_year"] == 1900).any()
+        assert np.mean([v is None for v in dirty["gender"]]) > 0.03
+        assert 0.10 < report.error_rate() < 0.35
+
+
+class TestPlayStoreStructure:
+    def test_free_apps_cost_nothing(self):
+        table = get_generator("playstore").generate_clean(3000, rng=0)
+        free = table["app_type"] == "Free"
+        assert (table["price"][free] == 0).all()
+        assert (table["price"][~free] > 0).all()
+
+    def test_reviews_below_installs(self):
+        table = get_generator("playstore").generate_clean(3000, rng=0)
+        assert (table["reviews"] <= table["installs"]).all()
+
+    def test_ratings_in_range(self):
+        table = get_generator("playstore").generate_clean(3000, rng=0)
+        assert table["rating"].min() >= 1.0 and table["rating"].max() <= 5.0
+
+    def test_dirty_mixture(self):
+        bundle = load_dataset("playstore", n_rows=2000, seed=3, with_dirty=True)
+        dirty = bundle.dirty
+        assert dirty["rating"].max() > 5.0  # scale glitch
+        free_but_priced = (np.asarray([t == "Free" for t in dirty["app_type"]])) & (dirty["price"] > 0)
+        assert free_but_priced.any()
+        assert np.isnan(dirty["size_mb"]).any()
+
+
+class TestTaxiStructure:
+    def test_total_is_sum_of_parts(self):
+        table = get_generator("taxi").generate_clean(3000, rng=0)
+        recomputed = (
+            table["fare_amount"]
+            + table["tip_amount"]
+            + table["tolls_amount"]
+            + table["extra"]
+            + table["mta_tax"]
+            + table["improvement_surcharge"]
+        )
+        np.testing.assert_allclose(table["total_amount"], recomputed, atol=0.011)
+
+    def test_cash_trips_record_no_tip(self):
+        table = get_generator("taxi").generate_clean(3000, rng=0)
+        cash = table["payment_type"] == "Cash"
+        assert (table["tip_amount"][cash] == 0).all()
+        assert (table["tip_amount"][~cash] > 0).all()
+
+    def test_fare_tracks_distance(self):
+        table = get_generator("taxi").generate_clean(5000, rng=0)
+        assert np.corrcoef(table["trip_distance"], table["fare_amount"])[0, 1] > 0.8
+
+    def test_dimension_subsets_valid(self):
+        generator = TaxiGenerator()
+        schema_names = set(generator.schema().names)
+        subsets = TaxiGenerator.dimension_subsets()
+        assert set(subsets) == {5, 10, 18}
+        for dims, columns in subsets.items():
+            assert len(columns) == dims
+            assert set(columns) <= schema_names
+
+    def test_large_generation_is_fast(self):
+        import time
+
+        start = time.perf_counter()
+        table = get_generator("taxi").generate_clean(200_000, rng=0)
+        elapsed = time.perf_counter() - start
+        assert table.n_rows == 200_000
+        assert elapsed < 10.0  # vectorized path, generous CI margin

@@ -1,0 +1,297 @@
+"""Tests for the error-injection framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnKind, ColumnSpec, Table, TableSchema
+from repro.errors import (
+    CompositeInjector,
+    CreditEmploymentBeforeBirthInjector,
+    CreditIncomeEducationConflictInjector,
+    HotelGroupConflictInjector,
+    InjectionReport,
+    MissingValueInjector,
+    NumericAnomalyInjector,
+    QWERTY_NEIGHBORS,
+    RowRuleConflictInjector,
+    StringTypoInjector,
+    qwerty_typo,
+    select_rows,
+)
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    return TableSchema(
+        [
+            ColumnSpec("amount", ColumnKind.NUMERIC),
+            ColumnSpec("count", ColumnKind.NUMERIC),
+            ColumnSpec("label", ColumnKind.CATEGORICAL),
+        ]
+    )
+
+
+@pytest.fixture
+def table(schema) -> Table:
+    rng = np.random.default_rng(0)
+    n = 500
+    return Table(
+        schema,
+        {
+            "amount": rng.normal(100.0, 10.0, n),
+            "count": rng.integers(0, 50, n).astype(float),
+            "label": rng.choice(["alpha", "beta", "gamma"], n),
+        },
+    )
+
+
+class TestQwerty:
+    def test_all_letters_have_neighbors(self):
+        for letter in "abcdefghijklmnopqrstuvwxyz":
+            assert QWERTY_NEIGHBORS[letter], letter
+
+    def test_neighbors_are_adjacent_keys(self):
+        assert "w" in QWERTY_NEIGHBORS["q"]
+        assert "q" not in QWERTY_NEIGHBORS["p"]
+
+    def test_typo_changes_string(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            assert qwerty_typo("hello", rng) != "hello"
+
+    def test_typo_preserves_length_and_case(self):
+        rng = np.random.default_rng(2)
+        out = qwerty_typo("Hello", rng)
+        assert len(out) == 5
+        # a typo on the capital stays capital
+        for _ in range(50):
+            out = qwerty_typo("A", rng)
+            assert out.isupper()
+
+    def test_typo_on_unmappable_string(self):
+        rng = np.random.default_rng(3)
+        assert qwerty_typo("1234", rng) == "1234q"
+
+
+class TestInjectionReport:
+    def test_row_mask_and_counts(self):
+        mask = np.zeros((4, 3), dtype=bool)
+        mask[1, 0] = mask[1, 2] = mask[3, 1] = True
+        report = InjectionReport(mask, "x")
+        assert report.n_dirty_rows == 2
+        assert report.n_dirty_cells == 3
+        assert report.error_rate() == 0.5
+
+    def test_merge(self):
+        a = InjectionReport(np.eye(3, dtype=bool), "a")
+        b = InjectionReport(np.fliplr(np.eye(3, dtype=bool)), "b")
+        merged = a.merge(b)
+        assert merged.n_dirty_cells == 5  # overlap in the center
+        assert "a" in merged.description and "b" in merged.description
+
+    def test_merge_shape_mismatch(self):
+        a = InjectionReport(np.zeros((2, 2), dtype=bool))
+        b = InjectionReport(np.zeros((3, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            InjectionReport(np.zeros(4, dtype=bool))
+
+
+class TestSelectRows:
+    def test_count_matches_fraction(self):
+        rows = select_rows(1000, 0.2, np.random.default_rng(0))
+        assert rows.size == 200
+        assert len(set(rows.tolist())) == 200  # distinct
+
+    def test_at_least_one(self):
+        assert select_rows(5, 0.01, np.random.default_rng(0)).size == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            select_rows(10, 0.0, np.random.default_rng(0))
+
+
+class TestMissingValueInjector:
+    def test_injects_requested_fraction(self, table):
+        injector = MissingValueInjector(["amount", "label"], fraction=0.2)
+        dirty, report = injector.inject(table, rng=0)
+        assert np.isnan(dirty["amount"]).mean() == pytest.approx(0.2, abs=0.01)
+        assert np.mean([v is None for v in dirty["label"]]) == pytest.approx(0.2, abs=0.01)
+        assert report.n_dirty_cells == 200
+
+    def test_original_untouched(self, table):
+        MissingValueInjector(["amount"]).inject(table, rng=0)
+        assert not np.isnan(table["amount"]).any()
+
+    def test_mask_matches_cells(self, table):
+        dirty, report = MissingValueInjector(["amount"]).inject(table, rng=0)
+        np.testing.assert_array_equal(report.cell_mask[:, 0], np.isnan(dirty["amount"]))
+
+    def test_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            MissingValueInjector(["zzz"]).inject(table, rng=0)
+
+    def test_deterministic(self, table):
+        a, _ = MissingValueInjector(["amount"]).inject(table, rng=5)
+        b, _ = MissingValueInjector(["amount"]).inject(table, rng=5)
+        np.testing.assert_array_equal(np.isnan(a["amount"]), np.isnan(b["amount"]))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            MissingValueInjector([])
+
+
+class TestNumericAnomalyInjector:
+    def test_values_leave_clean_range(self, table):
+        injector = NumericAnomalyInjector(["amount"], fraction=0.2)
+        dirty, report = injector.inject(table, rng=0)
+        corrupted = dirty["amount"][report.cell_mask[:, 0]]
+        low, high = table["amount"].min(), table["amount"].max()
+        assert ((corrupted < low) | (corrupted > high)).all()
+
+    def test_rejects_categorical_target(self, table):
+        with pytest.raises(SchemaError):
+            NumericAnomalyInjector(["label"]).inject(table, rng=0)
+
+    def test_scaling_and_shift_both_used(self, table):
+        injector = NumericAnomalyInjector(["amount"], fraction=0.5, scale_factor=1000.0)
+        dirty, report = injector.inject(table, rng=0)
+        corrupted = dirty["amount"][report.cell_mask[:, 0]]
+        assert (corrupted > 10_000).any()  # scaled
+        assert (np.abs(corrupted) < 10_000).any()  # shifted
+
+
+class TestStringTypoInjector:
+    def test_introduces_unseen_categories(self, table):
+        injector = StringTypoInjector(["label"], fraction=0.2)
+        dirty, report = injector.inject(table, rng=0)
+        clean_domain = {"alpha", "beta", "gamma"}
+        corrupted = dirty["label"][report.cell_mask[:, 2]]
+        assert all(v not in clean_domain for v in corrupted)
+
+    def test_rejects_numeric_target(self, table):
+        with pytest.raises(SchemaError):
+            StringTypoInjector(["amount"]).inject(table, rng=0)
+
+
+class TestRowRuleConflictInjector:
+    def test_transform_applied_to_fraction(self, table):
+        injector = RowRuleConflictInjector(
+            transform=lambda row, rng: {"count": -1.0},
+            touched_columns=["count"],
+            fraction=0.1,
+        )
+        dirty, report = injector.inject(table, rng=0)
+        assert (dirty["count"] == -1.0).sum() == report.n_dirty_rows == 50
+
+    def test_eligibility_filter(self, table):
+        injector = RowRuleConflictInjector(
+            transform=lambda row, rng: {"count": -1.0},
+            touched_columns=["count"],
+            fraction=0.9,
+            eligible=lambda row: row["label"] == "alpha",
+        )
+        dirty, report = injector.inject(table, rng=0)
+        flagged = report.row_mask
+        assert all(table["label"][i] == "alpha" for i in np.flatnonzero(flagged))
+
+    def test_undeclared_column_rejected(self, table):
+        injector = RowRuleConflictInjector(
+            transform=lambda row, rng: {"amount": 0.0},
+            touched_columns=["count"],
+        )
+        with pytest.raises(ValueError):
+            injector.inject(table, rng=0)
+
+    def test_no_eligible_rows_is_noop(self, table):
+        injector = RowRuleConflictInjector(
+            transform=lambda row, rng: {"count": -1.0},
+            touched_columns=["count"],
+            eligible=lambda row: False,
+        )
+        dirty, report = injector.inject(table, rng=0)
+        assert report.n_dirty_rows == 0
+        np.testing.assert_array_equal(dirty["count"], table["count"])
+
+
+class TestDomainConflictInjectors:
+    def _credit_table(self) -> Table:
+        from repro.datasets import CreditCardGenerator
+
+        return CreditCardGenerator().generate_clean(400, rng=0)
+
+    def _hotel_table(self) -> Table:
+        from repro.datasets import HotelBookingGenerator
+
+        return HotelBookingGenerator().generate_clean(400, rng=0)
+
+    def test_employment_before_birth(self):
+        clean = self._credit_table()
+        dirty, report = CreditEmploymentBeforeBirthInjector(fraction=0.2).inject(clean, rng=0)
+        flagged = report.row_mask
+        employed = np.abs(dirty["DAYS_EMPLOYED"][flagged])
+        lifetime = np.abs(dirty["DAYS_BIRTH"][flagged])
+        assert (employed > lifetime).all()
+        # Clean rows keep the invariant.
+        clean_ok = np.abs(clean["DAYS_EMPLOYED"]) < np.abs(clean["DAYS_BIRTH"])
+        assert clean_ok.all()
+
+    def test_income_education_conflict(self):
+        clean = self._credit_table()
+        dirty, report = CreditIncomeEducationConflictInjector(fraction=0.2).inject(clean, rng=0)
+        flagged = report.row_mask
+        assert set(dirty["NAME_EDUCATION_TYPE"][flagged]) <= set(
+            CreditIncomeEducationConflictInjector.ADVANCED_EDUCATION
+        )
+        assert (dirty["AMT_INCOME_TOTAL"][flagged] <= 30_000.0).all()
+        # Forced income stays inside the clean marginal range (that's the point).
+        assert dirty["AMT_INCOME_TOTAL"][flagged].min() >= clean["AMT_INCOME_TOTAL"].min() * 0.5
+
+    def test_hotel_group_conflict(self):
+        clean = self._hotel_table()
+        dirty, report = HotelGroupConflictInjector(fraction=0.2).inject(clean, rng=0)
+        flagged = report.row_mask
+        assert (dirty["adults"][flagged] == 0).all()
+        assert (dirty["babies"][flagged] > 0).all()
+        assert set(dirty["customer_type"][flagged]) == {"Group"}
+        # The clean table never contains that combination.
+        clean_conflict = (
+            (clean["adults"] == 0) & (clean["babies"] > 0)
+        )
+        assert not clean_conflict.any()
+
+
+class TestCompositeInjector:
+    def test_reports_merged(self, table):
+        composite = CompositeInjector(
+            [
+                MissingValueInjector(["amount"], fraction=0.1),
+                StringTypoInjector(["label"], fraction=0.1),
+            ]
+        )
+        dirty, report = composite.inject(table, rng=0)
+        assert report.cell_mask[:, 0].sum() == 50
+        assert report.cell_mask[:, 2].sum() == 50
+
+    def test_children_independent_of_order(self, table):
+        # Removing the second child must not change what the first does.
+        solo, _ = MissingValueInjector(["amount"], fraction=0.1).inject(table, rng=7)
+        both, _ = CompositeInjector(
+            [MissingValueInjector(["amount"], fraction=0.1), StringTypoInjector(["label"], fraction=0.1)]
+        ).inject(table, rng=7)
+        # Note: composite derives child RNGs, so patterns differ from solo use;
+        # here we only require determinism of the composite itself.
+        again, _ = CompositeInjector(
+            [MissingValueInjector(["amount"], fraction=0.1), StringTypoInjector(["label"], fraction=0.1)]
+        ).inject(table, rng=7)
+        np.testing.assert_array_equal(np.isnan(both["amount"]), np.isnan(again["amount"]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeInjector([])

@@ -1,0 +1,198 @@
+"""Tests for the experiment harness and per-experiment modules.
+
+All runs use the ``smoke`` scale (tiny models) plus reduced dataset /
+method subsets, so the whole file executes in well under a minute while
+still exercising every experiment code path end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    ResultTable,
+    clear_cache,
+    get_pipeline,
+    get_splits,
+    prepare_splits,
+    resolve_scale,
+    run_figure4,
+    run_repair_eval,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.realworld import run_figure3
+
+
+SMOKE = ExperimentScale.smoke()
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestScales:
+    def test_resolve_by_name(self):
+        assert resolve_scale("fast").name == "fast"
+
+    def test_resolve_instance_passthrough(self):
+        assert resolve_scale(SMOKE) is SMOKE
+
+    def test_resolve_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert resolve_scale(None).name == "smoke"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            resolve_scale("warp")
+
+    def test_full_matches_paper_protocol(self):
+        full = ExperimentScale.full()
+        assert full.n_batches == 50
+        assert full.epochs == 40
+        assert full.hidden_dim == 64
+        assert full.batch_fraction == 0.1
+
+
+class TestSplitsAndCache:
+    def test_splits_disjoint_and_sized(self):
+        splits = prepare_splits("hotel", SMOKE, seed=0)
+        assert splits.train.n_rows == SMOKE.train_rows
+        assert splits.calibration.n_rows == SMOKE.calib_rows
+        total = splits.train.n_rows + splits.calibration.n_rows + splits.evaluation.n_rows
+        assert total == SMOKE.n_rows
+        assert splits.batch_size == round(splits.evaluation.n_rows * 0.1)
+
+    def test_cache_returns_same_objects(self):
+        a = get_splits("hotel", SMOKE, seed=0)
+        b = get_splits("hotel", SMOKE, seed=0)
+        assert a is b
+        p1 = get_pipeline("hotel", SMOKE, seed=0)
+        p2 = get_pipeline("hotel", SMOKE, seed=0)
+        assert p1 is p2
+
+    def test_cache_distinguishes_architecture(self):
+        p1 = get_pipeline("hotel", SMOKE, seed=0)
+        p2 = get_pipeline("hotel", SMOKE, seed=0, architecture="gcn")
+        assert p1 is not p2
+
+
+class TestResultTable:
+    def test_render_contains_rows_and_notes(self):
+        table = ResultTable("Demo", ["a", "b"])
+        table.add_row("x", 1.23456)
+        table.add_note("hello")
+        rendered = table.render()
+        assert "Demo" in rendered and "1.235" in rendered and "note: hello" in rendered
+
+    def test_row_width_checked(self):
+        table = ResultTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+
+class TestTable1:
+    def test_hotel_subset_runs(self):
+        result = run_table1(
+            scale=SMOKE, seed=0, datasets=("hotel",), methods_subset=("dquag", "deequ_expert")
+        )
+        assert ("hotel", "Conflicts", "dquag") in result.metrics
+        # Structural checks only at smoke scale (4 epochs, 40-row
+        # batches); detection-quality claims are asserted at standard
+        # scale in benchmarks/bench_table1_synthetic.py.
+        for scenario in ("N", "M"):
+            assert result.recall("hotel", scenario, "dquag") >= 0.9, scenario
+        avg_acc, avg_rec = result.ordinary_average("hotel", "dquag")
+        assert 0.0 <= avg_acc <= 1.0 and 0.0 <= avg_rec <= 1.0
+        assert "Table 1" in result.render()
+
+
+class TestFigure3:
+    def test_bicycle_runs(self):
+        result = run_figure3(
+            scale=SMOKE, seed=0, datasets=("bicycle",), methods_subset=("dquag", "deequ_auto")
+        )
+        assert result.accuracy("bicycle", "dquag") >= 0.75
+        # Deequ auto's strictness costs accuracy relative to DQuaG.
+        assert result.accuracy("bicycle", "deequ_auto") <= result.accuracy("bicycle", "dquag")
+        assert "Figure 3" in result.render()
+
+
+class TestTable2:
+    def test_two_architectures_run(self):
+        result = run_table2(
+            scale=SMOKE, seed=0, datasets=("bicycle",), architectures=("gat_gin", "gcn"), n_batches=4
+        )
+        assert ("bicycle", "gat_gin") in result.differences
+        assert ("bicycle", "gcn") in result.differences
+        # Dirty batches must be flagged more than clean ones.
+        assert result.difference("bicycle", "gat_gin") > 0
+        assert result.best_architecture("bicycle") in ("gat_gin", "gcn")
+        assert "Table 2" in result.render()
+
+
+class TestFigure4:
+    def test_timings_increase_with_rows(self):
+        result = run_figure4(
+            scale=SMOKE, seed=0, dimensions=(5,), row_counts=(500, 2000, 4000, 8000)
+        )
+        assert result.seconds(5, 8000) > result.seconds(5, 500)
+        assert -1.0 <= result.linearity_r2(5) <= 1.0
+        assert "Figure 4" in result.render()
+
+    def test_linearity_needs_three_points(self):
+        result = run_figure4(scale=SMOKE, seed=0, dimensions=(5,), row_counts=(500, 1000))
+        with pytest.raises(ValueError):
+            result.linearity_r2(5)
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure4(scale=SMOKE, seed=0, dimensions=(7,), row_counts=(500, 1000, 1500))
+
+
+class TestTable3:
+    def test_accuracy_improves_with_size(self):
+        result = run_table3(scale=SMOKE, seed=0, datasets=("bicycle",), sample_sizes=(10, 100))
+        small = result.accuracy("bicycle", 10)
+        large = result.accuracy("bicycle", 100)
+        assert large >= small
+        assert large >= 0.75
+        assert "Table 3" in result.render()
+
+    def test_oversized_samples_skipped(self):
+        result = run_table3(scale=SMOKE, seed=0, datasets=("bicycle",), sample_sizes=(10, 10**6))
+        assert ("bicycle", 10**6) not in result.metrics
+
+
+class TestRepairEval:
+    def test_repair_improves_error_rate(self):
+        result = run_repair_eval(scale=SMOKE, seed=0, datasets=("bicycle",))
+        outcome = result.outcomes["bicycle"]
+        assert outcome.repaired_error_rate < outcome.dirty_error_rate
+        assert outcome.n_cells_repaired > 0
+        assert "4.6" in result.render()
+
+
+class TestCli:
+    def test_cli_runs_one_experiment(self, capsys):
+        # Reuses the cached smoke pipelines via REPRO_SCALE.
+        import os
+
+        os.environ["REPRO_SCALE"] = "smoke"
+        try:
+            exit_code = cli_main(["table3", "--scale", "smoke"])
+        finally:
+            os.environ.pop("REPRO_SCALE", None)
+        assert exit_code == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table9"])

@@ -1,0 +1,133 @@
+"""Tests for the §5 future-work extensions: cleaning/selection and
+interpretability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DQuaG,
+    DQuaGConfig,
+    attention_summary,
+    clean_dataset,
+    explain_row,
+    select_cleanest,
+)
+from repro.errors import NumericAnomalyInjector
+from repro.exceptions import ConfigurationError, ValidationError
+
+from tests.test_core_pipeline import make_dependent_table
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    train = make_dependent_table(600, seed=0)
+    calib = make_dependent_table(300, seed=1)
+    config = DQuaGConfig(hidden_dim=24, epochs=25, batch_size=32, feature_embedding_dim=4)
+    pipeline = DQuaG(config).fit(train, rng=0, calibration_table=calib)
+    holdout = make_dependent_table(400, seed=2)
+    dirty, truth = NumericAnomalyInjector(["y"], fraction=0.2).inject(holdout, rng=3)
+    return pipeline, holdout, dirty, truth
+
+
+class TestCleaning:
+    def test_drop_removes_flagged_rows(self, fitted):
+        pipeline, _, dirty, _ = fitted
+        outcome = clean_dataset(pipeline, dirty, strategy="drop")
+        assert outcome.n_rows_out < outcome.n_rows_in
+        assert outcome.n_cells_repaired == 0
+        assert outcome.residual_flagged_fraction < 0.10
+
+    def test_repair_keeps_all_rows(self, fitted):
+        pipeline, _, dirty, _ = fitted
+        outcome = clean_dataset(pipeline, dirty, strategy="repair")
+        assert outcome.n_rows_out == outcome.n_rows_in
+        assert outcome.n_cells_repaired > 0
+
+    def test_hybrid_bounded_by_drop_and_repair(self, fitted):
+        pipeline, _, dirty, _ = fitted
+        drop = clean_dataset(pipeline, dirty, strategy="drop")
+        hybrid = clean_dataset(pipeline, dirty, strategy="hybrid")
+        # Hybrid repairs first, so it retains at least as many rows as drop.
+        assert hybrid.n_rows_out >= drop.n_rows_out
+        assert hybrid.residual_flagged_fraction <= 0.10
+
+    def test_retention_property(self, fitted):
+        pipeline, holdout, _, _ = fitted
+        outcome = clean_dataset(pipeline, holdout, strategy="drop")
+        assert outcome.retention == pytest.approx(outcome.n_rows_out / outcome.n_rows_in)
+
+    def test_unknown_strategy(self, fitted):
+        pipeline, holdout, _, _ = fitted
+        with pytest.raises(ConfigurationError):
+            clean_dataset(pipeline, holdout, strategy="bleach")
+
+
+class TestSelection:
+    def test_selects_k_lowest_error_rows(self, fitted):
+        pipeline, _, dirty, truth = fitted
+        k = 100
+        selected = select_cleanest(pipeline, dirty, k)
+        assert selected.n_rows == k
+        # The cleanest k rows should be mostly uncorrupted.
+        report = pipeline.validate(selected)
+        assert report.flagged_fraction <= 0.10
+
+    def test_k_larger_than_table(self, fitted):
+        pipeline, holdout, _, _ = fitted
+        assert select_cleanest(pipeline, holdout, 10**6).n_rows == holdout.n_rows
+
+    def test_negative_k_rejected(self, fitted):
+        pipeline, holdout, _, _ = fitted
+        with pytest.raises(ValueError):
+            select_cleanest(pipeline, holdout, -1)
+
+
+class TestExplain:
+    def test_contributions_sum_to_one(self, fitted):
+        pipeline, _, dirty, _ = fitted
+        report = pipeline.validate(dirty)
+        row = int(report.flagged_rows[0])
+        contributions = explain_row(report, dirty, row)
+        assert sum(c.share for c in contributions) == pytest.approx(1.0)
+        assert len(contributions) == dirty.n_columns
+
+    def test_corrupted_feature_ranks_high(self, fitted):
+        # Errors are feature-scale-normalized, so neighbors of a corrupted
+        # cell also inflate (the GNN propagates the damage); the injected
+        # column must still rank in the top contributions and be flagged.
+        pipeline, _, dirty, truth = fitted
+        report = pipeline.validate(dirty)
+        hits = np.flatnonzero(truth.row_mask & report.row_flags)
+        row = int(hits[0])
+        contributions = explain_row(report, dirty, row)
+        top_two = {c.feature for c in contributions[:2]}
+        assert "y" in top_two  # the injected column
+        by_name = {c.feature: c for c in contributions}
+        assert by_name["y"].share > 0.2
+
+    def test_row_out_of_range(self, fitted):
+        pipeline, holdout, _, _ = fitted
+        report = pipeline.validate(holdout)
+        with pytest.raises(ValidationError):
+            explain_row(report, holdout, 10**6)
+
+    def test_attention_summary_normalized(self, fitted):
+        pipeline, holdout, _, _ = fitted
+        summary = attention_summary(pipeline, holdout)
+        assert summary  # gat_gin has attention layers
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in summary.values())
+        # Attention over each source's neighborhood sums to ~1.
+        names = pipeline.graph.features
+        for source in names:
+            total = sum(v for (s, _), v in summary.items() if s == source)
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_attention_summary_requires_gat(self, fitted):
+        _, holdout, _, _ = fitted
+        train = make_dependent_table(300, seed=5)
+        config = DQuaGConfig(architecture="gcn", hidden_dim=8, epochs=2)
+        gcn_pipeline = DQuaG(config).fit(train, rng=0)
+        with pytest.raises(ValidationError):
+            attention_summary(gcn_pipeline, holdout)

@@ -1,0 +1,210 @@
+"""Tests for GNN layers: shapes, gradients, masking, and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gnn import (
+    ENCODER_ARCHITECTURES,
+    GATConv,
+    GCNConv,
+    GINConv,
+    Graph2VecEncoder,
+    GraphContext,
+    build_encoder,
+    wl_subtree_signatures,
+)
+from repro.graph import FeatureGraph
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def graph() -> FeatureGraph:
+    return FeatureGraph(
+        ["a", "b", "c", "d", "e"],
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("a", "e"), ("b", "d")],
+    )
+
+
+@pytest.fixture
+def ctx(graph) -> GraphContext:
+    return GraphContext.from_feature_graph(graph)
+
+
+@pytest.fixture
+def x(ctx) -> Tensor:
+    rng = np.random.default_rng(0)
+    return Tensor(rng.normal(size=(7, ctx.n_nodes, 3)), requires_grad=True)
+
+
+class TestGCN:
+    def test_output_shape(self, ctx, x):
+        layer = GCNConv(3, 8, rng=0)
+        assert layer(x, ctx).shape == (7, 5, 8)
+
+    def test_gradients_reach_weights(self, ctx, x):
+        layer = GCNConv(3, 4, rng=0)
+        layer(x, ctx).sum().backward()
+        assert layer.weight.grad is not None and np.abs(layer.weight.grad).sum() > 0
+        assert x.grad is not None
+
+    def test_propagation_uses_graph(self, ctx):
+        # A node's output must depend on its neighbor's input.
+        layer = GCNConv(1, 1, rng=0)
+        base = np.zeros((1, ctx.n_nodes, 1))
+        bumped = base.copy()
+        bumped[0, 1, 0] = 1.0  # bump node b
+        out_base = layer(Tensor(base), ctx).numpy()
+        out_bumped = layer(Tensor(bumped), ctx).numpy()
+        delta = np.abs(out_bumped - out_base)[0, :, 0]
+        assert delta[0] > 0  # a is a neighbor of b
+        assert delta[4] == pytest.approx(0.0, abs=1e-12)  # e is not
+
+    def test_node_count_mismatch(self, ctx):
+        layer = GCNConv(3, 4, rng=0)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 99, 3))), ctx)
+
+
+class TestGAT:
+    def test_output_shape_single_head(self, ctx, x):
+        layer = GATConv(3, 8, rng=0)
+        assert layer(x, ctx).shape == (7, 5, 8)
+
+    def test_output_shape_multi_head(self, ctx, x):
+        layer = GATConv(3, 8, heads=2, rng=0)
+        assert layer(x, ctx).shape == (7, 5, 8)
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            GATConv(3, 7, heads=2)
+
+    def test_attention_rows_normalized(self, ctx, x):
+        layer = GATConv(3, 4, heads=2, rng=0)
+        layer(x, ctx)
+        attention = layer.last_attention  # (heads, B, N, N)
+        np.testing.assert_allclose(attention.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_attention_respects_mask(self, ctx, x):
+        layer = GATConv(3, 4, rng=0)
+        layer(x, ctx)
+        attention = layer.last_attention[0]  # (B, N, N)
+        blocked = ~ctx.attention_mask
+        assert np.abs(attention[:, blocked]).max() < 1e-6
+
+    def test_gradients_reach_attention_params(self, ctx, x):
+        layer = GATConv(3, 4, rng=0)
+        layer(x, ctx).sum().backward()
+        assert np.abs(layer.attn_src.grad).sum() > 0
+        assert np.abs(layer.attn_dst.grad).sum() > 0
+
+    def test_isolated_node_attends_to_self(self):
+        graph = FeatureGraph(["a", "b", "c"], [("a", "b")])
+        ctx = GraphContext.from_feature_graph(graph)
+        layer = GATConv(2, 4, rng=0)
+        layer(Tensor(np.random.default_rng(0).normal(size=(1, 3, 2))), ctx)
+        attention = layer.last_attention[0, 0]
+        np.testing.assert_allclose(attention[2], [0.0, 0.0, 1.0], atol=1e-6)
+
+
+class TestGIN:
+    def test_output_shape(self, ctx, x):
+        layer = GINConv(3, 8, rng=0)
+        assert layer(x, ctx).shape == (7, 5, 8)
+
+    def test_eps_is_learnable(self, ctx, x):
+        layer = GINConv(3, 4, rng=0)
+        layer(x, ctx).sum().backward()
+        assert layer.eps.grad is not None
+
+    def test_eps_frozen_when_disabled(self, ctx, x):
+        layer = GINConv(3, 4, train_eps=False, rng=0)
+        layer(x, ctx).sum().backward()
+        assert layer.eps.grad is None
+
+    def test_neighbor_permutation_invariance(self, ctx):
+        # GIN aggregates neighbors by sum: permuting neighbor values of a
+        # node must leave that node's output unchanged.
+        layer = GINConv(1, 4, rng=0)
+        base = np.zeros((1, ctx.n_nodes, 1))
+        base[0, 1, 0], base[0, 4, 0] = 2.0, 3.0  # neighbors of a: b and e
+        swapped = base.copy()
+        swapped[0, 1, 0], swapped[0, 4, 0] = 3.0, 2.0
+        out_a_base = layer(Tensor(base), ctx).numpy()[0, 0]
+        out_a_swapped = layer(Tensor(swapped), ctx).numpy()[0, 0]
+        np.testing.assert_allclose(out_a_base, out_a_swapped, atol=1e-12)
+
+
+class TestGraph2Vec:
+    def test_wl_signature_shape(self, graph):
+        sig = wl_subtree_signatures(graph, iterations=2, buckets=16)
+        assert sig.shape == (5, 16)
+        assert (sig >= 0).all()
+
+    def test_wl_distinguishes_structure(self):
+        # A path's endpoint vs midpoint should get different signatures.
+        path = FeatureGraph(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        sig = wl_subtree_signatures(path)
+        assert not np.allclose(sig[0], sig[1])
+
+    def test_encoder_output_shape(self, graph, ctx):
+        enc = Graph2VecEncoder(3, 16, graph, rng=0)
+        out = enc(Tensor(np.zeros((4, 5, 3))), ctx)
+        assert out.shape == (4, 5, 16)
+
+    def test_encoder_has_no_trainable_parameters(self, graph):
+        enc = Graph2VecEncoder(3, 16, graph, rng=0)
+        trainable = [p for p in enc.parameters() if p.requires_grad]
+        assert not trainable
+        # The frozen projection is a parameter so serialization restores it.
+        assert enc.num_parameters() > 0
+        assert "projection" in enc.state_dict()
+
+    def test_encoder_deterministic(self, graph, ctx):
+        a = Graph2VecEncoder(3, 16, graph, rng=9)
+        b = Graph2VecEncoder(3, 16, graph, rng=9)
+        x = np.random.default_rng(0).normal(size=(2, 5, 3))
+        np.testing.assert_array_equal(a(Tensor(x), ctx).numpy(), b(Tensor(x), ctx).numpy())
+
+
+class TestEncoderFactory:
+    @pytest.mark.parametrize("architecture", ENCODER_ARCHITECTURES)
+    def test_all_architectures_forward(self, architecture, graph, ctx, x):
+        encoder = build_encoder(architecture, 3, 16, graph, rng=0)
+        out = encoder(x, ctx)
+        assert out.shape == (7, 5, 16)
+
+    def test_paper_architecture_layer_order(self, graph):
+        encoder = build_encoder("gat_gin", 3, 16, graph, n_layers=4, rng=0)
+        kinds = [type(layer).__name__ for layer in encoder._layers]
+        assert kinds == ["GATConv", "GINConv", "GATConv", "GINConv"]
+
+    def test_unknown_architecture(self, graph):
+        with pytest.raises(ConfigurationError):
+            build_encoder("transformer", 3, 16, graph)
+
+    def test_invalid_layer_count(self, graph):
+        with pytest.raises(ConfigurationError):
+            build_encoder("gcn", 3, 16, graph, n_layers=0)
+
+    def test_learned_encoders_trainable(self, graph, ctx, x):
+        encoder = build_encoder("gat_gin", 3, 16, graph, rng=0)
+        assert encoder.num_parameters() > 0
+        encoder(x, ctx).sum().backward()
+        grads = [p.grad for p in encoder.parameters() if p.requires_grad]
+        assert all(g is not None for g in grads)
+
+    def test_attention_maps_exposed(self, graph, ctx, x):
+        encoder = build_encoder("gat_gin", 3, 16, graph, rng=0)
+        encoder(x, ctx)
+        maps = encoder.attention_maps()
+        assert len(maps) == 2  # two GAT layers
+        assert maps[0].shape[-1] == graph.n_nodes
+
+    def test_deterministic_construction(self, graph, ctx):
+        x = np.random.default_rng(1).normal(size=(2, 5, 3))
+        a = build_encoder("gcn_gin", 3, 8, graph, rng=11)
+        b = build_encoder("gcn_gin", 3, 8, graph, rng=11)
+        np.testing.assert_array_equal(a(Tensor(x), ctx).numpy(), b(Tensor(x), ctx).numpy())

@@ -1,0 +1,84 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    error_rate_reduction,
+    evaluate_predictions,
+    row_detection_metrics,
+)
+
+
+class TestBinaryMetrics:
+    def test_perfect_classifier(self):
+        labels = [True, True, False, False]
+        metrics = evaluate_predictions(labels, labels)
+        assert metrics.accuracy == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.precision == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_flag_everything(self):
+        # The "too strict" failure mode: accuracy 0.5, recall 1.
+        labels = [True] * 10 + [False] * 10
+        metrics = evaluate_predictions(labels, [True] * 20)
+        assert metrics.accuracy == 0.5
+        assert metrics.recall == 1.0
+        assert metrics.false_positives == 10
+
+    def test_flag_nothing(self):
+        # The "too soft" failure mode: accuracy 0.5, recall 0.
+        labels = [True] * 10 + [False] * 10
+        metrics = evaluate_predictions(labels, [False] * 20)
+        assert metrics.accuracy == 0.5
+        assert metrics.recall == 0.0
+        assert metrics.precision == 0.0
+
+    def test_counts_sum(self):
+        rng = np.random.default_rng(0)
+        labels = rng.random(50) > 0.5
+        preds = rng.random(50) > 0.5
+        metrics = evaluate_predictions(labels, preds)
+        assert metrics.n_total == 50
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([True], [True, False])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([], [])
+
+
+class TestRowDetection:
+    def test_perfect_detection(self):
+        metrics = row_detection_metrics([1, 3, 5], [1, 3, 5], n_rows=10)
+        assert metrics.precision == 1.0 and metrics.recall == 1.0
+
+    def test_partial_detection(self):
+        metrics = row_detection_metrics([1, 3, 5, 7], [1, 3], n_rows=10)
+        assert metrics.recall == 0.5
+        assert metrics.precision == 1.0
+
+    def test_false_positives_hurt_precision(self):
+        metrics = row_detection_metrics([1], [1, 2, 3, 4], n_rows=10)
+        assert metrics.precision == 0.25
+
+    def test_no_flags(self):
+        metrics = row_detection_metrics([1, 2], [], n_rows=10)
+        assert metrics.precision == 0.0 and metrics.recall == 0.0 and metrics.f1 == 0.0
+
+
+class TestErrorRateReduction:
+    def test_paper_airbnb_numbers(self):
+        reduction = error_rate_reduction(0.1052, 0.0497)
+        assert reduction == pytest.approx(0.5276, abs=1e-3)
+
+    def test_zero_before(self):
+        assert error_rate_reduction(0.0, 0.0) == 0.0
+
+    def test_full_repair(self):
+        assert error_rate_reduction(0.2, 0.0) == 1.0

@@ -1,0 +1,274 @@
+"""Gradient correctness tests for the autograd engine.
+
+Every primitive's analytic gradient is checked against central finite
+differences on random inputs, plus structural tests for accumulation,
+graph topology, and the no_grad context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+
+from tests.conftest import finite_difference_grad
+
+
+def check_unary(op, shape=(3, 4), positive=False, seed=0, atol=1e-5):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    if positive:
+        x = np.abs(x) + 0.5
+
+    def numeric_fn(arr):
+        return float(op(Tensor(arr.copy())).sum().numpy())
+
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    expected = finite_difference_grad(numeric_fn, x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestUnaryGradients:
+    def test_exp(self):
+        check_unary(lambda t: t.exp())
+
+    def test_log(self):
+        check_unary(lambda t: t.log(), positive=True)
+
+    def test_sqrt(self):
+        check_unary(lambda t: t.sqrt(), positive=True)
+
+    def test_abs(self):
+        check_unary(lambda t: t.abs())
+
+    def test_relu(self):
+        check_unary(lambda t: t.relu())
+
+    def test_leaky_relu(self):
+        check_unary(lambda t: t.leaky_relu(0.2))
+
+    def test_elu(self):
+        check_unary(lambda t: t.elu())
+
+    def test_sigmoid(self):
+        check_unary(lambda t: t.sigmoid())
+
+    def test_tanh(self):
+        check_unary(lambda t: t.tanh())
+
+    def test_softmax(self):
+        check_unary(lambda t: (t.softmax(axis=-1) * Tensor(np.arange(12).reshape(3, 4) / 6.0)))
+
+    def test_neg(self):
+        check_unary(lambda t: -t)
+
+    def test_pow(self):
+        check_unary(lambda t: t**3)
+
+    def test_pow_fractional(self):
+        check_unary(lambda t: t**1.5, positive=True)
+
+
+class TestBinaryGradients:
+    @pytest.mark.parametrize(
+        "shape_a, shape_b",
+        [((3, 4), (3, 4)), ((3, 4), (4,)), ((3, 1), (1, 4)), ((2, 3, 4), (4,))],
+    )
+    def test_add_broadcast(self, shape_a, shape_b):
+        self._check_binary(lambda a, b: a + b, shape_a, shape_b)
+
+    @pytest.mark.parametrize(
+        "shape_a, shape_b",
+        [((3, 4), (3, 4)), ((3, 4), (4,)), ((2, 3, 4), (3, 4))],
+    )
+    def test_mul_broadcast(self, shape_a, shape_b):
+        self._check_binary(lambda a, b: a * b, shape_a, shape_b)
+
+    def test_sub(self):
+        self._check_binary(lambda a, b: a - b, (3, 4), (3, 4))
+
+    def test_div(self):
+        self._check_binary(lambda a, b: a / b, (3, 4), (3, 4), positive_b=True)
+
+    @pytest.mark.parametrize(
+        "shape_a, shape_b",
+        [((3, 4), (4, 5)), ((2, 3, 4), (4, 5)), ((2, 3, 4), (2, 4, 5)), ((5, 2, 3, 4), (4, 2))],
+    )
+    def test_matmul(self, shape_a, shape_b):
+        self._check_binary(lambda a, b: a @ b, shape_a, shape_b)
+
+    def test_matmul_vector_rhs(self):
+        self._check_binary(lambda a, b: a @ b, (3, 4), (4,))
+
+    def _check_binary(self, op, shape_a, shape_b, positive_b=False, seed=1):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=shape_a)
+        b = rng.normal(size=shape_b)
+        if positive_b:
+            b = np.abs(b) + 0.5
+
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        out = op(ta, tb).sum()
+        out.backward()
+
+        expected_a = finite_difference_grad(lambda arr: float(op(Tensor(arr), Tensor(b)).sum().numpy()), a.copy())
+        expected_b = finite_difference_grad(lambda arr: float(op(Tensor(a), Tensor(arr)).sum().numpy()), b.copy())
+        np.testing.assert_allclose(ta.grad, expected_a, atol=1e-5, rtol=1e-4)
+        np.testing.assert_allclose(tb.grad, expected_b, atol=1e-5, rtol=1e-4)
+
+
+class TestReductionGradients:
+    @pytest.mark.parametrize("axis, keepdims", [(None, False), (0, False), (1, True), ((0, 1), False)])
+    def test_sum(self, axis, keepdims):
+        self._check_reduction(lambda t: t.sum(axis=axis, keepdims=keepdims))
+
+    @pytest.mark.parametrize("axis, keepdims", [(None, False), (0, False), (1, True)])
+    def test_mean(self, axis, keepdims):
+        self._check_reduction(lambda t: t.mean(axis=axis, keepdims=keepdims))
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_max(self, axis):
+        # Unique values avoid tie subgradient ambiguity vs finite differences.
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)
+        np.random.default_rng(3).shuffle(x.reshape(-1))
+        t = Tensor(x.copy(), requires_grad=True)
+        t.max(axis=axis).sum().backward()
+        expected = finite_difference_grad(
+            lambda arr: float(Tensor(arr).max(axis=axis).sum().numpy()), x.copy()
+        )
+        np.testing.assert_allclose(t.grad, expected, atol=1e-5)
+
+    def _check_reduction(self, op, shape=(3, 4), seed=2):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=shape)
+        t = Tensor(x.copy(), requires_grad=True)
+        out = op(t)
+        # Weight the output so the gradient isn't trivially uniform.
+        weights = np.arange(out.size, dtype=np.float64).reshape(out.shape) / out.size
+        (out * Tensor(weights)).sum().backward()
+        expected = finite_difference_grad(
+            lambda arr: float((op(Tensor(arr)) * Tensor(weights)).sum().numpy()), x.copy()
+        )
+        np.testing.assert_allclose(t.grad, expected, atol=1e-5)
+
+
+class TestShapeOpGradients:
+    def test_reshape(self):
+        check_unary(lambda t: t.reshape(4, 3))
+
+    def test_transpose(self):
+        check_unary(lambda t: t.transpose(1, 0))
+
+    def test_transpose_3d(self):
+        check_unary(lambda t: t.transpose(2, 0, 1), shape=(2, 3, 4))
+
+    def test_swapaxes(self):
+        check_unary(lambda t: t.swapaxes(0, 1), shape=(2, 3, 4))
+
+    def test_getitem_slice(self):
+        check_unary(lambda t: t[1:, :2])
+
+    def test_getitem_fancy(self):
+        check_unary(lambda t: t[np.array([0, 0, 2])])
+
+    def test_expand_dims_squeeze(self):
+        check_unary(lambda t: t.expand_dims(1).squeeze(1))
+
+    def test_broadcast_to(self):
+        check_unary(lambda t: t.broadcast_to((5, 3, 4)))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        Tensor.concatenate([ta, tb], axis=0).sum().backward()
+        np.testing.assert_allclose(ta.grad, np.ones_like(a))
+        np.testing.assert_allclose(tb.grad, np.ones_like(b))
+
+    def test_stack(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.normal(size=(3,)), rng.normal(size=(3,))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        out = Tensor.stack([ta, tb], axis=0)
+        (out * Tensor(np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]))).sum().backward()
+        np.testing.assert_allclose(ta.grad, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(tb.grad, [4.0, 5.0, 6.0])
+
+    def test_where(self):
+        rng = np.random.default_rng(6)
+        cond = rng.random((3, 4)) > 0.5
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 4))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        Tensor.where(cond, ta, tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, cond.astype(float))
+        np.testing.assert_allclose(tb.grad, (~cond).astype(float))
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulation_diamond(self):
+        # y = x*x + x*x must give dy/dx = 4x (same node used twice).
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x + x * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_deep_chain(self):
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01 + 0.001
+        y.backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+        np.testing.assert_allclose(x.grad, [1.01**50], rtol=1e-10)
+
+    def test_backward_requires_grad_error(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach() * x
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+    def test_grad_shape_mismatch_rejected(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            x.backward(np.ones(3))
+
+    def test_second_backward_accumulates(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * 3).backward()
+        (x * 3).backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_scalar_coercion(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = 2.0 * x + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+        y2 = 1.0 / x
+        y2.sum().backward()
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (5.0 - x).backward()
+        np.testing.assert_allclose(x.grad, [-1.0])
+        x2 = Tensor(np.array([2.0]), requires_grad=True)
+        (4.0 / x2).backward()
+        np.testing.assert_allclose(x2.grad, [-1.0])

@@ -1,0 +1,292 @@
+"""Tests for nn layers, modules, optimizers, and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dropout,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    Tensor,
+    functional as F,
+    load_into_module,
+    save_module,
+)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 7, rng=0)
+        out = layer(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_batched_3d_input(self):
+        layer = Linear(4, 7, rng=0)
+        out = layer(Tensor(np.zeros((2, 5, 4))))
+        assert out.shape == (2, 5, 7)
+
+    def test_no_bias(self):
+        layer = Linear(3, 3, bias=False, rng=0)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 3))))
+        np.testing.assert_allclose(out.numpy(), 0.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=0)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+    def test_deterministic_init(self):
+        a = Linear(5, 5, rng=42)
+        b = Linear(5, 5, rng=42)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP([4, 8, 2], rng=0)
+        assert mlp(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_final_activation(self):
+        mlp = MLP([2, 2], final_activation="sigmoid", rng=0)
+        out = mlp(Tensor(np.array([[100.0, -100.0]])))
+        assert (out.numpy() >= 0).all() and (out.numpy() <= 1).all()
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([2, 2], activation="bogus")
+
+    def test_parameter_count(self):
+        mlp = MLP([4, 8, 2], rng=0)
+        assert mlp.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+
+class TestDropout:
+    def test_train_mode_zeroes_some(self):
+        drop = Dropout(0.5, rng=0)
+        out = drop(Tensor(np.ones((100, 100))))
+        zero_fraction = float((out.numpy() == 0).mean())
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5, rng=0)
+        drop.eval()
+        x = np.ones((10, 10))
+        np.testing.assert_array_equal(drop(Tensor(x)).numpy(), x)
+
+    def test_scaling_preserves_expectation(self):
+        drop = Dropout(0.3, rng=0)
+        out = drop(Tensor(np.ones((200, 200))))
+        assert abs(out.numpy().mean() - 1.0) < 0.05
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        layer = LayerNorm(6)
+        x = np.random.default_rng(0).normal(3.0, 5.0, size=(4, 6))
+        out = layer(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradients_flow(self):
+        layer = LayerNorm(4)
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(3, 4)), requires_grad=True))
+        (out * out).sum().backward()
+        assert layer.gamma.grad is not None
+
+
+class TestModuleMechanics:
+    def test_nested_parameter_discovery(self):
+        seq = Sequential(Linear(2, 3, rng=0), Linear(3, 1, rng=0))
+        names = [name for name, _ in seq.named_parameters()]
+        assert names == ["layer0.weight", "layer0.bias", "layer1.weight", "layer1.bias"]
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Dropout(0.5), Linear(2, 2, rng=0))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=0)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = MLP([3, 5, 2], rng=0)
+        b = MLP([3, 5, 2], rng=99)
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        np.testing.assert_array_equal(a(x).numpy(), b(x).numpy())
+
+    def test_state_dict_strictness(self):
+        a = MLP([3, 5, 2], rng=0)
+        state = a.state_dict()
+        state.pop("linear0.bias")
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_check(self):
+        a = Linear(2, 2, rng=0)
+        state = a.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = MLP([4, 6, 3], rng=7)
+        path = tmp_path / "model.npz"
+        save_module(model, path, metadata={"epochs": 12})
+        clone = MLP([4, 6, 3], rng=0)
+        metadata = load_into_module(clone, path)
+        assert metadata == {"epochs": 12}
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 4)))
+        np.testing.assert_array_equal(model(x).numpy(), clone(x).numpy())
+
+    def test_load_missing_file(self, tmp_path):
+        from repro.exceptions import SerializationError
+
+        with pytest.raises(SerializationError):
+            load_into_module(Linear(2, 2, rng=0), tmp_path / "nope.npz")
+
+    def test_load_mismatched_module(self, tmp_path):
+        from repro.exceptions import SerializationError
+
+        model = Linear(2, 2, rng=0)
+        path = tmp_path / "m.npz"
+        save_module(model, path)
+        with pytest.raises(SerializationError):
+            load_into_module(Linear(3, 3, rng=0), path)
+
+
+class TestOptimizers:
+    def _quadratic_loss(self, param: Parameter) -> Tensor:
+        target = Tensor(np.array([1.0, -2.0, 3.0]))
+        diff = param - target
+        return (diff * diff).sum()
+
+    def test_sgd_converges(self):
+        param = Parameter(np.zeros(3))
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            self._quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, [1.0, -2.0, 3.0], atol=1e-4)
+
+    def test_sgd_momentum_converges_faster(self):
+        def run(momentum):
+            param = Parameter(np.zeros(3))
+            opt = SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                loss = self._quadratic_loss(param)
+                loss.backward()
+                opt.step()
+            return float(self._quadratic_loss(param).numpy())
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_converges(self):
+        param = Parameter(np.zeros(3))
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            self._quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        def run(weight_decay):
+            param = Parameter(np.zeros(3))
+            opt = Adam([param], lr=0.05, weight_decay=weight_decay)
+            for _ in range(400):
+                opt.zero_grad()
+                self._quadratic_loss(param).backward()
+                opt.step()
+            return np.linalg.norm(param.data)
+
+        assert run(1.0) < run(0.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_skips_parameters_without_grad(self):
+        used = Parameter(np.zeros(2))
+        unused = Parameter(np.ones(2))
+        opt = Adam([used, unused], lr=0.1)
+        opt.zero_grad()
+        (used * used).sum().backward()
+        opt.step()
+        np.testing.assert_array_equal(unused.data, [1.0, 1.0])
+
+
+class TestFunctional:
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(loss.numpy(), 2.5)
+
+    def test_weighted_mse_weights_apply(self):
+        pred = Tensor(np.array([[1.0], [1.0]]), requires_grad=True)
+        target = np.zeros((2, 1))
+        loss_eq = F.weighted_mse_loss(pred, target, np.array([1.0, 1.0]))
+        loss_skew = F.weighted_mse_loss(pred, target, np.array([2.0, 0.0]))
+        np.testing.assert_allclose(loss_eq.numpy(), 1.0)
+        np.testing.assert_allclose(loss_skew.numpy(), 1.0)
+        # Gradient flows only into the weighted sample.
+        loss_skew.backward()
+        np.testing.assert_allclose(pred.grad[1], 0.0)
+
+    def test_weighted_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            F.weighted_mse_loss(Tensor(np.zeros((2, 2))), np.zeros((2, 2)), np.zeros(3))
+
+    def test_masked_softmax_respects_mask(self):
+        scores = Tensor(np.zeros((1, 4)))
+        mask = np.array([[True, True, False, False]])
+        out = F.masked_softmax(scores, mask).numpy()
+        np.testing.assert_allclose(out[0, :2], 0.5, atol=1e-6)
+        np.testing.assert_allclose(out[0, 2:], 0.0, atol=1e-6)
+
+    def test_l2_regularization(self):
+        params = [Parameter(np.array([3.0, 4.0]))]
+        np.testing.assert_allclose(F.l2_regularization(params, 0.1).numpy(), 2.5)
+
+    def test_dropout_eval_passthrough(self):
+        x = Tensor(np.ones((5, 5)))
+        out = F.dropout(x, 0.9, np.random.default_rng(0), training=False)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())

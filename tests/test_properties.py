@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import compute_sample_weights, flag_feature_cells, ThresholdCalibration
+from repro.data import LabelEncoder, MinMaxNormalizer
+from repro.errors import qwerty_typo
+from repro.graph import FeatureGraph
+from repro.metrics import evaluate_predictions
+from repro.nn import Tensor
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape, elements=finite_floats):
+    return hnp.arrays(np.float64, shape, elements=elements)
+
+
+class TestTensorProperties:
+    @given(arrays((3, 4)), arrays((3, 4)))
+    @settings(max_examples=50, deadline=None)
+    def test_add_matches_numpy(self, a, b):
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).numpy(), a + b)
+
+    @given(arrays((3, 4)), arrays((4, 2)))
+    @settings(max_examples=50, deadline=None)
+    def test_matmul_matches_numpy(self, a, b):
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b, rtol=1e-9, atol=1e-6)
+
+    @given(arrays((4, 5)))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_rows_sum_to_one(self, x):
+        out = Tensor(x).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+        assert (out >= 0).all()
+
+    @given(arrays((6,)))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(arrays((3, 4)))
+    @settings(max_examples=50, deadline=None)
+    def test_relu_is_idempotent(self, x):
+        once = Tensor(x).relu().numpy()
+        twice = Tensor(once).relu().numpy()
+        np.testing.assert_array_equal(once, twice)
+
+    @given(arrays((2, 3)), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_linear_in_scale(self, x, k):
+        scaled = (Tensor(x) * float(k)).mean().numpy()
+        np.testing.assert_allclose(scaled, k * Tensor(x).mean().numpy(), rtol=1e-9, atol=1e-9)
+
+
+class TestEncoderProperties:
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_label_encoder_roundtrip(self, values):
+        encoder = LabelEncoder().fit(values)
+        decoded = encoder.inverse_transform(encoder.transform(values))
+        assert list(decoded) == [str(v) for v in values]
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50).filter(lambda v: max(v) > min(v)))
+    @settings(max_examples=50, deadline=None)
+    def test_minmax_roundtrip(self, values):
+        array = np.array(values)
+        normalizer = MinMaxNormalizer().fit(array)
+        restored = normalizer.inverse_transform(normalizer.transform(array))
+        np.testing.assert_allclose(restored, array, rtol=1e-9, atol=1e-6)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50).filter(lambda v: max(v) > min(v)))
+    @settings(max_examples=50, deadline=None)
+    def test_minmax_fitted_range_maps_into_unit_interval(self, values):
+        array = np.array(values)
+        scaled = MinMaxNormalizer().fit(array).transform(array)
+        assert scaled.min() >= -1e-12 and scaled.max() <= 1.0 + 1e-12
+
+
+class TestWeightingProperties:
+    @given(hnp.arrays(np.float64, st.integers(1, 60),
+                      elements=st.floats(min_value=0, max_value=100, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_positive_and_mean_one(self, errors):
+        weights = compute_sample_weights(errors)
+        assert (weights > 0).all()
+        assert weights.mean() == pytest.approx(1.0)
+
+    @given(hnp.arrays(np.float64, st.integers(2, 60),
+                      elements=st.floats(min_value=0, max_value=100, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_anti_monotone_in_error(self, errors):
+        weights = compute_sample_weights(errors)
+        order = np.argsort(errors)
+        sorted_weights = weights[order]
+        assert all(sorted_weights[i] >= sorted_weights[i + 1] - 1e-12 for i in range(len(errors) - 1))
+
+
+class TestThresholdProperties:
+    @given(hnp.arrays(np.float64, st.integers(5, 200),
+                      elements=st.floats(min_value=0, max_value=1e6, allow_nan=False)),
+           st.floats(min_value=50.0, max_value=99.0))
+    @settings(max_examples=50, deadline=None)
+    def test_flagged_fraction_bounded_by_percentile(self, errors, percentile):
+        calib = ThresholdCalibration.from_clean_errors(errors, percentile=percentile)
+        flagged = calib.flag_rows(errors).mean()
+        # Percentile interpolation on small samples can place the
+        # threshold one rank low; allow the discrete 1/n overshoot.
+        assert flagged <= (100.0 - percentile) / 100.0 + 1.0 / errors.size + 1e-9
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 20), st.integers(2, 15)),
+                      elements=st.floats(min_value=0, max_value=100, allow_nan=False)),
+           st.floats(min_value=1.0, max_value=6.0))
+    @settings(max_examples=50, deadline=None)
+    def test_cell_flags_subset_of_row_mask(self, errors, sigma):
+        row_mask = np.zeros(errors.shape[0], dtype=bool)
+        row_mask[:: 2] = True
+        flags = flag_feature_cells(errors, row_mask, sigma=sigma)
+        assert not flags[~row_mask].any()
+
+
+class TestGraphProperties:
+    @given(st.integers(2, 12), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_adjacency_always_symmetric(self, n, data):
+        features = [f"f{i}" for i in range(n)]
+        n_edges = data.draw(st.integers(0, n * (n - 1) // 2))
+        pairs = [(features[i], features[j]) for i in range(n) for j in range(i + 1, n)]
+        chosen = data.draw(st.permutations(pairs))[:n_edges]
+        graph = FeatureGraph(features, chosen)
+        adjacency = graph.adjacency()
+        np.testing.assert_array_equal(adjacency, adjacency.T)
+        assert graph.n_edges == len(set(chosen))
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_isolate_fix_leaves_no_isolates(self, n):
+        features = [f"f{i}" for i in range(n)]
+        graph = FeatureGraph(features, [(features[0], features[1])])
+        fixed = graph.with_isolated_connected()
+        assert not fixed.isolated_features()
+
+
+class TestQwertyProperties:
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=1, max_size=15),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_typo_always_differs_and_preserves_length(self, word, seed):
+        rng = np.random.default_rng(seed)
+        out = qwerty_typo(word, rng)
+        assert out != word
+        assert len(out) == len(word)
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=100), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_accuracy_bounds_and_confusion_sum(self, labels, data):
+        predictions = data.draw(st.lists(st.booleans(), min_size=len(labels), max_size=len(labels)))
+        metrics = evaluate_predictions(labels, predictions)
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+        assert metrics.n_total == len(labels)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_prediction_is_perfect(self, labels):
+        metrics = evaluate_predictions(labels, labels)
+        assert metrics.accuracy == 1.0
+        assert metrics.false_positives == 0 and metrics.false_negatives == 0
