@@ -3,6 +3,11 @@
 Regenerates the rows-vs-seconds series at 5/10/18 dimensions on the NY
 Taxi data (set ``REPRO_FULL_SCALE=1`` for the paper's 10⁶ rows) and
 benchmarks validation of a fixed 10k-row slab.
+
+Since the runtime refactor, ``pipeline.validate`` serves through the
+compiled :class:`~repro.runtime.engine.InferenceEngine`; the timings
+here are therefore engine timings. ``benchmarks/bench_runtime.py``
+isolates the engine-vs-autograd speedup and streaming throughput.
 """
 
 from __future__ import annotations
@@ -33,7 +38,8 @@ def test_figure4_linear_scaling(figure4_result, benchmark, scale):
     largest = sizes[-1]
     assert r.seconds(dims_present[-1], largest) >= 0.5 * r.seconds(dims_present[0], largest)
 
-    # Benchmark: fixed-size validation (10k rows, 18 dims).
+    # Benchmark: fixed-size validation (10k rows, 18 dims) through the
+    # compiled-engine serving path.
     from repro.core import DQuaG, DQuaGConfig
 
     generator = TaxiGenerator()
@@ -42,4 +48,5 @@ def test_figure4_linear_scaling(figure4_result, benchmark, scale):
     table = generator.generate_clean(10_000, rng=2).select(columns)
     config = DQuaGConfig(hidden_dim=scale.hidden_dim, epochs=max(scale.epochs // 4, 2), seed=0)
     pipeline = DQuaG(config).fit(train, rng=0)
+    assert pipeline.engine is not None  # serving must be compiled, not autograd
     benchmark(lambda: pipeline.validate(table))

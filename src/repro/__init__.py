@@ -29,4 +29,8 @@ def __getattr__(name: str):
         from repro.core import DQuaG, DQuaGConfig
 
         return {"DQuaG": DQuaG, "DQuaGConfig": DQuaGConfig}[name]
+    if name in {"InferenceEngine", "StreamingValidator", "ValidationService"}:
+        import repro.runtime as runtime
+
+        return getattr(runtime, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -53,6 +53,10 @@ class DQuaGConfig:
     # never fire on the evaluation schemas; k = 2.5 keeps the rule's form
     # while making it achievable (see DESIGN.md §4.3 / EXPERIMENTS.md).
     feature_sigma: float = 2.5
+    # Percentile of per-feature clean cell errors used as an absolute
+    # cell-level outlier threshold within flagged rows (complements the
+    # row-relative μ+kσ rule for rows with several corrupted cells).
+    feature_threshold_percentile: float = 99.5
 
     # feature-graph construction
     graph_threshold: float = 0.25
@@ -87,6 +91,11 @@ class DQuaGConfig:
             raise ConfigurationError(f"dataset_rule_n must be positive, got {self.dataset_rule_n}")
         if self.feature_sigma <= 0:
             raise ConfigurationError(f"feature_sigma must be positive, got {self.feature_sigma}")
+        if not 0.0 < self.feature_threshold_percentile < 100.0:
+            raise ConfigurationError(
+                f"feature_threshold_percentile must be in (0, 100), "
+                f"got {self.feature_threshold_percentile}"
+            )
         if self.alpha < 0 or self.beta < 0:
             raise ConfigurationError(f"loss weights must be non-negative, got α={self.alpha}, β={self.beta}")
 

@@ -10,6 +10,15 @@ use, so experiments treat all methods uniformly:
 * **validate / validate_batch** (Phase 2) — reconstruction-error
   validation with row, cell, and dataset decisions;
 * **repair** — repair-decoder suggestions applied to flagged cells.
+
+Phase 2 is the serving hot path: after ``fit`` (or ``load_weights``)
+the model is compiled into the pure-NumPy
+:class:`~repro.runtime.engine.InferenceEngine`, and ``validate`` /
+``validate_batch`` / ``repair`` all route through it — no autograd
+graph is built at inference time. :meth:`streaming_validator` exposes
+the bounded-memory chunked path of :mod:`repro.runtime.streaming`, and
+:class:`~repro.runtime.service.ValidationService` serves many saved
+pipelines concurrently.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from repro.core.trainer import Trainer, TrainingHistory
 from repro.core.validator import DataQualityValidator, ValidationReport
 from repro.data.preprocess import TablePreprocessor
 from repro.data.table import Table
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, SchemaError, SerializationError
 from repro.graph.feature_graph import FeatureGraph
 from repro.graph.inference import StatisticalRelationshipInference
 from repro.graph.llm import FeatureGraphBuilder, HybridProvider, KnowledgeBaseProvider
@@ -62,6 +71,7 @@ class DQuaG(BaselineValidator):
         self.history: TrainingHistory | None = None
         self._validator: DataQualityValidator | None = None
         self._repair_engine: RepairEngine | None = None
+        self._future_categories: dict[str, list[str]] | None = None
 
     # -- phase 1 -----------------------------------------------------------
     def fit(
@@ -92,6 +102,7 @@ class DQuaG(BaselineValidator):
         """
         generator = ensure_rng(rng if rng is not None else self.config.seed)
 
+        self._future_categories = future_categories
         self.preprocessor = TablePreprocessor(
             clean.schema, missing_sentinel=self.config.missing_sentinel
         ).fit(clean, future_categories=future_categories)
@@ -119,11 +130,17 @@ class DQuaG(BaselineValidator):
         matrix = self.preprocessor.transform(clean)
         self.history = trainer.train(matrix, rng=derive_rng(generator, "train"), epochs=epochs)
 
+        # Compile the inference kernels now and calibrate *through* them:
+        # thresholds are order statistics of the exact error values the
+        # serving path will produce, so engine and calibration can never
+        # disagree at the last bit.
+        engine = self._compile_kernels()
+        errors_of = engine.reconstruction_errors if engine is not None else self.model.reconstruction_errors
         if calibration_table is not None:
             calib_matrix = self.preprocessor.transform(calibration_table)
-            calib_cell_errors = self.model.reconstruction_errors(calib_matrix)
+            calib_cell_errors = errors_of(calib_matrix)
         else:
-            calib_cell_errors = self.model.reconstruction_errors(matrix)
+            calib_cell_errors = errors_of(matrix)
         # Per-feature scales: features the model reconstructs precisely
         # (tiny clean error) must not be drowned out by intrinsically
         # noisy ones, so all error statistics live in scaled space.
@@ -135,21 +152,21 @@ class DQuaG(BaselineValidator):
             percentile=self.config.threshold_percentile,
             confidence=self.config.threshold_confidence,
         )
-        feature_thresholds = np.percentile(scaled_cell_errors, 99.5, axis=0)
-        self._validator = DataQualityValidator(
-            self.model, self.preprocessor, self.calibration, self.config,
+        feature_thresholds = np.percentile(
+            scaled_cell_errors, self.config.feature_threshold_percentile, axis=0
+        )
+        self._build_phase2(
             feature_thresholds=feature_thresholds,
             feature_scales=feature_scales,
-        )
-        self._repair_engine = RepairEngine(
-            self.model, self.preprocessor, clean_column_centers=np.median(matrix, axis=0)
+            clean_column_centers=np.median(matrix, axis=0),
+            engine=engine,
         )
         logger.info("calibrated threshold=%.6f (p%.0f)", self.calibration.threshold, self.config.threshold_percentile)
         return self
 
     # -- phase 2 --------------------------------------------------------------
     def validate(self, table: Table) -> ValidationReport:
-        """Full validation report for an unseen table."""
+        """Full validation report for an unseen table (engine-compiled path)."""
         return self._require_validator().validate(table)
 
     def validate_batch(self, batch: Table) -> BatchVerdict:
@@ -200,9 +217,68 @@ class DQuaG(BaselineValidator):
             repairs_by_column=by_column,
         )
 
+    # -- runtime ---------------------------------------------------------------
+    @property
+    def engine(self):
+        """The compiled :class:`~repro.runtime.engine.InferenceEngine`
+        serving this pipeline (``None`` if the model is not exportable)."""
+        return self._require_validator().engine
+
+    def streaming_validator(self, chunk_size: int = 8192, keep_cell_errors: bool = False):
+        """Bounded-memory chunked validator over this fitted pipeline."""
+        from repro.runtime.streaming import StreamingValidator
+
+        return StreamingValidator(
+            self._require_validator(), chunk_size=chunk_size, keep_cell_errors=keep_cell_errors
+        )
+
+    def _compile_kernels(self):
+        """Compile the fitted model into an :class:`InferenceEngine`
+        (``None`` when the architecture is not exportable)."""
+        from repro.exceptions import KernelExportError
+        from repro.runtime.engine import InferenceEngine
+
+        try:
+            return InferenceEngine(self.model)
+        except KernelExportError as exc:
+            logger.warning("model not exportable to NumPy kernels (%s); serving via autograd", exc)
+            return None
+
+    def _build_phase2(
+        self,
+        feature_thresholds: np.ndarray | None,
+        feature_scales: np.ndarray | None,
+        clean_column_centers: np.ndarray,
+        engine=None,
+    ) -> None:
+        """Assemble validator + repair engine around one shared compiled
+        inference engine (falling back to autograd when not exportable)."""
+        if engine is None:
+            engine = self._compile_kernels()
+        self._validator = DataQualityValidator(
+            self.model, self.preprocessor, self.calibration, self.config,
+            feature_thresholds=feature_thresholds,
+            feature_scales=feature_scales,
+            engine=engine,
+            use_engine=engine is not None,
+        )
+        if engine is not None:
+            engine.attach_context(
+                preprocessor=self.preprocessor,
+                calibration=self.calibration,
+                feature_scales=self._validator.feature_scales,
+                feature_thresholds=self._validator.feature_thresholds,
+            )
+        self._repair_engine = RepairEngine(
+            self.model, self.preprocessor,
+            clean_column_centers=clean_column_centers,
+            engine=engine,
+        )
+
     # -- persistence -------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist model weights, config, graph, and calibration."""
+        """Persist weights, config, graph, calibration, and the fitted
+        preprocessor state (encoder vocabularies and scaling ranges)."""
         if self.model is None or self.calibration is None:
             raise NotFittedError("cannot save an unfitted DQuaG pipeline")
         validator = self._require_validator()
@@ -223,18 +299,40 @@ class DQuaG(BaselineValidator):
             "feature_thresholds": (
                 None if validator.feature_thresholds is None else validator.feature_thresholds.tolist()
             ),
+            # The fitted encoder state travels with the weights: a
+            # reloaded pipeline must encode categories identically to
+            # the one the threshold was calibrated on (refitting on a
+            # different clean sample would silently shift codes).
+            "preprocessor": self.preprocessor.to_metadata(),
+            "future_categories": self._future_categories,
+            "clean_column_centers": (
+                None
+                if self._repair_engine is None
+                else self._repair_engine.clean_column_centers.tolist()
+            ),
         }
         save_state(self.model.state_dict(), path, metadata=metadata)
 
-    def load_weights(self, path: str | Path, clean: Table) -> "DQuaG":
-        """Restore a saved pipeline; ``clean`` refits the preprocessor
-        (encoders are data-derived and not stored in the archive)."""
+    def load_weights(self, path: str | Path, clean: Table | None = None) -> "DQuaG":
+        """Restore a saved pipeline from its archive alone.
+
+        The archive carries the fitted preprocessor state (label
+        vocabularies — including any ``future_categories`` supplied at
+        fit time — and numeric scaling ranges), so no clean table is
+        needed. ``clean`` is accepted for schema cross-checking only.
+        """
         state, metadata = load_state(path)
+        if "preprocessor" not in metadata:
+            raise SerializationError(
+                f"{path} does not carry preprocessor state (pre-runtime archive); "
+                "retrain and re-save the pipeline"
+            )
         self.config = DQuaGConfig.from_dict(metadata["config"])
         self.graph = FeatureGraph.from_dict(metadata["graph"])
-        self.preprocessor = TablePreprocessor(
-            clean.schema, missing_sentinel=self.config.missing_sentinel
-        ).fit(clean)
+        self.preprocessor = TablePreprocessor.from_metadata(metadata["preprocessor"])
+        self._future_categories = metadata.get("future_categories")
+        if clean is not None and clean.schema != self.preprocessor.schema:
+            raise SchemaError("provided table schema does not match the saved pipeline")
         self.model = DQuaGModel(self.graph, self.config)
         self.model.load_state_dict(state)
         calibration = metadata["calibration"]
@@ -248,17 +346,15 @@ class DQuaG(BaselineValidator):
         )
         scales = metadata.get("feature_scales")
         thresholds = metadata.get("feature_thresholds")
-        self._validator = DataQualityValidator(
-            self.model,
-            self.preprocessor,
-            self.calibration,
-            self.config,
+        centers = metadata.get("clean_column_centers")
+        self._build_phase2(
             feature_thresholds=None if thresholds is None else np.asarray(thresholds),
             feature_scales=None if scales is None else np.asarray(scales),
-        )
-        clean_matrix = self.preprocessor.transform(clean)
-        self._repair_engine = RepairEngine(
-            self.model, self.preprocessor, clean_column_centers=np.median(clean_matrix, axis=0)
+            clean_column_centers=(
+                np.full(len(self.preprocessor.schema), 0.5)
+                if centers is None
+                else np.asarray(centers, dtype=np.float64)
+            ),
         )
         return self
 

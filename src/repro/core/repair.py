@@ -51,12 +51,16 @@ class RepairEngine:
         model: DQuaGModel,
         preprocessor: TablePreprocessor,
         clean_column_centers: np.ndarray | None = None,
+        engine: "object | None" = None,
     ) -> None:
         self.model = model
         self.preprocessor = preprocessor
         if clean_column_centers is None:
             clean_column_centers = np.full(len(preprocessor.schema), 0.5)
         self.clean_column_centers = np.asarray(clean_column_centers, dtype=np.float64)
+        # Optional compiled InferenceEngine: repair proposals then come
+        # from the pure-NumPy repair-decoder kernel instead of autograd.
+        self.engine = engine
 
     def repair(self, table: Table, report: ValidationReport) -> tuple[Table, RepairSummary]:
         """Return a repaired copy of ``table`` and a change summary.
@@ -78,7 +82,10 @@ class RepairEngine:
         matrix = self.preprocessor.transform(table)
         masked = matrix.copy()
         masked[cell_flags] = np.broadcast_to(self.clean_column_centers, matrix.shape)[cell_flags]
-        proposals = self.model.repair_values(masked)
+        if self.engine is not None:
+            proposals = self.engine.repair_values(masked)
+        else:
+            proposals = self.model.repair_values(masked)
 
         repaired_columns: dict[str, np.ndarray] = {}
         repairs_by_column: dict[str, int] = {}

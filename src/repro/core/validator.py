@@ -1,4 +1,11 @@
-"""Phase 2: data-quality validation of unseen tables (§3.2.1)."""
+"""Phase 2: data-quality validation of unseen tables (§3.2.1).
+
+The numerical hot path — per-cell reconstruction errors — runs through
+the compiled :class:`~repro.runtime.engine.InferenceEngine` whenever the
+model's architecture can be exported to pure-NumPy kernels (all built-in
+encoders can); the autograd :class:`~repro.core.model.DQuaGModel` forward
+is kept as a fallback and as the parity reference.
+"""
 
 from __future__ import annotations
 
@@ -13,7 +20,7 @@ from repro.data.preprocess import TablePreprocessor
 from repro.data.table import Table
 from repro.exceptions import SchemaError
 
-__all__ = ["ValidationReport", "DataQualityValidator"]
+__all__ = ["ValidationReport", "DataQualityValidator", "assemble_report"]
 
 
 @dataclass
@@ -65,6 +72,43 @@ class ValidationReport:
         )
 
 
+def assemble_report(
+    cell_errors: np.ndarray,
+    calibration: ThresholdCalibration,
+    rule: DatasetDecisionRule,
+    feature_sigma: float,
+    feature_scales: np.ndarray | None = None,
+    feature_thresholds: np.ndarray | None = None,
+    feature_names: list[str] | None = None,
+) -> ValidationReport:
+    """Turn raw per-cell errors into the full §3.2.1 decision report.
+
+    Shared by the autograd validator, the compiled inference engine, and
+    the streaming validator so every path applies identical scaling and
+    flag rules. All decisions are row-local except ``flagged_fraction`` /
+    ``is_problematic``, which is why chunked validation can reproduce the
+    one-shot report exactly.
+    """
+    if feature_scales is not None:
+        cell_errors = cell_errors / feature_scales[None, :]
+    sample_errors = DQuaGModel.sample_errors(cell_errors)
+    row_flags = calibration.flag_rows(sample_errors)
+    cell_flags = flag_feature_cells(cell_errors, row_flags, sigma=feature_sigma)
+    if feature_thresholds is not None:
+        cell_flags |= (cell_errors > feature_thresholds[None, :]) & row_flags[:, None]
+    flagged_fraction = float(row_flags.mean()) if row_flags.size else 0.0
+    return ValidationReport(
+        sample_errors=sample_errors,
+        cell_errors=cell_errors,
+        row_flags=row_flags,
+        cell_flags=cell_flags,
+        threshold=calibration.threshold,
+        flagged_fraction=flagged_fraction,
+        is_problematic=rule.is_problematic(flagged_fraction),
+        feature_names=list(feature_names or []),
+    )
+
+
 class DataQualityValidator:
     """Applies a trained model + calibration to unseen tables."""
 
@@ -76,6 +120,8 @@ class DataQualityValidator:
         config: DQuaGConfig | None = None,
         feature_thresholds: np.ndarray | None = None,
         feature_scales: np.ndarray | None = None,
+        engine: "object | None" = None,
+        use_engine: bool = True,
     ) -> None:
         self.model = model
         self.preprocessor = preprocessor
@@ -101,6 +147,25 @@ class DataQualityValidator:
             percentile=self.config.threshold_percentile,
             n_multiplier=self.config.dataset_rule_n,
         )
+        self._engine = engine
+        self._use_engine = use_engine
+
+    @property
+    def engine(self):
+        """The compiled inference engine, built lazily on first use.
+
+        ``None`` when engine use is disabled or the model cannot be
+        exported (the autograd forward is then used instead).
+        """
+        if self._engine is None and self._use_engine:
+            from repro.exceptions import KernelExportError
+            from repro.runtime.engine import InferenceEngine
+
+            try:
+                self._engine = InferenceEngine(self.model)
+            except KernelExportError:
+                self._use_engine = False
+        return self._engine
 
     def validate(self, table: Table) -> ValidationReport:
         """Validate a table with the same schema as the training data."""
@@ -111,22 +176,17 @@ class DataQualityValidator:
 
     def validate_matrix(self, matrix: np.ndarray) -> ValidationReport:
         """Validate an already-preprocessed matrix (used by benchmarks)."""
-        cell_errors = self.model.reconstruction_errors(matrix)
-        if self.feature_scales is not None:
-            cell_errors = cell_errors / self.feature_scales[None, :]
-        sample_errors = DQuaGModel.sample_errors(cell_errors)
-        row_flags = self.calibration.flag_rows(sample_errors)
-        cell_flags = flag_feature_cells(cell_errors, row_flags, sigma=self.config.feature_sigma)
-        if self.feature_thresholds is not None:
-            cell_flags |= (cell_errors > self.feature_thresholds[None, :]) & row_flags[:, None]
-        flagged_fraction = float(row_flags.mean()) if row_flags.size else 0.0
-        return ValidationReport(
-            sample_errors=sample_errors,
-            cell_errors=cell_errors,
-            row_flags=row_flags,
-            cell_flags=cell_flags,
-            threshold=self.calibration.threshold,
-            flagged_fraction=flagged_fraction,
-            is_problematic=self.rule.is_problematic(flagged_fraction),
+        engine = self.engine
+        if engine is not None:
+            cell_errors = engine.reconstruction_errors(matrix)
+        else:
+            cell_errors = self.model.reconstruction_errors(matrix)
+        return assemble_report(
+            cell_errors,
+            calibration=self.calibration,
+            rule=self.rule,
+            feature_sigma=self.config.feature_sigma,
+            feature_scales=self.feature_scales,
+            feature_thresholds=self.feature_thresholds,
             feature_names=list(self.preprocessor.schema.names),
         )

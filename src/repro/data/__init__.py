@@ -5,7 +5,7 @@ from repro.data.table import Table
 from repro.data.encoders import LabelEncoder, MinMaxNormalizer
 from repro.data.preprocess import TablePreprocessor
 from repro.data.batching import iterate_minibatches, sample_validation_batches
-from repro.data.io import read_csv, write_csv
+from repro.data.io import read_csv, read_csv_chunks, write_csv
 
 __all__ = [
     "ColumnKind",
@@ -18,5 +18,6 @@ __all__ = [
     "iterate_minibatches",
     "sample_validation_batches",
     "read_csv",
+    "read_csv_chunks",
     "write_csv",
 ]

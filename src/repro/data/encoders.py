@@ -42,6 +42,18 @@ class LabelEncoder:
         self._code_of = {value: code for code, value in enumerate(self.classes_)}
         return self
 
+    @staticmethod
+    def from_classes(classes: list[str]) -> "LabelEncoder":
+        """Restore a fitted encoder from its persisted vocabulary.
+
+        The class list is taken verbatim (it was sorted at fit time), so
+        a restored encoder assigns exactly the original codes.
+        """
+        encoder = LabelEncoder()
+        encoder.classes_ = [str(v) for v in classes]
+        encoder._code_of = {value: code for code, value in enumerate(encoder.classes_)}
+        return encoder
+
     @property
     def unknown_code(self) -> int:
         self._check_fitted()
@@ -98,6 +110,14 @@ class MinMaxNormalizer:
         self.minimum_ = float(finite.min())
         self.maximum_ = float(finite.max())
         return self
+
+    @staticmethod
+    def from_range(minimum: float, maximum: float) -> "MinMaxNormalizer":
+        """Restore a fitted normalizer from its persisted range."""
+        normalizer = MinMaxNormalizer()
+        normalizer.minimum_ = float(minimum)
+        normalizer.maximum_ = float(maximum)
+        return normalizer
 
     @property
     def span(self) -> float:

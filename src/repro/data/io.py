@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -15,7 +16,7 @@ from repro.data.schema import TableSchema
 from repro.data.table import Table
 from repro.exceptions import SchemaError
 
-__all__ = ["write_csv", "read_csv"]
+__all__ = ["write_csv", "read_csv", "read_csv_chunks"]
 
 
 def write_csv(table: Table, path: str | Path) -> None:
@@ -56,13 +57,54 @@ def read_csv(path: str | Path, schema: TableSchema) -> Table:
 
     columns: dict[str, list] = {name: [] for name in schema.names}
     for line_no, row in enumerate(raw_rows, start=2):
-        if len(row) != len(schema):
-            raise SchemaError(f"{path}:{line_no}: expected {len(schema)} fields, got {len(row)}")
-        for spec, field in zip(schema, row):
-            if field == "":
-                columns[spec.name].append(np.nan if spec.is_numeric else None)
-            elif spec.is_numeric:
-                columns[spec.name].append(float(field))
-            else:
-                columns[spec.name].append(field)
+        _append_row(columns, schema, row, path, line_no)
     return Table(schema, columns)
+
+
+def read_csv_chunks(
+    path: str | Path, schema: TableSchema, chunk_size: int = 8192
+) -> Iterator[Table]:
+    """Stream a CSV as :class:`Table` chunks of at most ``chunk_size`` rows.
+
+    Only one chunk of rows is resident at a time — the row-chunk source
+    for :class:`~repro.runtime.streaming.StreamingValidator` on tables
+    too large to materialize.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        if header != schema.names:
+            raise SchemaError(f"{path} header {header} does not match schema {schema.names}")
+        columns: dict[str, list] = {name: [] for name in schema.names}
+        n_buffered = 0
+        for line_no, row in enumerate(reader, start=2):
+            _append_row(columns, schema, row, path, line_no)
+            n_buffered += 1
+            if n_buffered >= chunk_size:
+                yield Table(schema, columns)
+                columns = {name: [] for name in schema.names}
+                n_buffered = 0
+        if n_buffered:
+            yield Table(schema, columns)
+
+
+def _append_row(
+    columns: dict[str, list], schema: TableSchema, row: list[str], path: Path, line_no: int
+) -> None:
+    if len(row) != len(schema):
+        raise SchemaError(f"{path}:{line_no}: expected {len(schema)} fields, got {len(row)}")
+    for spec, field in zip(schema, row):
+        if field == "":
+            columns[spec.name].append(np.nan if spec.is_numeric else None)
+        elif spec.is_numeric:
+            columns[spec.name].append(float(field))
+        else:
+            columns[spec.name].append(field)

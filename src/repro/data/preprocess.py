@@ -16,6 +16,8 @@ snapping categorical predictions to the nearest valid category.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.data.encoders import LabelEncoder, MinMaxNormalizer
@@ -98,6 +100,23 @@ class TablePreprocessor:
         matrix[~np.isfinite(matrix)] = self.missing_sentinel
         return matrix
 
+    def transform_chunks(self, table: Table, chunk_size: int = 8192) -> Iterator[np.ndarray]:
+        """Encode ``table`` in row slices of at most ``chunk_size``.
+
+        Row encoding is independent of other rows (all fit-time state is
+        frozen), so the concatenated chunks equal :meth:`transform` of
+        the whole table. This is the bounded-memory path used by
+        :class:`~repro.runtime.streaming.StreamingValidator`.
+        """
+        self._check_fitted()
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if table.schema != self.schema:
+            raise SchemaError("table schema does not match preprocessor schema")
+        for start in range(0, table.n_rows, chunk_size):
+            stop = min(start + chunk_size, table.n_rows)
+            yield self.transform(table.take(np.arange(start, stop)))
+
     def inverse_transform(self, matrix: np.ndarray) -> Table:
         """Decode a model-space matrix back into a :class:`Table`."""
         self._check_fitted()
@@ -138,6 +157,47 @@ class TablePreprocessor:
         encoder = self.label_encoder(name)
         codes = np.arange(len(encoder.classes_), dtype=np.float64)
         return self._normalizers[name].transform(codes)
+
+    # -- persistence --------------------------------------------------------
+    def to_metadata(self) -> dict:
+        """JSON-serializable snapshot of all fitted encoder state.
+
+        Persisted in pipeline weight archives so a reloaded pipeline
+        encodes categories and scales values *identically* to the fitted
+        one — refitting on a (possibly different) clean table would
+        silently shift codes and invalidate the calibrated threshold.
+        """
+        self._check_fitted()
+        return {
+            "schema": self.schema.to_dict(),
+            "missing_sentinel": self.missing_sentinel,
+            "unknown_margin": self.unknown_margin,
+            "label_classes": {name: list(enc.classes_) for name, enc in self._label_encoders.items()},
+            "normalizer_ranges": {
+                name: {"minimum": norm.minimum_, "maximum": norm.maximum_}
+                for name, norm in self._normalizers.items()
+            },
+        }
+
+    @staticmethod
+    def from_metadata(payload: dict) -> "TablePreprocessor":
+        """Restore a fitted preprocessor from :meth:`to_metadata` output."""
+        schema = TableSchema.from_dict(payload["schema"])
+        preprocessor = TablePreprocessor(
+            schema,
+            missing_sentinel=payload["missing_sentinel"],
+            unknown_margin=payload["unknown_margin"],
+        )
+        preprocessor._label_encoders = {
+            name: LabelEncoder.from_classes(classes)
+            for name, classes in payload["label_classes"].items()
+        }
+        preprocessor._normalizers = {
+            name: MinMaxNormalizer.from_range(rng["minimum"], rng["maximum"])
+            for name, rng in payload["normalizer_ranges"].items()
+        }
+        preprocessor._fitted = True
+        return preprocessor
 
     def _check_fitted(self) -> None:
         if not self._fitted:

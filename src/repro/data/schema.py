@@ -65,6 +65,28 @@ class ColumnSpec:
     def is_categorical(self) -> bool:
         return self.kind == ColumnKind.CATEGORICAL
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by pipeline weight archives)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "categories": list(self.categories),
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "ColumnSpec":
+        return ColumnSpec(
+            name=payload["name"],
+            kind=payload["kind"],
+            description=payload.get("description", ""),
+            categories=tuple(payload.get("categories", ())),
+            minimum=payload.get("minimum"),
+            maximum=payload.get("maximum"),
+        )
+
 
 class TableSchema:
     """An ordered collection of :class:`ColumnSpec`."""
@@ -133,3 +155,11 @@ class TableSchema:
     def subset(self, names: list[str]) -> "TableSchema":
         """New schema restricted to ``names`` (kept in the given order)."""
         return TableSchema([self[name] for name in names])
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by pipeline weight archives)."""
+        return {"columns": [spec.to_dict() for spec in self._columns]}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "TableSchema":
+        return TableSchema([ColumnSpec.from_dict(spec) for spec in payload["columns"]])

@@ -42,3 +42,7 @@ class ConfigurationError(ReproError):
 
 class SerializationError(ReproError):
     """Model or state (de)serialization failed."""
+
+
+class KernelExportError(ReproError):
+    """A module could not be compiled into a pure-NumPy inference kernel."""

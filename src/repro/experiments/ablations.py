@@ -125,10 +125,17 @@ def run_ablations(
 
     # 3. Threshold percentile (reuses the hybrid model; recalibrates only).
     # Errors are scaled exactly as the validator scales them so the new
-    # thresholds live in the same space.
+    # thresholds live in the same space — and come from the same compiled
+    # engine that serves _measure(), so calibration and serving numerics
+    # agree to the last bit (matching DQuaG.fit).
     reference = fit(DQuaGConfig(**base_kwargs))
     calib_matrix = reference.preprocessor.transform(splits.calibration)
-    calib_cell_errors = reference.model.reconstruction_errors(calib_matrix)
+    errors_of = (
+        reference.engine.reconstruction_errors
+        if reference.engine is not None
+        else reference.model.reconstruction_errors
+    )
+    calib_cell_errors = errors_of(calib_matrix)
     scales = reference._validator.feature_scales
     if scales is not None:
         calib_cell_errors = calib_cell_errors / scales[None, :]

@@ -29,8 +29,11 @@ __all__ = ["get_splits", "get_pipeline", "clear_cache", "disk_cache_dir"]
 logger = get_logger("experiments.cache")
 
 #: bump when model/preprocessing semantics change — stale weight archives
-#: trained under different encodings must never be reused.
-CACHE_VERSION = 2
+#: trained under different encodings must never be reused. v3: archives
+#: now persist preprocessor state (runtime era, archive format v2);
+#: pre-runtime archives are additionally rejected by the format check in
+#: :mod:`repro.nn.serialization`.
+CACHE_VERSION = 3
 
 _SPLITS: dict[tuple, DataSplits] = {}
 _PIPELINES: dict[tuple, DQuaG] = {}

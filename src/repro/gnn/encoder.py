@@ -19,9 +19,11 @@ architecture   layer sequence (4 layers)
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, KernelExportError
 from repro.gnn.context import GraphContext
 from repro.gnn.gat import GATConv
 from repro.gnn.gcn import GCNConv
@@ -39,6 +41,22 @@ ENCODER_ARCHITECTURES = ("gat_gin", "gcn", "gcn_gat", "gcn_gin", "graph2vec", "g
 
 #: the five architectures the paper's Table 2 compares
 PAPER_ARCHITECTURES = ("gat_gin", "gcn", "gcn_gat", "gcn_gin", "graph2vec")
+
+
+def _np_relu(x: np.ndarray) -> np.ndarray:
+    # In-place twin of Tensor.relu: max(x, 0) == x * (x > 0).
+    return np.maximum(x, 0.0, out=x)
+
+
+def _np_elu(x: np.ndarray, scratch: np.ndarray | None = None) -> np.ndarray:
+    # In-place twin of Tensor.elu (alpha = 1): the branch select
+    # where(x > 0, x, expm1(min(x, 0))) equals max(x, expm1(min(x, 0))).
+    # ``scratch`` (same shape as x) avoids two large temporaries.
+    if scratch is None:
+        return np.maximum(x, np.expm1(np.minimum(x, 0.0)), out=x)
+    np.minimum(x, 0.0, out=scratch)
+    np.expm1(scratch, out=scratch)
+    return np.maximum(x, scratch, out=x)
 
 
 class GNNEncoder(Module):
@@ -69,6 +87,42 @@ class GNNEncoder(Module):
             if i < last:
                 x = x.elu() if activation == "elu" else x.relu()
         return x
+
+    def export_kernel(self, ctx: GraphContext) -> Callable:
+        """Compile the whole stack into one pure-NumPy forward function.
+
+        Each layer contributes its own compiled kernel (weights are
+        snapshotted at export time); the inter-layer ELU/ReLU pattern of
+        :meth:`forward` is reproduced exactly. Activations run in place
+        on the layer kernels' scratch buffers.
+        """
+        kernels: list[Callable] = []
+        for layer in self._layers:
+            export = getattr(layer, "export_kernel", None)
+            if export is None:
+                raise KernelExportError(
+                    f"layer {layer!r} does not implement export_kernel(); "
+                    "cannot compile this encoder into an inference kernel"
+                )
+            kernels.append(export(ctx))
+        activations = list(self._activations)
+        last = len(kernels) - 1
+
+        scratch_key = (id(self), "activation-scratch")
+
+        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
+            for i, (layer_kernel, activation) in enumerate(zip(kernels, activations)):
+                x = layer_kernel(x, ws)
+                if i < last:
+                    if activation == "elu":
+                        # Only ELU needs scratch (for its expm1 branch).
+                        scratch = None if ws is None else ws.get(scratch_key, x.shape)
+                        x = _np_elu(x, scratch)
+                    else:
+                        x = _np_relu(x)
+            return x
+
+        return kernel
 
     def attention_maps(self) -> list[np.ndarray]:
         """Most recent attention tensors from any GAT layers (may be empty)."""

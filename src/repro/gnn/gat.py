@@ -16,6 +16,7 @@ import numpy as np
 from repro.gnn.context import GraphContext
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.kernels import buffer
 from repro.nn.module import Module
 from repro.nn.tensor import Parameter, Tensor
 from repro.utils.rng import ensure_rng
@@ -69,6 +70,44 @@ class GATConv(Module):
         out = head_outputs[0] if self.heads == 1 else Tensor.concatenate(head_outputs, axis=-1)
         self._last_attention = np.stack(attention_snapshots, axis=0)
         return out + self.bias
+
+    def export_kernel(self, ctx: GraphContext):
+        """Compile into a pure-NumPy forward numerically identical to
+        :meth:`forward` (masked softmax included) minus the attention
+        snapshots and graph bookkeeping. The score/softmax chain runs in
+        place on workspace scratch; the leaky-ReLU branch select is
+        computed as ``max(x, slope·x)`` (equal for slope < 1)."""
+        weight = self.weight.data.copy()
+        attn_src = self.attn_src.data.copy()
+        attn_dst = self.attn_dst.data.copy()
+        bias = self.bias.data.copy()
+        mask_bias = np.where(np.asarray(ctx.attention_mask, dtype=bool), 0.0, -1e9)
+        heads, head_dim, slope = self.heads, self.head_dim, self.negative_slope
+        n_nodes = ctx.n_nodes
+
+        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
+            batch = x.shape[0]
+            out_shape = (batch, n_nodes, heads * head_dim)
+            transformed = np.matmul(x, weight, out=buffer(ws, (id(self), "transform"), out_shape))
+            out = buffer(ws, (id(self), "out"), out_shape)
+            scores = buffer(ws, (id(self), "scores"), (batch, n_nodes, n_nodes))
+            scaled = buffer(ws, (id(self), "scaled"), (batch, n_nodes, n_nodes))
+            for h in range(heads):
+                h_feat = transformed[..., h * head_dim : (h + 1) * head_dim]
+                src_score = h_feat @ attn_src[h]  # (B, N)
+                dst_score = h_feat @ attn_dst[h]  # (B, N)
+                np.add(src_score[..., :, None], dst_score[..., None, :], out=scores)
+                np.multiply(scores, slope, out=scaled)
+                np.maximum(scores, scaled, out=scores)  # = LeakyReLU
+                scores += mask_bias
+                scores -= scores.max(axis=-1, keepdims=True)
+                np.exp(scores, out=scores)
+                scores /= scores.sum(axis=-1, keepdims=True)
+                np.matmul(scores, h_feat, out=out[..., h * head_dim : (h + 1) * head_dim])
+            out += bias
+            return out
+
+        return kernel
 
     @property
     def last_attention(self) -> np.ndarray | None:

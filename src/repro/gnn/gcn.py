@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.gnn.context import GraphContext
 from repro.nn import init
+from repro.nn.kernels import buffer
 from repro.nn.module import Module
 from repro.nn.tensor import Parameter, Tensor
 from repro.utils.rng import ensure_rng
@@ -39,6 +40,23 @@ class GCNConv(Module):
         support = x @ self.weight
         propagated = Tensor(ctx.norm_adjacency) @ support
         return propagated + self.bias
+
+    def export_kernel(self, ctx: GraphContext):
+        """Compile into a pure-NumPy forward: ``Â (X W) + b``."""
+        weight = self.weight.data.copy()
+        bias = self.bias.data.copy()
+        norm_adjacency = np.ascontiguousarray(ctx.norm_adjacency)
+        support_key = (id(self), "support")
+        out_key = (id(self), "out")
+
+        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
+            out_shape = x.shape[:-1] + (weight.shape[1],)
+            support = np.matmul(x, weight, out=buffer(ws, support_key, out_shape))
+            out = np.matmul(norm_adjacency, support, out=buffer(ws, out_key, out_shape))
+            out += bias
+            return out
+
+        return kernel
 
     def __repr__(self) -> str:
         return f"GCNConv({self.in_features}, {self.out_features})"

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gnn.context import GraphContext
+from repro.nn.kernels import buffer
 from repro.nn.layers import MLP
 from repro.nn.module import Module
 from repro.nn.tensor import Parameter, Tensor
@@ -45,6 +46,23 @@ class GINConv(Module):
         neighbor_sum = Tensor(ctx.adjacency) @ x
         combined = x * (self.eps + 1.0) + neighbor_sum
         return self.mlp(combined)
+
+    def export_kernel(self, ctx: GraphContext):
+        """Compile into a pure-NumPy forward: ``MLP((1+ε)x + A x)``.
+
+        The aggregation is folded into a single propagation matrix
+        ``M = (1+ε)I + A`` (the adjacency carries no self-loops), so one
+        batched matmul replaces the scale-and-add chain.
+        """
+        propagation = ctx.adjacency + float(self.eps.data + 1.0) * np.eye(ctx.n_nodes)
+        mlp = self.mlp.export_kernel()
+        key = (id(self), "combined")
+
+        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
+            combined = np.matmul(propagation, x, out=buffer(ws, key, x.shape))
+            return mlp(combined, ws)
+
+        return kernel
 
     def __repr__(self) -> str:
         return f"GINConv({self.in_features}, {self.out_features}, train_eps={self.train_eps})"

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.gnn.context import GraphContext
 from repro.graph.feature_graph import FeatureGraph
+from repro.nn.kernels import buffer
 from repro.nn.module import Module
 from repro.nn.tensor import Parameter, Tensor
 from repro.utils.rng import ensure_rng
@@ -97,6 +98,27 @@ class Graph2VecEncoder(Module):
         structure = np.broadcast_to(self._signature, (batch, n_nodes, self._signature.shape[1]))
         combined = np.concatenate([x.numpy(), structure], axis=-1)
         return Tensor(np.tanh(combined @ self.projection.data))
+
+    def export_kernel(self, ctx: GraphContext):
+        """Compile into a pure-NumPy forward.
+
+        The WL signatures are constant per node, so their share of the
+        projection — ``signature @ projection[values:]`` — is folded
+        into a per-node constant at export time; only the value part
+        multiplies per batch.
+        """
+        values_dim = self.in_features
+        value_projection = self.projection.data[:values_dim].copy()
+        structure_term = self._signature @ self.projection.data[values_dim:]  # (N, hidden)
+        key = (id(self), "out")
+
+        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
+            out_shape = x.shape[:-1] + (value_projection.shape[1],)
+            out = np.matmul(x, value_projection, out=buffer(ws, key, out_shape))
+            out += structure_term
+            return np.tanh(out, out=out)
+
+        return kernel
 
     def __repr__(self) -> str:
         return f"Graph2VecEncoder({self.in_features}, {self.hidden_features})"

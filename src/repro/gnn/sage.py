@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.gnn.context import GraphContext
 from repro.nn import init
+from repro.nn.kernels import buffer
 from repro.nn.module import Module
 from repro.nn.tensor import Parameter, Tensor
 from repro.utils.rng import ensure_rng
@@ -51,6 +52,24 @@ class SAGEConv(Module):
             raise ValueError(f"node axis {x.shape[-2]} != graph nodes {ctx.n_nodes}")
         neighbor_mean = Tensor(self._mean_adj(ctx)) @ x
         return x @ self.weight_self + neighbor_mean @ self.weight_neigh + self.bias
+
+    def export_kernel(self, ctx: GraphContext):
+        """Compile into a pure-NumPy forward: ``X W_s + (Ā X) W_n + b``."""
+        mean_adjacency = self._mean_adj(ctx).copy()
+        weight_self = self.weight_self.data.copy()
+        weight_neigh = self.weight_neigh.data.copy()
+        bias = self.bias.data.copy()
+        keys = tuple((id(self), role) for role in ("self", "mean", "neigh"))
+
+        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
+            out_shape = x.shape[:-1] + (weight_self.shape[1],)
+            out = np.matmul(x, weight_self, out=buffer(ws, keys[0], out_shape))
+            mean = np.matmul(mean_adjacency, x, out=buffer(ws, keys[1], x.shape))
+            out += np.matmul(mean, weight_neigh, out=buffer(ws, keys[2], out_shape))
+            out += bias
+            return out
+
+        return kernel
 
     def __repr__(self) -> str:
         return f"SAGEConv({self.in_features}, {self.out_features})"

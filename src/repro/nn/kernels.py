@@ -1,0 +1,54 @@
+"""Workspace-backed buffer reuse for compiled inference kernels.
+
+Compiled kernels (see ``export_kernel()`` on layers and GNN convs) are
+allocation-bound on large batches: a (10k, 18, 64) float64 temporary is
+~92 MB, and a fresh mmap per op costs more in page faults than the GEMM
+it feeds. A :class:`Workspace` hands kernels named, reusable scratch
+arrays instead — the first chunk pays the allocations, every later
+chunk (and every later call) runs in warmed buffers.
+
+Kernels accept ``ws=None`` and then fall back to plain ``np.empty``, so
+exported kernels remain self-contained callables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace", "buffer"]
+
+
+class Workspace:
+    """Named scratch buffers, grown on demand and reused across calls.
+
+    Buffers are keyed by caller-chosen identifiers (layer identity +
+    role); a request with a larger element count reallocates, a smaller
+    one returns a reshaped view of the existing capacity. Not
+    thread-safe — use one workspace per thread (the inference engine
+    keeps them thread-local).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[object, np.ndarray] = {}
+
+    def get(self, key: object, shape: tuple[int, ...]) -> np.ndarray:
+        """A float64 C-contiguous scratch array of ``shape``.
+
+        Contents are unspecified — callers must fully overwrite it.
+        """
+        size = int(np.prod(shape))
+        flat = self._buffers.get(key)
+        if flat is None or flat.size < size:
+            flat = np.empty(size, dtype=np.float64)
+            self._buffers[key] = flat
+        return flat[:size].reshape(shape)
+
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+def buffer(ws: Workspace | None, key: object, shape: tuple[int, ...]) -> np.ndarray:
+    """Workspace scratch when available, fresh array otherwise."""
+    if ws is None:
+        return np.empty(shape, dtype=np.float64)
+    return ws.get(key, shape)

@@ -6,13 +6,15 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.exceptions import KernelExportError
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.kernels import Workspace, buffer
 from repro.nn.module import Module
 from repro.nn.tensor import Parameter, Tensor
 from repro.utils.rng import ensure_rng
 
-__all__ = ["Linear", "MLP", "Dropout", "LayerNorm", "Sequential", "Identity", "ACTIVATIONS"]
+__all__ = ["Linear", "MLP", "Dropout", "LayerNorm", "Sequential", "Identity", "ACTIVATIONS", "NUMPY_ACTIVATIONS"]
 
 ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
     "relu": F.relu,
@@ -20,6 +22,21 @@ ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
     "elu": F.elu,
     "sigmoid": F.sigmoid,
     "tanh": F.tanh,
+    "identity": lambda x: x,
+}
+
+#: pure-NumPy twins of :data:`ACTIVATIONS`, numerically identical to the
+#: Tensor ops so compiled kernels reproduce autograd forward passes
+#: exactly (``max(x, 0)`` equals ``x * (x > 0)``; ``max(x, slope·x)``
+#: equals the leaky-ReLU branch select for slope < 1; ``max(x,
+#: expm1(min(x, 0)))`` equals the ELU branch select). These operate
+#: IN PLACE on ``x`` — callers pass kernel-owned scratch arrays.
+NUMPY_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "relu": lambda x: np.maximum(x, 0.0, out=x),
+    "leaky_relu": lambda x: np.maximum(x, np.multiply(x, 0.2), out=x),
+    "elu": lambda x: np.maximum(x, np.expm1(np.minimum(x, 0.0)), out=x),
+    "sigmoid": lambda x: np.reciprocal(np.add(np.exp(np.negative(x, out=x), out=x), 1.0, out=x), out=x),
+    "tanh": lambda x: np.tanh(x, out=x),
     "identity": lambda x: x,
 }
 
@@ -65,6 +82,25 @@ class Linear(Module):
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def export_kernel(self) -> "Callable[[np.ndarray, Workspace | None], np.ndarray]":
+        """Snapshot the weights into a pure-NumPy forward function.
+
+        The kernel writes into (and returns) workspace scratch when a
+        :class:`~repro.nn.kernels.Workspace` is supplied, so repeated
+        calls reuse memory instead of re-faulting fresh pages.
+        """
+        weight = self.weight.data.copy()
+        bias = None if self.bias is None else self.bias.data.copy()
+        key = (id(self), "linear")
+
+        def kernel(x: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
+            out = np.matmul(x, weight, out=buffer(ws, key, x.shape[:-1] + (weight.shape[1],)))
+            if bias is not None:
+                out += bias
+            return out
+
+        return kernel
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
@@ -145,6 +181,11 @@ class MLP(Module):
         self.sizes = list(sizes)
         self._activation = resolve_activation(activation)
         self._final_activation = resolve_activation(final_activation) if final_activation else None
+        # Keep the names around: export_kernel() needs the NumPy twin of
+        # each activation, which only name-based lookups can provide.
+        self._activation_name = activation if isinstance(activation, str) else None
+        self._final_activation_name = final_activation if isinstance(final_activation, str) else None
+        self._dropout_p = dropout
         self._layers: list[Linear] = []
         self._dropouts: list[Dropout | None] = []
         for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
@@ -169,3 +210,39 @@ class MLP(Module):
         if self._final_activation is not None:
             x = self._final_activation(x)
         return x
+
+    def export_kernel(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Compile the MLP into a pure-NumPy inference function.
+
+        Dropout is an inference no-op, but a non-zero probability means
+        the training-mode forward differs from the exported kernel, so a
+        configured dropout is rejected rather than silently dropped.
+        """
+        if self._dropout_p > 0.0:
+            raise KernelExportError("cannot export an MLP with dropout to an inference kernel")
+        if self._activation_name is None or self._activation_name not in NUMPY_ACTIVATIONS:
+            raise KernelExportError(
+                f"activation {self._activation_name!r} has no NumPy twin; "
+                f"choose from {sorted(NUMPY_ACTIVATIONS)}"
+            )
+        if self._final_activation is not None and (
+            self._final_activation_name is None or self._final_activation_name not in NUMPY_ACTIVATIONS
+        ):
+            raise KernelExportError(
+                f"final activation {self._final_activation_name!r} has no NumPy twin"
+            )
+        linears = [layer.export_kernel() for layer in self._layers]
+        activation = NUMPY_ACTIVATIONS[self._activation_name]
+        final = None if self._final_activation is None else NUMPY_ACTIVATIONS[self._final_activation_name]
+        last = len(linears) - 1
+
+        def kernel(x: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
+            for i, linear in enumerate(linears):
+                x = linear(x, ws)
+                if i < last:
+                    x = activation(x)  # in place on the linear's scratch
+            if final is not None:
+                x = final(x)
+            return x
+
+        return kernel

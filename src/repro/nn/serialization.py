@@ -1,4 +1,10 @@
-"""Save/load module state dicts as ``.npz`` archives with a JSON manifest."""
+"""Save/load module state dicts as ``.npz`` archives with a JSON manifest.
+
+Archives carry a ``format_version`` so weight files written before a
+breaking change to model/preprocessing semantics are rejected with a
+clear error instead of loading into a pipeline whose numerics silently
+disagree with the calibration stored next to them.
+"""
 
 from __future__ import annotations
 
@@ -10,16 +16,29 @@ import numpy as np
 from repro.exceptions import SerializationError
 from repro.nn.module import Module
 
-__all__ = ["save_state", "load_state", "save_module", "load_into_module"]
+__all__ = ["save_state", "load_state", "save_module", "load_into_module", "FORMAT_VERSION"]
 
 _MANIFEST_KEY = "__manifest__"
+
+#: Archive format history:
+#: 1 — (implicit) seed archives: weights + metadata, preprocessor refit on load.
+#: 2 — runtime era: preprocessor state persisted in metadata; pipelines
+#:     reload standalone. Pre-runtime archives must be regenerated.
+FORMAT_VERSION = 2
+
+#: Oldest format this build can still load faithfully.
+MIN_SUPPORTED_FORMAT = 2
 
 
 def save_state(state: dict[str, np.ndarray], path: str | Path, metadata: dict | None = None) -> None:
     """Persist a flat name→array mapping (plus optional JSON metadata)."""
     path = Path(path)
     payload = dict(state)
-    manifest = {"names": sorted(state), "metadata": metadata or {}}
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "names": sorted(state),
+        "metadata": metadata or {},
+    }
     payload[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **payload)
@@ -34,6 +53,19 @@ def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
         if _MANIFEST_KEY not in archive:
             raise SerializationError(f"{path} is not a repro state archive (missing manifest)")
         manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+        version = manifest.get("format_version", 1)
+        if version < MIN_SUPPORTED_FORMAT:
+            raise SerializationError(
+                f"{path} uses archive format v{version}, but this build requires "
+                f">= v{MIN_SUPPORTED_FORMAT}: pre-runtime archives do not persist "
+                "preprocessor state and would load inconsistently. Retrain and "
+                "re-save the pipeline."
+            )
+        if version > FORMAT_VERSION:
+            raise SerializationError(
+                f"{path} uses archive format v{version}, newer than this build's "
+                f"v{FORMAT_VERSION}; upgrade the library to load it."
+            )
         state = {name: archive[name] for name in manifest["names"]}
     return state, manifest.get("metadata", {})
 

@@ -1,0 +1,32 @@
+"""Compiled inference runtime — the Phase-2 serving subsystem.
+
+Phase 1 (training) runs on the reverse-mode autograd substrate in
+:mod:`repro.nn`; Phase 2 (validating unseen batches, §3.2.1) is the
+serving hot path and does not need gradients at all. Following the
+compile-don't-interpret insight of GNNBuilder-style systems, this
+package turns a fitted :class:`~repro.core.pipeline.DQuaG` into plain
+NumPy kernels and builds the serving stack on top:
+
+* :mod:`repro.runtime.engine` — :class:`InferenceEngine`, pure-NumPy
+  forward kernels compiled from a fitted model (no ``Tensor`` graph
+  bookkeeping, one shared encoder pass for both decoders);
+* :mod:`repro.runtime.streaming` — :class:`StreamingValidator`,
+  bounded-memory validation of arbitrarily large tables via mergeable
+  :class:`PartialReport` chunks;
+* :mod:`repro.runtime.service` — :class:`ValidationService`, an LRU
+  registry of fitted pipelines dispatching concurrent batch validation
+  across a thread pool.
+"""
+
+from repro.runtime.engine import InferenceEngine
+from repro.runtime.streaming import PartialReport, StreamingValidator, StreamSummary
+from repro.runtime.service import PipelineEntry, ValidationService
+
+__all__ = [
+    "InferenceEngine",
+    "PartialReport",
+    "StreamingValidator",
+    "StreamSummary",
+    "PipelineEntry",
+    "ValidationService",
+]

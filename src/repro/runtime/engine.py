@@ -1,0 +1,297 @@
+"""Compiled pure-NumPy inference engine for fitted DQuaG models.
+
+Training needs the autograd graph; serving does not. Every ``validate()``
+on the seed implementation still ran through :class:`~repro.nn.tensor.Tensor`,
+allocating per-op graph nodes it immediately threw away. The
+:class:`InferenceEngine` instead *compiles* a fitted model once — each
+GNN layer exports its weights into a closure over raw ``np.ndarray`` ops
+(see ``export_kernel()`` on the layers in :mod:`repro.gnn`) — and then
+runs Phase 2 with:
+
+* zero ``Tensor`` bookkeeping (plain arrays end to end),
+* one shared encoder pass feeding both decoders (``forward``),
+* reusable thread-local :class:`~repro.nn.kernels.Workspace` buffers —
+  large temporaries are faulted in once and recycled across chunks, and
+  a single engine can serve concurrent requests,
+* constant folding: the per-feature identity embeddings are baked into
+  the decoder's first affine layer, so no per-batch concatenation of
+  constant data happens at all,
+* reconstruction-error / repair-value computation fused into the kernel.
+
+Numerics agree with the autograd forward to floating-point roundoff
+(summation orders differ where constant terms were folded); the parity
+suite in ``tests/test_runtime.py`` pins engine-vs-autograd agreement to
+1e-10 across all encoder architectures.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.config import DQuaGConfig
+from repro.core.model import DQuaGModel
+from repro.core.thresholds import DatasetDecisionRule, ThresholdCalibration
+from repro.core.validator import ValidationReport, assemble_report
+from repro.data.preprocess import TablePreprocessor
+from repro.data.table import Table
+from repro.exceptions import NotFittedError, SchemaError
+from repro.nn.kernels import Workspace, buffer
+from repro.nn.layers import MLP, NUMPY_ACTIVATIONS
+
+__all__ = ["InferenceEngine"]
+
+
+class InferenceEngine:
+    """A fitted :class:`DQuaGModel` compiled to pure-NumPy kernels.
+
+    Construction snapshots all weights (training the model afterwards
+    does not affect the engine — recompile to pick up new weights). The
+    optional calibration context (preprocessor, thresholds, scales)
+    enables the full ``validate()`` path; without it the engine still
+    serves raw ``reconstruction_errors`` / ``repair_values``.
+    """
+
+    def __init__(
+        self,
+        model: DQuaGModel,
+        chunk_size: int = 512,
+        preprocessor: TablePreprocessor | None = None,
+        calibration: ThresholdCalibration | None = None,
+        config: DQuaGConfig | None = None,
+        feature_scales: np.ndarray | None = None,
+        feature_thresholds: np.ndarray | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.n_features = model.n_features
+        self.embed_dim = model.config.feature_embedding_dim
+        self.architecture = model.config.architecture
+        self._embeddings = model.feature_embeddings.data.copy()
+
+        # -- compiled kernels (weight snapshots) -------------------------
+        self._encoder = model.encoder.export_kernel(model.ctx)
+        self._validation_decoder = self._compile_decoder(model.validation_decoder)
+        self._repair_decoder = self._compile_decoder(model.repair_decoder)
+
+        # -- optional validation context ---------------------------------
+        self.config = config or model.config
+        self.attach_context(
+            preprocessor=preprocessor,
+            calibration=calibration,
+            feature_scales=feature_scales,
+            feature_thresholds=feature_thresholds,
+        )
+
+        # Workspaces are kept thread-local: one engine may serve
+        # concurrent validations from a thread pool.
+        self._local = threading.local()
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def from_validator(cls, validator, chunk_size: int = 512) -> "InferenceEngine":
+        """Compile a :class:`~repro.core.validator.DataQualityValidator`
+        together with its calibration context."""
+        return cls(
+            validator.model,
+            chunk_size=chunk_size,
+            preprocessor=validator.preprocessor,
+            calibration=validator.calibration,
+            config=validator.config,
+            feature_scales=validator.feature_scales,
+            feature_thresholds=validator.feature_thresholds,
+        )
+
+    @classmethod
+    def from_pipeline(cls, pipeline, chunk_size: int = 512) -> "InferenceEngine":
+        """Compile a fitted :class:`~repro.core.pipeline.DQuaG`."""
+        validator = getattr(pipeline, "_validator", None)
+        if validator is None:
+            raise NotFittedError("cannot compile an unfitted DQuaG pipeline")
+        return cls.from_validator(validator, chunk_size=chunk_size)
+
+    def attach_context(
+        self,
+        preprocessor: TablePreprocessor | None = None,
+        calibration: ThresholdCalibration | None = None,
+        feature_scales: np.ndarray | None = None,
+        feature_thresholds: np.ndarray | None = None,
+    ) -> "InferenceEngine":
+        """Attach (or replace) the calibration context the full
+        ``validate()`` path needs; kernels are left untouched."""
+        self.preprocessor = preprocessor
+        self.calibration = calibration
+        self.feature_scales = (
+            None if feature_scales is None else np.asarray(feature_scales, dtype=np.float64)
+        )
+        self.feature_thresholds = (
+            None if feature_thresholds is None else np.asarray(feature_thresholds, dtype=np.float64)
+        )
+        self.rule = DatasetDecisionRule(
+            percentile=self.config.threshold_percentile,
+            n_multiplier=self.config.dataset_rule_n,
+        )
+        return self
+
+    # -- kernel compilation ------------------------------------------------
+    def _compile_decoder(self, mlp: MLP):
+        """Compile ``[Z ⊕ E] → MLP → (B, F)`` with the constant identity
+        embeddings folded into the first affine layer.
+
+        ``concat([Z, E]) @ W + b == Z @ W[:h] + (E @ W[h:] + b)`` — the
+        parenthesized term is batch-independent and precomputed here, so
+        serving never materializes the concatenated decoder input.
+        """
+        base = mlp.export_kernel()  # validates exportability; generic fallback
+        if self.embed_dim == 0:
+            return base
+        layers = getattr(mlp, "_layers", None)
+        activation_name = getattr(mlp, "_activation_name", None)
+        splittable = (
+            layers
+            and activation_name in NUMPY_ACTIVATIONS
+            and getattr(mlp, "_final_activation", None) is None
+        )
+        if not splittable:
+            embeddings = self._embeddings
+
+            def concat_kernel(z: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
+                identity = np.broadcast_to(embeddings, z.shape[:-1] + (embeddings.shape[1],))
+                return base(np.concatenate([z, identity], axis=-1), ws)
+
+            return concat_kernel
+
+        first = layers[0]
+        hidden = first.weight.data.shape[0] - self.embed_dim
+        weight_top = first.weight.data[:hidden].copy()
+        constant = self._embeddings @ first.weight.data[hidden:]
+        if first.bias is not None:
+            constant = constant + first.bias.data
+        rest = [layer.export_kernel() for layer in layers[1:]]
+        activation = NUMPY_ACTIVATIONS[activation_name]
+        key = (id(mlp), "decoder")
+
+        def kernel(z: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
+            out_shape = z.shape[:-1] + (weight_top.shape[1],)
+            x = np.matmul(z, weight_top, out=buffer(ws, key, out_shape))
+            x += constant
+            for linear in rest:
+                x = activation(x)  # in place on kernel-owned scratch
+                x = linear(x, ws)
+            return x
+
+        return kernel
+
+    # -- kernel plumbing --------------------------------------------------
+    def _workspace(self) -> Workspace:
+        ws = getattr(self._local, "workspace", None)
+        if ws is None:
+            ws = Workspace()
+            self._local.workspace = ws
+        return ws
+
+    def _node_inputs(self, chunk: np.ndarray, ws: Workspace) -> np.ndarray:
+        """(b, F) value chunk → (b, F, 1+e) node inputs, buffer-backed."""
+        view = ws.get("node_inputs", (chunk.shape[0], self.n_features, 1 + self.embed_dim))
+        view[:, :, 0] = chunk
+        if self.embed_dim:
+            view[:, :, 1:] = self._embeddings
+        return view
+
+    def _check_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.n_features:
+            raise ValueError(f"expected (batch, {self.n_features}) input, got {matrix.shape}")
+        return matrix
+
+    # -- inference --------------------------------------------------------
+    def forward(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(reconstruction, repair)`` of shape (B, F) each.
+
+        One encoder pass feeds both decoders — the autograd model pays
+        for that too, but here nothing else is computed or recorded.
+        """
+        matrix = self._check_matrix(matrix)
+        ws = self._workspace()
+        reconstruction = np.empty_like(matrix)
+        repair = np.empty_like(matrix)
+        for start in range(0, matrix.shape[0], self.chunk_size):
+            chunk = matrix[start : start + self.chunk_size]
+            embeddings = self._encoder(self._node_inputs(chunk, ws), ws)
+            stop = start + chunk.shape[0]
+            reconstruction[start:stop, :] = np.squeeze(self._validation_decoder(embeddings, ws), axis=-1)
+            repair[start:stop, :] = np.squeeze(self._repair_decoder(embeddings, ws), axis=-1)
+        return reconstruction, repair
+
+    def reconstruction_errors(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-cell squared reconstruction errors, shape (B, F).
+
+        Drop-in replacement for
+        :meth:`~repro.core.model.DQuaGModel.reconstruction_errors`, minus
+        the graph bookkeeping and the wasted repair-decoder pass.
+        """
+        matrix = self._check_matrix(matrix)
+        ws = self._workspace()
+        out = np.empty_like(matrix)
+        for start in range(0, matrix.shape[0], self.chunk_size):
+            chunk = matrix[start : start + self.chunk_size]
+            embeddings = self._encoder(self._node_inputs(chunk, ws), ws)
+            recon = np.squeeze(self._validation_decoder(embeddings, ws), axis=-1)
+            # Fused error computation: (x̂ - x)² written straight into the
+            # output slab, no intermediate full-size allocation.
+            slab = out[start : start + chunk.shape[0]]
+            np.subtract(recon, chunk, out=slab)
+            np.multiply(slab, slab, out=slab)
+        return out
+
+    def repair_values(self, matrix: np.ndarray) -> np.ndarray:
+        """Repair-decoder proposals in model space, shape (B, F)."""
+        matrix = self._check_matrix(matrix)
+        ws = self._workspace()
+        out = np.empty_like(matrix)
+        for start in range(0, matrix.shape[0], self.chunk_size):
+            chunk = matrix[start : start + self.chunk_size]
+            embeddings = self._encoder(self._node_inputs(chunk, ws), ws)
+            out[start : start + chunk.shape[0], :] = np.squeeze(
+                self._repair_decoder(embeddings, ws), axis=-1
+            )
+        return out
+
+    # -- full validation path ---------------------------------------------
+    def _require_context(self) -> None:
+        if self.calibration is None:
+            raise NotFittedError(
+                "engine compiled without calibration context; build it via "
+                "InferenceEngine.from_validator/from_pipeline to validate()"
+            )
+
+    def validate_matrix(self, matrix: np.ndarray) -> ValidationReport:
+        """Full §3.2.1 report for an already-preprocessed matrix."""
+        self._require_context()
+        return assemble_report(
+            self.reconstruction_errors(matrix),
+            calibration=self.calibration,
+            rule=self.rule,
+            feature_sigma=self.config.feature_sigma,
+            feature_scales=self.feature_scales,
+            feature_thresholds=self.feature_thresholds,
+            feature_names=list(self.preprocessor.schema.names) if self.preprocessor else None,
+        )
+
+    def validate(self, table: Table) -> ValidationReport:
+        """Full validation report for an unseen table."""
+        self._require_context()
+        if self.preprocessor is None:
+            raise NotFittedError("engine compiled without a preprocessor; cannot validate tables")
+        if table.schema != self.preprocessor.schema:
+            raise SchemaError("table schema does not match the compiled pipeline")
+        return self.validate_matrix(self.preprocessor.transform(table))
+
+    def __repr__(self) -> str:
+        context = "with context" if self.calibration is not None else "kernels only"
+        return (
+            f"InferenceEngine({self.architecture}, features={self.n_features}, "
+            f"chunk={self.chunk_size}, {context})"
+        )

@@ -1,0 +1,189 @@
+"""Multi-pipeline serving layer: load, cache, and dispatch validation.
+
+A :class:`ValidationService` fronts many fitted DQuaG pipelines — one
+per dataset/tenant — the way a model server fronts model versions:
+
+* pipelines are **registered** by name against a weight archive
+  (``DQuaG.save``) and loaded lazily on first request;
+* loaded pipelines live in an **LRU cache** of bounded capacity, so a
+  service can front hundreds of registered pipelines with a handful
+  resident (reloads come straight from the archive — no clean table
+  needed, the preprocessor state is persisted in the archive metadata);
+* requests dispatch across a **thread pool**. The compiled inference
+  engine is plain NumPy, whose matmuls release the GIL, so concurrent
+  batches genuinely overlap on multicore hosts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.pipeline import DQuaG
+from repro.core.validator import ValidationReport
+from repro.data.table import Table
+from repro.exceptions import ReproError
+from repro.utils.logging import get_logger
+
+__all__ = ["PipelineEntry", "ValidationService"]
+
+logger = get_logger("runtime.service")
+
+
+@dataclass
+class PipelineEntry:
+    """A resident pipeline plus its bookkeeping."""
+
+    name: str
+    pipeline: DQuaG
+    source: Path | None = None
+    hits: int = 0
+    #: directly-added pipelines have no archive to reload from, so the
+    #: LRU never evicts them
+    pinned: bool = field(default=False)
+
+
+class ValidationService:
+    """Registry + LRU cache + concurrent dispatcher for fitted pipelines.
+
+    >>> service = ValidationService(capacity=2)            # doctest: +SKIP
+    >>> service.register("hotel", "models/hotel.npz")      # doctest: +SKIP
+    >>> report = service.validate("hotel", batch)          # doctest: +SKIP
+    >>> reports = service.validate_many([("hotel", b1), ("taxi", b2)])  # doctest: +SKIP
+    """
+
+    def __init__(self, capacity: int = 4, max_workers: int | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._sources: dict[str, Path] = {}
+        self._entries: "OrderedDict[str, PipelineEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._load_locks: dict[str, threading.Lock] = {}
+        self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="dquag-validate")
+        self.n_loads = 0
+        self.n_evictions = 0
+
+    # -- registration ------------------------------------------------------
+    def register(self, name: str, archive: str | Path) -> None:
+        """Register a weight archive under ``name`` (loaded on demand)."""
+        archive = Path(archive)
+        if not archive.exists():
+            raise ReproError(f"no such pipeline archive: {archive}")
+        with self._lock:
+            self._sources[name] = archive
+            # A stale resident copy must not outlive its re-registration.
+            self._entries.pop(name, None)
+
+    def add(self, name: str, pipeline: DQuaG) -> None:
+        """Insert an already-fitted pipeline (pinned: never evicted)."""
+        pipeline._require_validator()
+        with self._lock:
+            self._entries[name] = PipelineEntry(name=name, pipeline=pipeline, pinned=True)
+            self._entries.move_to_end(name)
+
+    @property
+    def registered(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._sources) | set(self._entries))
+
+    @property
+    def resident(self) -> list[str]:
+        """Names currently loaded, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    # -- cache -------------------------------------------------------------
+    def get(self, name: str) -> DQuaG:
+        """Fetch a pipeline, loading and caching it if needed.
+
+        Archive loading (disk read + kernel compile) happens *outside*
+        the registry lock, behind a per-name loading lock — a cache miss
+        on one pipeline must not stall requests to resident ones.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                entry.hits += 1
+                self._entries.move_to_end(name)
+                return entry.pipeline
+            source = self._sources.get(name)
+            if source is None:
+                raise ReproError(
+                    f"unknown pipeline {name!r}; registered: {self.registered}"
+                )
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+
+        with load_lock:
+            # Another thread may have finished the same load meanwhile.
+            with self._lock:
+                entry = self._entries.get(name)
+                if entry is not None:
+                    entry.hits += 1
+                    self._entries.move_to_end(name)
+                    return entry.pipeline
+            pipeline = DQuaG().load_weights(source)
+            with self._lock:
+                self.n_loads += 1
+                self._entries[name] = PipelineEntry(
+                    name=name, pipeline=pipeline, source=source, hits=1
+                )
+                self._entries.move_to_end(name)
+                self._evict_over_capacity()
+            return pipeline
+
+    def _evict_over_capacity(self) -> None:
+        evictable = [n for n, e in self._entries.items() if not e.pinned]
+        while len(self._entries) > self.capacity and evictable:
+            victim = evictable.pop(0)
+            del self._entries[victim]
+            self.n_evictions += 1
+            logger.info("evicted pipeline %r (capacity %d)", victim, self.capacity)
+
+    def evict(self, name: str) -> bool:
+        """Drop a resident pipeline (no-op if not resident)."""
+        with self._lock:
+            return self._entries.pop(name, None) is not None
+
+    # -- dispatch ----------------------------------------------------------
+    def validate(self, name: str, table: Table) -> ValidationReport:
+        """Validate one batch on the named pipeline (synchronous)."""
+        return self.get(name).validate(table)
+
+    def submit(self, name: str, table: Table) -> "Future[ValidationReport]":
+        """Queue one batch for validation on the thread pool."""
+        return self._pool.submit(self.validate, name, table)
+
+    def validate_many(self, requests: Iterable[tuple[str, Table]]) -> list[ValidationReport]:
+        """Validate many (pipeline, batch) pairs concurrently.
+
+        Results are returned in request order; the NumPy kernels release
+        the GIL in their matmuls, so distinct batches overlap on
+        multicore hosts.
+        """
+        futures = [self.submit(name, table) for name, table in requests]
+        return [future.result() for future in futures]
+
+    # -- lifecycle ---------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "registered": len(set(self._sources) | set(self._entries)),
+                "resident": len(self._entries),
+                "loads": self.n_loads,
+                "evictions": self.n_evictions,
+                "hits": sum(e.hits for e in self._entries.values()),
+            }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ValidationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,248 @@
+"""Bounded-memory validation of arbitrarily large tables.
+
+The §3.2.1 decision rules are row-local except for the final
+batch-level verdict (flagged fraction vs the 5%·n cutoff), so a table
+can be validated chunk by chunk and the chunk outcomes merged exactly:
+
+* :class:`PartialReport` — the outcome of one chunk, mergeable;
+* :class:`StreamingValidator` — drives chunks from a table, a matrix, or
+  any iterator of row chunks (e.g. ``repro.data.io.read_csv_chunks``);
+* :class:`StreamSummary` — the fold result when dense per-cell errors
+  are *not* retained: flagged-row indices, per-column flagged-cell
+  counts, and running error statistics in O(flagged + features) memory —
+  a 10⁶-row table never materializes its (rows × features) error matrix.
+
+With ``keep_cell_errors=True`` the merge reproduces the one-shot
+:class:`~repro.core.validator.ValidationReport` exactly (chunk sizes
+that are multiples of the engine's chunk size, like the defaults, make
+it bit-for-bit identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from repro.core.validator import DataQualityValidator, ValidationReport
+from repro.data.table import Table
+from repro.exceptions import ValidationError
+
+__all__ = ["PartialReport", "StreamSummary", "StreamingValidator"]
+
+Chunk = Union[Table, np.ndarray]
+
+
+@dataclass
+class PartialReport:
+    """Validation outcome of one row chunk at a global row offset."""
+
+    offset: int
+    n_rows: int
+    sample_errors: np.ndarray
+    row_flags: np.ndarray
+    #: sparse flagged-cell coordinates, local to this chunk
+    cell_rows: np.ndarray
+    cell_cols: np.ndarray
+    #: dense per-cell errors/flags — only retained on request
+    cell_errors: np.ndarray | None = None
+    cell_flags: np.ndarray | None = None
+
+    @property
+    def n_flagged(self) -> int:
+        return int(self.row_flags.sum())
+
+    @property
+    def flagged_rows(self) -> np.ndarray:
+        """Global indices of flagged rows."""
+        return np.flatnonzero(self.row_flags) + self.offset
+
+    @staticmethod
+    def from_report(report: ValidationReport, offset: int, keep_cell_errors: bool) -> "PartialReport":
+        rows, cols = np.nonzero(report.cell_flags)
+        return PartialReport(
+            offset=offset,
+            n_rows=len(report.sample_errors),
+            sample_errors=report.sample_errors,
+            row_flags=report.row_flags,
+            cell_rows=rows,
+            cell_cols=cols,
+            cell_errors=report.cell_errors if keep_cell_errors else None,
+            cell_flags=report.cell_flags if keep_cell_errors else None,
+        )
+
+    @staticmethod
+    def merge(
+        partials: "list[PartialReport]",
+        threshold: float,
+        rule,
+        feature_names: list[str] | None = None,
+    ) -> ValidationReport:
+        """Fold dense partials into one :class:`ValidationReport`.
+
+        Requires every partial to have retained its dense cell errors;
+        use :class:`StreamSummary` folding for bounded-memory streams.
+        """
+        if not partials:
+            raise ValidationError("cannot merge zero partial reports")
+        ordered = sorted(partials, key=lambda p: p.offset)
+        if any(p.cell_errors is None for p in ordered):
+            raise ValidationError(
+                "cannot merge partials without dense cell errors; "
+                "run the stream with keep_cell_errors=True"
+            )
+        row_flags = np.concatenate([p.row_flags for p in ordered])
+        flagged_fraction = float(row_flags.mean()) if row_flags.size else 0.0
+        return ValidationReport(
+            sample_errors=np.concatenate([p.sample_errors for p in ordered]),
+            cell_errors=np.concatenate([p.cell_errors for p in ordered], axis=0),
+            row_flags=row_flags,
+            cell_flags=np.concatenate([p.cell_flags for p in ordered], axis=0),
+            threshold=threshold,
+            flagged_fraction=flagged_fraction,
+            is_problematic=rule.is_problematic(flagged_fraction),
+            feature_names=list(feature_names or []),
+        )
+
+
+@dataclass
+class StreamSummary:
+    """Bounded-memory outcome of a streamed validation.
+
+    Holds everything Phase 2 decides — flagged rows, the batch verdict,
+    per-column damage counts — without the per-cell error matrix.
+    """
+
+    n_rows: int
+    n_chunks: int
+    n_flagged: int
+    flagged_rows: np.ndarray
+    threshold: float
+    flagged_fraction: float
+    is_problematic: bool
+    flagged_cells_by_column: dict[str, int] = field(default_factory=dict)
+    mean_sample_error: float = 0.0
+    max_sample_error: float = 0.0
+
+    def summary(self) -> str:
+        verdict = "PROBLEMATIC" if self.is_problematic else "OK"
+        return (
+            f"{verdict}: {self.n_flagged}/{self.n_rows} rows flagged "
+            f"({self.flagged_fraction:.2%}) across {self.n_chunks} chunks, "
+            f"threshold={self.threshold:.5f}"
+        )
+
+
+class StreamingValidator:
+    """Chunk-wise Phase 2 over a fitted validator/engine.
+
+    ``chunk_size`` rows are preprocessed and validated at a time; memory
+    use is O(chunk_size × features) regardless of the table length. The
+    default is a multiple of the engine's internal chunk so streamed
+    numerics match the one-shot path exactly.
+    """
+
+    def __init__(
+        self,
+        validator: DataQualityValidator,
+        chunk_size: int = 8192,
+        keep_cell_errors: bool = False,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.validator = validator
+        self.chunk_size = chunk_size
+        self.keep_cell_errors = keep_cell_errors
+
+    @classmethod
+    def from_pipeline(cls, pipeline, chunk_size: int = 8192, keep_cell_errors: bool = False):
+        """Build from a fitted :class:`~repro.core.pipeline.DQuaG`."""
+        return cls(
+            pipeline._require_validator(),
+            chunk_size=chunk_size,
+            keep_cell_errors=keep_cell_errors,
+        )
+
+    # -- chunk-level API ---------------------------------------------------
+    def validate_chunk(self, chunk: Chunk, offset: int = 0) -> PartialReport:
+        """Validate one row chunk (a Table or a preprocessed matrix)."""
+        if isinstance(chunk, Table):
+            matrix = self.validator.preprocessor.transform(chunk)
+        else:
+            matrix = np.asarray(chunk, dtype=np.float64)
+        report = self.validator.validate_matrix(matrix)
+        return PartialReport.from_report(report, offset, self.keep_cell_errors)
+
+    def iter_partials(self, chunks: Iterable[Chunk]) -> Iterator[PartialReport]:
+        """Yield one :class:`PartialReport` per incoming chunk."""
+        offset = 0
+        for chunk in chunks:
+            partial = self.validate_chunk(chunk, offset=offset)
+            offset += partial.n_rows
+            yield partial
+
+    # -- stream-level API --------------------------------------------------
+    def validate_stream(self, chunks: Iterable[Chunk]) -> "ValidationReport | StreamSummary":
+        """Validate an iterator of row chunks.
+
+        With ``keep_cell_errors=True`` returns the exact merged
+        :class:`ValidationReport`; otherwise folds incrementally into a
+        :class:`StreamSummary` without retaining any dense chunk output.
+        """
+        if self.keep_cell_errors:
+            partials = list(self.iter_partials(chunks))
+            return PartialReport.merge(
+                partials,
+                threshold=self.validator.calibration.threshold,
+                rule=self.validator.rule,
+                feature_names=list(self.validator.preprocessor.schema.names),
+            )
+        return self._fold(self.iter_partials(chunks))
+
+    def validate_table(self, table: Table) -> "ValidationReport | StreamSummary":
+        """Validate a full table in ``chunk_size`` row slices."""
+        if table.schema != self.validator.preprocessor.schema:
+            from repro.exceptions import SchemaError
+
+            raise SchemaError("table schema does not match the trained pipeline")
+        chunks = self.validator.preprocessor.transform_chunks(table, self.chunk_size)
+        return self.validate_stream(chunks)
+
+    # -- folding -----------------------------------------------------------
+    def _fold(self, partials: Iterable[PartialReport]) -> StreamSummary:
+        names = list(self.validator.preprocessor.schema.names)
+        n_rows = 0
+        n_chunks = 0
+        n_flagged = 0
+        flagged: list[np.ndarray] = []
+        by_column: dict[str, int] = {}
+        error_sum = 0.0
+        error_max = 0.0
+        for partial in partials:
+            n_rows += partial.n_rows
+            n_chunks += 1
+            n_flagged += partial.n_flagged
+            if partial.n_flagged:
+                flagged.append(partial.flagged_rows)
+            for col, count in zip(*np.unique(partial.cell_cols, return_counts=True)):
+                name = names[int(col)]
+                by_column[name] = by_column.get(name, 0) + int(count)
+            if partial.sample_errors.size:
+                error_sum += float(partial.sample_errors.sum())
+                error_max = max(error_max, float(partial.sample_errors.max()))
+        if n_rows == 0:
+            raise ValidationError("cannot validate an empty stream")
+        flagged_fraction = n_flagged / n_rows
+        return StreamSummary(
+            n_rows=n_rows,
+            n_chunks=n_chunks,
+            n_flagged=n_flagged,
+            flagged_rows=np.concatenate(flagged) if flagged else np.empty(0, dtype=np.int64),
+            threshold=self.validator.calibration.threshold,
+            flagged_fraction=flagged_fraction,
+            is_problematic=self.validator.rule.is_problematic(flagged_fraction),
+            flagged_cells_by_column=by_column,
+            mean_sample_error=error_sum / n_rows,
+            max_sample_error=error_max,
+        )

@@ -1,0 +1,393 @@
+"""Tests for the compiled inference runtime (engine, streaming, service)
+and the persistence/config satellites that ship with it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.data import ColumnKind, ColumnSpec, Table, TableSchema, read_csv_chunks, write_csv
+from repro.data.preprocess import TablePreprocessor
+from repro.errors import NumericAnomalyInjector
+from repro.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    ReproError,
+    SerializationError,
+)
+from repro.nn.kernels import Workspace
+from repro.nn.serialization import load_state, save_state
+from repro.runtime import InferenceEngine, PartialReport, StreamingValidator, ValidationService
+from repro.runtime.streaming import StreamSummary
+
+
+def make_table(n: int, seed: int) -> Table:
+    """Correlated numerics plus a category derived from the driver."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.1, 0.9, n)
+    schema = TableSchema(
+        [
+            ColumnSpec("x", ColumnKind.NUMERIC, "driver"),
+            ColumnSpec("y", ColumnKind.NUMERIC, "2x + noise"),
+            ColumnSpec("z", ColumnKind.NUMERIC, "1 - x + noise"),
+            ColumnSpec("c", ColumnKind.CATEGORICAL, "band of x", categories=("lo", "hi")),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "x": x,
+            "y": 2.0 * x + rng.normal(0, 0.01, n),
+            "z": 1.0 - x + rng.normal(0, 0.01, n),
+            "c": np.where(x > 0.5, "hi", "lo"),
+        },
+    )
+
+
+def fit_small(architecture: str = "gat_gin", **overrides) -> DQuaG:
+    config = DQuaGConfig(
+        architecture=architecture, hidden_dim=16, epochs=4, batch_size=64, **overrides
+    )
+    return DQuaG(config).fit(make_table(400, seed=0), rng=0)
+
+
+@pytest.fixture(scope="module")
+def fitted() -> tuple[DQuaG, Table]:
+    train = make_table(600, seed=0)
+    config = DQuaGConfig(hidden_dim=24, epochs=20, batch_size=32)
+    pipeline = DQuaG(config).fit(train, rng=0, calibration_table=make_table(700, seed=1))
+    return pipeline, make_table(1200, seed=2)
+
+
+# ---------------------------------------------------------------------------
+# engine-vs-autograd parity (satellite: all four architectures, 1e-10)
+# ---------------------------------------------------------------------------
+class TestEngineParity:
+    @pytest.mark.parametrize(
+        "architecture", ["gat_gin", "gcn", "gcn_gat", "gcn_gin", "graphsage", "graph2vec"]
+    )
+    def test_errors_and_repairs_match_autograd(self, architecture):
+        pipeline = fit_small(architecture)
+        engine = pipeline.engine
+        assert engine is not None
+        holdout = make_table(300, seed=3)
+        matrix = pipeline.preprocessor.transform(holdout)
+        np.testing.assert_allclose(
+            engine.reconstruction_errors(matrix),
+            pipeline.model.reconstruction_errors(matrix),
+            rtol=0.0,
+            atol=1e-10,
+        )
+        np.testing.assert_allclose(
+            engine.repair_values(matrix),
+            pipeline.model.repair_values(matrix),
+            rtol=0.0,
+            atol=1e-10,
+        )
+
+    def test_chunk_size_invariance_is_exact(self, fitted):
+        pipeline, holdout = fitted
+        matrix = pipeline.preprocessor.transform(holdout)
+        small = InferenceEngine(pipeline.model, chunk_size=77)
+        large = InferenceEngine(pipeline.model, chunk_size=4096)
+        np.testing.assert_array_equal(
+            small.reconstruction_errors(matrix), large.reconstruction_errors(matrix)
+        )
+
+    def test_forward_shares_encoder_pass(self, fitted):
+        pipeline, holdout = fitted
+        matrix = pipeline.preprocessor.transform(holdout)
+        recon, repair = pipeline.engine.forward(matrix)
+        np.testing.assert_array_equal((recon - matrix) ** 2, pipeline.engine.reconstruction_errors(matrix))
+        np.testing.assert_array_equal(repair, pipeline.engine.repair_values(matrix))
+
+    def test_engine_validate_matches_pipeline(self, fitted):
+        pipeline, holdout = fitted
+        via_engine = pipeline.engine.validate(holdout)
+        via_pipeline = pipeline.validate(holdout)
+        np.testing.assert_array_equal(via_engine.row_flags, via_pipeline.row_flags)
+        np.testing.assert_array_equal(via_engine.cell_flags, via_pipeline.cell_flags)
+        np.testing.assert_array_equal(via_engine.sample_errors, via_pipeline.sample_errors)
+        assert via_engine.is_problematic == via_pipeline.is_problematic
+
+    def test_repair_routes_through_engine(self, fitted):
+        pipeline, holdout = fitted
+        assert pipeline._repair_engine.engine is pipeline.engine
+        dirty, _ = NumericAnomalyInjector(["y"], fraction=0.2).inject(holdout, rng=5)
+        repaired, summary = pipeline.repair(dirty)
+        assert summary.n_cells_repaired > 0
+
+    def test_engine_without_context_rejects_validate(self, fitted):
+        pipeline, holdout = fitted
+        bare = InferenceEngine(pipeline.model)
+        with pytest.raises(NotFittedError):
+            bare.validate(holdout)
+
+    def test_bad_matrix_shape_rejected(self, fitted):
+        pipeline, _ = fitted
+        with pytest.raises(ValueError):
+            pipeline.engine.reconstruction_errors(np.zeros((10, 99)))
+
+    def test_workspace_buffers_are_reused(self):
+        ws = Workspace()
+        a = ws.get("k", (4, 3))
+        b = ws.get("k", (2, 3))  # smaller request: view of same capacity
+        assert b.base is a.base or b.base is a
+        c = ws.get("k", (8, 3))  # larger request: regrown
+        assert c.shape == (8, 3)
+
+
+# ---------------------------------------------------------------------------
+# streaming (satellite: chunked == one-shot)
+# ---------------------------------------------------------------------------
+class TestStreaming:
+    def test_chunked_report_identical_to_one_shot(self, fitted):
+        pipeline, holdout = fitted
+        one_shot = pipeline.validate(holdout)
+        streamed = pipeline.streaming_validator(chunk_size=333, keep_cell_errors=True).validate_table(holdout)
+        np.testing.assert_array_equal(streamed.row_flags, one_shot.row_flags)
+        np.testing.assert_array_equal(streamed.cell_flags, one_shot.cell_flags)
+        np.testing.assert_array_equal(streamed.sample_errors, one_shot.sample_errors)
+        np.testing.assert_array_equal(streamed.cell_errors, one_shot.cell_errors)
+        assert streamed.threshold == one_shot.threshold
+        assert streamed.flagged_fraction == one_shot.flagged_fraction
+        assert streamed.is_problematic == one_shot.is_problematic
+        assert streamed.feature_names == one_shot.feature_names
+
+    def test_summary_mode_matches_flags_without_dense_errors(self, fitted):
+        pipeline, holdout = fitted
+        dirty, _ = NumericAnomalyInjector(["y"], fraction=0.3).inject(holdout, rng=9)
+        one_shot = pipeline.validate(dirty)
+        summary = pipeline.streaming_validator(chunk_size=250).validate_table(dirty)
+        assert isinstance(summary, StreamSummary)
+        assert summary.n_rows == dirty.n_rows
+        assert summary.n_chunks == 5
+        assert summary.n_flagged == one_shot.n_flagged
+        np.testing.assert_array_equal(summary.flagged_rows, one_shot.flagged_rows)
+        assert summary.is_problematic == one_shot.is_problematic
+        assert summary.flagged_cells_by_column
+        assert sum(summary.flagged_cells_by_column.values()) == int(one_shot.cell_flags.sum())
+        assert "rows flagged" in summary.summary()
+
+    def test_stream_from_csv_chunks(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "holdout.csv"
+        write_csv(holdout, path)
+        chunks = read_csv_chunks(path, holdout.schema, chunk_size=400)
+        summary = pipeline.streaming_validator().validate_stream(chunks)
+        one_shot = pipeline.validate(holdout)
+        assert summary.n_rows == holdout.n_rows
+        assert summary.n_flagged == one_shot.n_flagged
+
+    def test_partial_reports_carry_global_offsets(self, fitted):
+        pipeline, holdout = fitted
+        validator = pipeline.streaming_validator(chunk_size=500)
+        partials = list(
+            validator.iter_partials(pipeline.preprocessor.transform_chunks(holdout, 500))
+        )
+        assert [p.offset for p in partials] == [0, 500, 1000]
+        assert sum(p.n_rows for p in partials) == holdout.n_rows
+        flagged = np.concatenate([p.flagged_rows for p in partials])
+        np.testing.assert_array_equal(flagged, pipeline.validate(holdout).flagged_rows)
+
+    def test_merge_requires_dense_errors(self, fitted):
+        pipeline, holdout = fitted
+        validator = pipeline.streaming_validator(chunk_size=600)  # no dense retention
+        partials = list(
+            validator.iter_partials(pipeline.preprocessor.transform_chunks(holdout, 600))
+        )
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            PartialReport.merge(partials, threshold=0.1, rule=validator.validator.rule)
+
+    def test_empty_stream_rejected(self, fitted):
+        pipeline, _ = fitted
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            pipeline.streaming_validator().validate_stream([])
+
+    def test_transform_chunks_concatenate_to_full_transform(self, fitted):
+        pipeline, holdout = fitted
+        full = pipeline.preprocessor.transform(holdout)
+        chunked = np.concatenate(
+            list(pipeline.preprocessor.transform_chunks(holdout, chunk_size=123)), axis=0
+        )
+        np.testing.assert_array_equal(full, chunked)
+
+
+# ---------------------------------------------------------------------------
+# serving layer
+# ---------------------------------------------------------------------------
+class TestValidationService:
+    def test_load_validate_and_lru_evict(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        pipeline.save(a)
+        pipeline.save(b)
+        with ValidationService(capacity=1) as service:
+            service.register("a", a)
+            service.register("b", b)
+            report = service.validate("a", holdout)
+            np.testing.assert_array_equal(report.row_flags, pipeline.validate(holdout).row_flags)
+            assert service.resident == ["a"]
+            service.validate("b", holdout)
+            assert service.resident == ["b"]  # LRU evicted "a"
+            stats = service.stats()
+            assert stats["loads"] == 2 and stats["evictions"] == 1
+            # Reload works straight from the archive, no clean table.
+            service.validate("a", holdout)
+            assert service.n_loads == 3
+
+    def test_concurrent_dispatch_matches_serial(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+        batches = [make_table(200, seed=s) for s in range(4)]
+        with ValidationService(capacity=2, max_workers=4) as service:
+            service.register("p", path)
+            reports = service.validate_many(("p", batch) for batch in batches)
+            for batch, report in zip(batches, reports):
+                expected = pipeline.validate(batch)
+                np.testing.assert_array_equal(report.row_flags, expected.row_flags)
+                np.testing.assert_array_equal(report.sample_errors, expected.sample_errors)
+
+    def test_directly_added_pipelines_are_pinned(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+        with ValidationService(capacity=1) as service:
+            service.add("resident", pipeline)
+            service.register("archived", path)
+            service.validate("archived", holdout)
+            assert "resident" in service.resident  # pinned entries survive pressure
+            service.validate("resident", holdout)
+
+    def test_unknown_pipeline_rejected(self):
+        with ValidationService() as service:
+            with pytest.raises(ReproError):
+                service.get("nope")
+
+    def test_unknown_archive_rejected(self, tmp_path):
+        with ValidationService() as service:
+            with pytest.raises(ReproError):
+                service.register("x", tmp_path / "missing.npz")
+
+
+# ---------------------------------------------------------------------------
+# persistence satellites
+# ---------------------------------------------------------------------------
+class TestPersistence:
+    def test_future_categories_survive_reload(self, tmp_path):
+        train = make_table(400, seed=0)
+        config = DQuaGConfig(hidden_dim=16, epochs=4, batch_size=64)
+        pipeline = DQuaG(config).fit(
+            train, rng=0, future_categories={"c": ["mid", "unknown_band"]}
+        )
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+
+        clone = DQuaG().load_weights(path)  # no clean table needed
+        assert (
+            clone.preprocessor.label_encoder("c").classes_
+            == pipeline.preprocessor.label_encoder("c").classes_
+        )
+        assert "mid" in clone.preprocessor.label_encoder("c").classes_
+        assert clone._future_categories == {"c": ["mid", "unknown_band"]}
+
+        # A table exercising the anticipated category encodes identically.
+        probe = make_table(300, seed=7)
+        half = probe.n_rows // 2
+        category = probe.column("c").copy()
+        category[:half] = "mid"
+        probe = probe.with_column("c", category)
+        original = pipeline.validate(probe)
+        restored = clone.validate(probe)
+        np.testing.assert_array_equal(original.row_flags, restored.row_flags)
+        np.testing.assert_array_equal(original.sample_errors, restored.sample_errors)
+
+    def test_reload_does_not_depend_on_clean_table_statistics(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+        clone = DQuaG().load_weights(path)
+        np.testing.assert_array_equal(
+            clone.preprocessor.transform(holdout), pipeline.preprocessor.transform(holdout)
+        )
+        # Repair centers ride along in the archive too.
+        np.testing.assert_array_equal(
+            clone._repair_engine.clean_column_centers,
+            pipeline._repair_engine.clean_column_centers,
+        )
+
+    def test_preprocessor_metadata_roundtrip(self, fitted):
+        pipeline, holdout = fitted
+        payload = pipeline.preprocessor.to_metadata()
+        restored = TablePreprocessor.from_metadata(payload)
+        np.testing.assert_array_equal(
+            restored.transform(holdout), pipeline.preprocessor.transform(holdout)
+        )
+
+    def test_pre_runtime_archive_rejected(self, tmp_path):
+        # Simulate a v1 (seed-era) archive: valid payload, no format_version.
+        import json
+
+        path = tmp_path / "old.npz"
+        save_state({"w": np.zeros(3)}, path, metadata={"config": {}})
+        data = dict(np.load(path, allow_pickle=False))
+        manifest = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
+        del manifest["format_version"]
+        data["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **data)
+        with pytest.raises(SerializationError, match="archive format"):
+            load_state(path)
+        with pytest.raises(SerializationError):
+            DQuaG().load_weights(path)
+
+    def test_future_format_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "new.npz"
+        save_state({"w": np.zeros(3)}, path)
+        data = dict(np.load(path, allow_pickle=False))
+        manifest = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
+        manifest["format_version"] = 99
+        data["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **data)
+        with pytest.raises(SerializationError, match="newer"):
+            load_state(path)
+
+
+# ---------------------------------------------------------------------------
+# config satellite
+# ---------------------------------------------------------------------------
+class TestFeatureThresholdPercentileConfig:
+    def test_roundtrip_through_dict(self):
+        config = DQuaGConfig(feature_threshold_percentile=97.5)
+        clone = DQuaGConfig.from_dict(config.to_dict())
+        assert clone.feature_threshold_percentile == 97.5
+        assert clone == config
+
+    def test_legacy_payload_defaults(self):
+        payload = DQuaGConfig().to_dict()
+        del payload["feature_threshold_percentile"]
+        assert DQuaGConfig.from_dict(payload).feature_threshold_percentile == 99.5
+
+    @pytest.mark.parametrize("bad", [0.0, 100.0, -1.0, 120.0])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            DQuaGConfig(feature_threshold_percentile=bad)
+
+    def test_percentile_feeds_feature_thresholds(self):
+        # A lower percentile yields lower (or equal) per-feature thresholds.
+        strict = fit_small(feature_threshold_percentile=80.0)
+        lax = fit_small(feature_threshold_percentile=99.9)
+        assert (
+            strict._validator.feature_thresholds <= lax._validator.feature_thresholds + 1e-12
+        ).all()
