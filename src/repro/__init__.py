@@ -17,7 +17,7 @@ the high-level facade once those modules exist.
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]
 
@@ -33,4 +33,12 @@ def __getattr__(name: str):
         import repro.runtime as runtime
 
         return getattr(runtime, name)
+    if name in {"SCHEMA_VERSION", "ValidateRequest", "RepairRequest"}:
+        import repro.api as api
+
+        return getattr(api, name)
+    if name in {"Client", "ValidationGateway"}:
+        import repro.serve as serve
+
+        return getattr(serve, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,45 @@
+"""Versioned wire-ready validation API.
+
+The canonical result protocol for everything Phase 2 produces: every
+outcome object gains exact ``to_dict()``/``from_dict()`` JSON
+round-trips under a single :data:`SCHEMA_VERSION`, with sparse
+flagged-cell encoding for wire efficiency, plus the typed request
+objects the HTTP gateway (:mod:`repro.serve`) consumes.
+
+>>> from repro.api import to_dict, from_dict           # doctest: +SKIP
+>>> payload = to_dict(pipeline.validate(table))        # doctest: +SKIP
+>>> clone = from_dict(json.loads(json.dumps(payload))) # doctest: +SKIP
+"""
+
+from repro.api.protocol import (
+    SCHEMA_VERSION,
+    check_envelope,
+    decode_array,
+    decode_mask,
+    encode_array,
+    encode_mask,
+    envelope,
+    from_dict,
+    jsonable,
+    render_summary,
+    summary_dict,
+    to_dict,
+)
+from repro.api.requests import RepairRequest, ValidateRequest
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "envelope",
+    "check_envelope",
+    "encode_array",
+    "decode_array",
+    "encode_mask",
+    "decode_mask",
+    "jsonable",
+    "summary_dict",
+    "render_summary",
+    "to_dict",
+    "from_dict",
+    "ValidateRequest",
+    "RepairRequest",
+]

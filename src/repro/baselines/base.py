@@ -44,6 +44,32 @@ class BatchVerdict:
     score: float = 0.0
     details: dict = field(default_factory=dict)
 
+    def summary(self) -> str:
+        """Human rendering of the verdict.
+
+        Methods that attach the structured ``details["summary"]`` dict
+        (DQuaG does) render it exactly; others get a generic line.
+        """
+        payload = self.details.get("summary")
+        if isinstance(payload, dict) and "n_flagged" in payload:
+            from repro.api.protocol import render_summary
+
+            return render_summary(payload)
+        verdict = "PROBLEMATIC" if self.is_problematic else "OK"
+        return f"{verdict}: {len(self.flagged_rows)} rows flagged, score={self.score:.4f}"
+
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self) -> dict:
+        from repro.api.protocol import verdict_to_dict
+
+        return verdict_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "BatchVerdict":
+        from repro.api.protocol import verdict_from_dict
+
+        return verdict_from_dict(payload)
+
 
 class BaselineValidator(abc.ABC):
     """Common API for every validation method in the evaluation."""

@@ -170,13 +170,20 @@ class DQuaG(BaselineValidator):
         return self._require_validator().validate(table)
 
     def validate_batch(self, batch: Table) -> BatchVerdict:
-        """Batch verdict on the shared baseline interface."""
+        """Batch verdict on the shared baseline interface.
+
+        ``details["summary"]`` is the structured
+        :func:`~repro.api.protocol.summary_dict` payload (JSON-ready);
+        call :meth:`BatchVerdict.summary` to render it for humans.
+        """
+        from repro.api.protocol import summary_dict
+
         report = self._require_validator().validate(batch)
         return BatchVerdict(
             is_problematic=report.is_problematic,
             flagged_rows=report.flagged_rows,
             score=report.flagged_fraction,
-            details={"threshold": report.threshold, "summary": report.summary()},
+            details={"threshold": report.threshold, "summary": summary_dict(report)},
         )
 
     def repair(

@@ -35,6 +35,18 @@ class RepairSummary:
             f"columns={sorted(self.repairs_by_column)})"
         )
 
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self) -> dict:
+        from repro.api.protocol import repair_summary_to_dict
+
+        return repair_summary_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RepairSummary":
+        from repro.api.protocol import repair_summary_from_dict
+
+        return repair_summary_from_dict(payload)
+
 
 class RepairEngine:
     """Generates repaired tables from validator output.

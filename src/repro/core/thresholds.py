@@ -79,6 +79,18 @@ class ThresholdCalibration:
         """Boolean mask of rows whose error exceeds the threshold."""
         return np.asarray(errors, dtype=np.float64) > self.threshold
 
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self) -> dict:
+        from repro.api.protocol import calibration_to_dict
+
+        return calibration_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "ThresholdCalibration":
+        from repro.api.protocol import calibration_from_dict
+
+        return calibration_from_dict(payload)
+
 
 @dataclass(frozen=True)
 class DatasetDecisionRule:

@@ -71,6 +71,19 @@ class ValidationReport:
             f"({self.flagged_fraction:.2%}), threshold={self.threshold:.5f}"
         )
 
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self, errors: str = "dense") -> dict:
+        """Versioned JSON form; see :func:`repro.api.protocol.report_to_dict`."""
+        from repro.api.protocol import report_to_dict
+
+        return report_to_dict(self, errors=errors)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "ValidationReport":
+        from repro.api.protocol import report_from_dict
+
+        return report_from_dict(payload)
+
 
 def assemble_report(
     cell_errors: np.ndarray,

@@ -132,6 +132,57 @@ class Table:
             return float(np.isnan(col).mean())
         return float(np.mean([v is None for v in col]))
 
+    # -- JSON row records ----------------------------------------------------
+    def to_records(self) -> list[dict]:
+        """Rows as JSON-native dicts (missing cells become ``None``).
+
+        The wire form consumed by :mod:`repro.api` requests: numeric NaN
+        maps to ``None`` and back, so a record round-trip preserves the
+        table's missing-value structure exactly.
+        """
+        names = self.schema.names
+        # One vectorized pass per column; the row loop below only zips
+        # ready-made Python lists (no per-cell NumPy scalar boxing).
+        values_by_column: list[list] = []
+        for spec in self.schema:
+            column = self._columns[spec.name]
+            values = column.tolist()
+            if spec.is_numeric:
+                missing = np.isnan(column)
+                if missing.any():
+                    values = [
+                        None if absent else value
+                        for value, absent in zip(values, missing.tolist())
+                    ]
+            values_by_column.append(values)
+        return [dict(zip(names, row)) for row in zip(*values_by_column)]
+
+    @staticmethod
+    def from_records(schema: TableSchema, records: Iterable[Mapping]) -> "Table":
+        """Build a table from JSON row dicts against ``schema``.
+
+        ``None``/absent fields become missing cells (NaN for numeric
+        columns); fields not in the schema are rejected so field-name
+        typos cannot silently drop data.
+        """
+        records = list(records)
+        unknown = sorted({key for record in records for key in record} - set(schema.names))
+        if unknown:
+            raise SchemaError(f"record fields not in schema: {unknown}")
+        columns: dict[str, np.ndarray | list] = {}
+        for spec in schema:
+            if spec.is_numeric:
+                columns[spec.name] = np.array(
+                    [
+                        np.nan if record.get(spec.name) is None else float(record[spec.name])
+                        for record in records
+                    ],
+                    dtype=np.float64,
+                )
+            else:
+                columns[spec.name] = [record.get(spec.name) for record in records]
+        return Table(schema, columns)
+
     # -- constructors ---------------------------------------------------------
     @staticmethod
     def concat(tables: Iterable["Table"]) -> "Table":

@@ -46,3 +46,11 @@ class SerializationError(ReproError):
 
 class KernelExportError(ReproError):
     """A module could not be compiled into a pure-NumPy inference kernel."""
+
+
+class ProtocolError(SerializationError):
+    """A wire payload failed the ``schema_version``/``kind`` gate or is malformed."""
+
+
+class GatewayError(ReproError):
+    """An HTTP serving request failed (client-side view of a gateway error)."""

@@ -50,7 +50,8 @@ class AblationResult:
     def by_variant(self, ablation: str) -> dict[str, AblationRow]:
         return {row.variant: row for row in self.rows if row.ablation == ablation}
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         table = ResultTable(
             f"Ablations — hidden-conflict separation on Hotel (scale={self.scale_name})",
             ["ablation", "variant", "clean flag %", "dirty flag %", "separation pp"],
@@ -64,7 +65,10 @@ class AblationResult:
                 row.separation,
             )
         table.add_note("defaults: weighted loss ON, hybrid graph, percentile 95")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def _measure(pipeline: DQuaG, clean_batches, dirty_batches) -> tuple[float, float]:

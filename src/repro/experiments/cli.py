@@ -4,13 +4,16 @@ Examples::
 
     repro-experiments table1 --scale fast
     repro-experiments figure4 --seed 7
+    repro-experiments all --scale smoke --out results.json
     python -m repro.experiments.cli all --scale smoke
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.experiments.ablations import run_ablations
 from repro.experiments.encoders import run_table2
@@ -48,6 +51,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--scale", default=None, choices=["smoke", "fast", "standard", "full"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="additionally write results as JSON via the repro.api protocol",
+    )
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
     args = parser.parse_args(argv)
 
@@ -55,10 +65,23 @@ def main(argv: list[str] | None = None) -> int:
         configure_demo_logging()
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    results: dict[str, dict] = {}
     for name in names:
         result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
         print(result.render())
         print()
+        results[name] = result.to_result_table().to_dict()
+
+    if args.out is not None:
+        from repro.api.protocol import envelope
+
+        payload = envelope("experiment_results")
+        payload.update(scale=args.scale, seed=args.seed, results=results)
+        # allow_nan=False: the file must be RFC 8259 JSON (non-Python
+        # consumers reject NaN tokens); jsonable() already mapped
+        # non-finite cells to null.
+        args.out.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+        print(f"wrote {len(results)} result table(s) to {args.out}")
     return 0
 
 

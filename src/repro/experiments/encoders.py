@@ -53,7 +53,8 @@ class Table2Result:
         candidates = {a: d for (ds, a), d in self.differences.items() if ds == dataset}
         return max(candidates, key=candidates.get)
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         table = ResultTable(
             f"Table 2 — encoder ablation: flagged-error difference %, dirty − clean (scale={self.scale_name})",
             ["dataset"] + list(ENCODER_ORDER),
@@ -65,7 +66,10 @@ class Table2Result:
                 *[self.differences.get((dataset, arch), float("nan")) for arch in ENCODER_ORDER],
             )
         table.add_note("paper: GAT+GIN separates best (Airbnb 4.17, Bicycle 21.72); plain GCN is weakest")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def run_table2(

@@ -60,7 +60,8 @@ class Figure3Result:
     def accuracy(self, dataset: str, method: str) -> float:
         return self.metrics[(dataset, method)].accuracy
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         table = ResultTable(
             f"Figure 3 — real-world error detection accuracy (scale={self.scale_name})",
             ["dataset", "method", "accuracy", "recall"],
@@ -68,7 +69,10 @@ class Figure3Result:
         for (dataset, method), metric in sorted(self.metrics.items()):
             table.add_row(dataset, method, metric.accuracy, metric.recall)
         table.add_note("paper: DQuaG and expert modes reach 1.0; ADQV/Gate flag everything on these datasets")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def run_figure3(

@@ -41,7 +41,8 @@ class RepairEvalResult:
     scale_name: str
     outcomes: dict[str, RepairOutcome] = field(default_factory=dict)
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         table = ResultTable(
             f"§4.6 — repair evaluation (scale={self.scale_name})",
             ["dataset", "dirty %", "repaired %", "clean %", "classified clean", "cells repaired"],
@@ -56,7 +57,10 @@ class RepairEvalResult:
                 outcome.n_cells_repaired,
             )
         table.add_note("paper: Airbnb 10.52% → 4.97% (clean 4.95%); Bicycle 21.11% → 2.75%; repaired data classified clean")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def run_repair_eval(

@@ -36,6 +36,22 @@ class ResultTable:
             formatted.append(cells)
         return formatted
 
+    def to_result_table(self) -> "ResultTable":
+        """Uniform accessor shared with the experiment result wrappers."""
+        return self
+
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self) -> dict:
+        from repro.api.protocol import result_table_to_dict
+
+        return result_table_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "ResultTable":
+        from repro.api.protocol import result_table_from_dict
+
+        return result_table_from_dict(payload)
+
     def render(self) -> str:
         cells = self._formatted_cells()
         widths = [len(h) for h in self.headers]

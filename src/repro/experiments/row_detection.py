@@ -35,7 +35,8 @@ class RowDetectionResult:
     def f1(self, dataset: str, scenario: str, method: str) -> float:
         return self.metrics[(dataset, scenario, method)].f1
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         table = ResultTable(
             f"Row-level detection vs injection ground truth (scale={self.scale_name})",
             ["dataset", "errors", "method", "precision", "recall", "f1"],
@@ -43,7 +44,10 @@ class RowDetectionResult:
         for (dataset, scenario, method), m in sorted(self.metrics.items()):
             table.add_row(dataset, scenario, method, m.precision, m.recall, m.f1)
         table.add_note("extension: the paper evaluates batch-level only; ADQV/Gate cannot flag rows at all")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def run_row_detection(

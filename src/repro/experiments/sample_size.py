@@ -65,7 +65,8 @@ class Table3Result:
             size: metric.accuracy for (ds, size), metric in self.metrics.items() if ds == dataset
         }
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         sizes = sorted({size for _, size in self.metrics})
         table = ResultTable(
             f"Table 3 — DQuaG accuracy (%) vs sample size (scale={self.scale_name})",
@@ -79,7 +80,10 @@ class Table3Result:
                 row.append(100.0 * metric.accuracy if metric else float("nan"))
             table.add_row(*row)
         table.add_note("paper: accuracy climbs with sample size, reaching 100% by ~500 samples")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def run_table3(

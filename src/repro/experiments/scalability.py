@@ -51,7 +51,8 @@ class Figure4Result:
         total = ((y - y.mean()) ** 2).sum()
         return 1.0 - residual / total if total > 0 else 1.0
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         table = ResultTable(
             f"Figure 4 — validation time vs data size (scale={self.scale_name})",
             ["dims", "rows", "seconds"],
@@ -65,7 +66,10 @@ class Figure4Result:
             except ValueError:
                 pass
         table.add_note("paper: time grows linearly in rows and dimensionality (~10 min at 10⁶ rows on an A100)")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def run_figure4(

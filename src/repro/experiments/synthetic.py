@@ -121,7 +121,8 @@ class Table1Result:
             recs.append(metric.recall)
         return sum(accs) / len(accs), sum(recs) / len(recs)
 
-    def render(self) -> str:
+    def to_result_table(self) -> ResultTable:
+        """The result as a wire-encodable :class:`ResultTable`."""
         table = ResultTable(
             f"Table 1 — synthetic error detection (scale={self.scale_name})",
             ["dataset", "errors", "method", "accuracy", "recall"],
@@ -129,7 +130,10 @@ class Table1Result:
         for (dataset, scenario, method), metric in sorted(self.metrics.items()):
             table.add_row(dataset, scenario, method, metric.accuracy, metric.recall)
         table.add_note("paper: DQuaG = 1.0/1.0 everywhere; experts fail on conflicts (acc 0.5, recall 0)")
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        return self.to_result_table().render()
 
 
 def run_table1(

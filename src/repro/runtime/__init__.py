@@ -20,7 +20,7 @@ NumPy kernels and builds the serving stack on top:
 
 from repro.runtime.engine import InferenceEngine
 from repro.runtime.streaming import PartialReport, StreamingValidator, StreamSummary
-from repro.runtime.service import PipelineEntry, ValidationService
+from repro.runtime.service import PipelineEntry, ServiceStats, ValidationService
 
 __all__ = [
     "InferenceEngine",
@@ -28,5 +28,6 @@ __all__ = [
     "StreamingValidator",
     "StreamSummary",
     "PipelineEntry",
+    "ServiceStats",
     "ValidationService",
 ]

@@ -8,10 +8,18 @@ per dataset/tenant — the way a model server fronts model versions:
 * loaded pipelines live in an **LRU cache** of bounded capacity, so a
   service can front hundreds of registered pipelines with a handful
   resident (reloads come straight from the archive — no clean table
-  needed, the preprocessor state is persisted in the archive metadata);
+  needed, the preprocessor state is persisted in the archive metadata).
+  Directly-``add()``-ed pipelines are *pinned*: they have no archive to
+  reload from, so they are never evicted and do not count against the
+  LRU capacity;
 * requests dispatch across a **thread pool**. The compiled inference
   engine is plain NumPy, whose matmuls release the GIL, so concurrent
   batches genuinely overlap on multicore hosts.
+
+This is the dispatch surface the HTTP gateway (:mod:`repro.serve`)
+fronts: ``validate``/``repair``/``submit_many`` plus per-pipeline
+:meth:`pipeline_stats` and a wire-encodable :class:`ServiceStats`
+snapshot.
 """
 
 from __future__ import annotations
@@ -24,12 +32,13 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.core.pipeline import DQuaG
+from repro.core.repair import RepairSummary
 from repro.core.validator import ValidationReport
 from repro.data.table import Table
 from repro.exceptions import ReproError
 from repro.utils.logging import get_logger
 
-__all__ = ["PipelineEntry", "ValidationService"]
+__all__ = ["PipelineEntry", "ServiceStats", "ValidationService"]
 
 logger = get_logger("runtime.service")
 
@@ -43,8 +52,41 @@ class PipelineEntry:
     source: Path | None = None
     hits: int = 0
     #: directly-added pipelines have no archive to reload from, so the
-    #: LRU never evicts them
+    #: LRU never evicts them and they do not count against capacity
     pinned: bool = field(default=False)
+
+
+@dataclass
+class ServiceStats:
+    """Wire-encodable snapshot of a service's aggregate + per-pipeline state."""
+
+    registered: int
+    resident: int
+    loads: int
+    evictions: int
+    hits: int
+    validations: int
+    repairs: int
+    rows_validated: int
+    #: per-pipeline detail: resident/pinned/hits/source plus lifetime
+    #: loads/validations/repairs/rows_validated counters
+    pipelines: dict[str, dict] = field(default_factory=dict)
+
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self) -> dict:
+        from repro.api.protocol import service_stats_to_dict
+
+        return service_stats_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "ServiceStats":
+        from repro.api.protocol import service_stats_from_dict
+
+        return service_stats_from_dict(payload)
+
+
+def _fresh_counters() -> dict[str, int]:
+    return {"loads": 0, "validations": 0, "repairs": 0, "rows_validated": 0}
 
 
 class ValidationService:
@@ -64,6 +106,8 @@ class ValidationService:
         self._entries: "OrderedDict[str, PipelineEntry]" = OrderedDict()
         self._lock = threading.RLock()
         self._load_locks: dict[str, threading.Lock] = {}
+        #: lifetime per-pipeline counters; survive eviction
+        self._counters: dict[str, dict[str, int]] = {}
         self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="dquag-validate")
         self.n_loads = 0
         self.n_evictions = 0
@@ -129,6 +173,7 @@ class ValidationService:
             pipeline = DQuaG().load_weights(source)
             with self._lock:
                 self.n_loads += 1
+                self._counter(name)["loads"] += 1
                 self._entries[name] = PipelineEntry(
                     name=name, pipeline=pipeline, source=source, hits=1
                 )
@@ -137,26 +182,66 @@ class ValidationService:
             return pipeline
 
     def _evict_over_capacity(self) -> None:
+        # Pinned entries are exempt from the capacity budget entirely:
+        # a directly-add()ed pipeline must never crowd archive-backed
+        # ones out of their LRU slots (nor be evicted itself).
         evictable = [n for n, e in self._entries.items() if not e.pinned]
-        while len(self._entries) > self.capacity and evictable:
+        while len(evictable) > self.capacity:
             victim = evictable.pop(0)
             del self._entries[victim]
             self.n_evictions += 1
             logger.info("evicted pipeline %r (capacity %d)", victim, self.capacity)
 
     def evict(self, name: str) -> bool:
-        """Drop a resident pipeline (no-op if not resident)."""
+        """Drop a resident pipeline (no-op for pinned or absent entries)."""
         with self._lock:
-            return self._entries.pop(name, None) is not None
+            entry = self._entries.get(name)
+            if entry is None or entry.pinned:
+                return False
+            del self._entries[name]
+            return True
 
     # -- dispatch ----------------------------------------------------------
     def validate(self, name: str, table: Table) -> ValidationReport:
         """Validate one batch on the named pipeline (synchronous)."""
-        return self.get(name).validate(table)
+        report = self.get(name).validate(table)
+        self.count_validation(name, table.n_rows)
+        return report
+
+    def count_validation(self, name: str, n_rows: int, validations: int = 1) -> None:
+        """Record validation work done outside :meth:`validate`.
+
+        Transports that drive a pipeline directly (e.g. the gateway's
+        streaming endpoint) call this so per-pipeline stats still see
+        their traffic.
+        """
+        with self._lock:
+            counters = self._counter(name)
+            counters["validations"] += validations
+            counters["rows_validated"] += n_rows
+
+    def repair(
+        self,
+        name: str,
+        table: Table,
+        report: ValidationReport | None = None,
+        iterations: int = 1,
+    ) -> tuple[Table, RepairSummary]:
+        """Repair flagged cells of one batch on the named pipeline."""
+        repaired, summary = self.get(name).repair(table, report=report, iterations=iterations)
+        with self._lock:
+            self._counter(name)["repairs"] += 1
+        return repaired, summary
 
     def submit(self, name: str, table: Table) -> "Future[ValidationReport]":
         """Queue one batch for validation on the thread pool."""
         return self._pool.submit(self.validate, name, table)
+
+    def submit_many(
+        self, requests: Iterable[tuple[str, Table]]
+    ) -> "list[Future[ValidationReport]]":
+        """Queue many (pipeline, batch) pairs; returns one future each."""
+        return [self.submit(name, table) for name, table in requests]
 
     def validate_many(self, requests: Iterable[tuple[str, Table]]) -> list[ValidationReport]:
         """Validate many (pipeline, batch) pairs concurrently.
@@ -165,10 +250,12 @@ class ValidationService:
         the GIL in their matmuls, so distinct batches overlap on
         multicore hosts.
         """
-        futures = [self.submit(name, table) for name, table in requests]
-        return [future.result() for future in futures]
+        return [future.result() for future in self.submit_many(requests)]
 
     # -- lifecycle ---------------------------------------------------------
+    def _counter(self, name: str) -> dict[str, int]:
+        return self._counters.setdefault(name, _fresh_counters())
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {
@@ -177,7 +264,32 @@ class ValidationService:
                 "loads": self.n_loads,
                 "evictions": self.n_evictions,
                 "hits": sum(e.hits for e in self._entries.values()),
+                "validations": sum(c["validations"] for c in self._counters.values()),
+                "repairs": sum(c["repairs"] for c in self._counters.values()),
+                "rows_validated": sum(c["rows_validated"] for c in self._counters.values()),
             }
+
+    def pipeline_stats(self) -> dict[str, dict]:
+        """Per-pipeline detail: residency plus lifetime counters."""
+        with self._lock:
+            names = set(self._sources) | set(self._entries) | set(self._counters)
+            detail: dict[str, dict] = {}
+            for name in sorted(names):
+                entry = self._entries.get(name)
+                source = entry.source if entry is not None else self._sources.get(name)
+                detail[name] = {
+                    "resident": entry is not None,
+                    "pinned": bool(entry is not None and entry.pinned),
+                    "hits": entry.hits if entry is not None else 0,
+                    "source": None if source is None else str(source),
+                    **self._counters.get(name, _fresh_counters()),
+                }
+            return detail
+
+    def stats_snapshot(self) -> ServiceStats:
+        """Aggregate + per-pipeline stats as one wire-encodable object."""
+        with self._lock:
+            return ServiceStats(pipelines=self.pipeline_stats(), **self.stats())
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

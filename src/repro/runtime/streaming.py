@@ -58,6 +58,18 @@ class PartialReport:
         """Global indices of flagged rows."""
         return np.flatnonzero(self.row_flags) + self.offset
 
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self) -> dict:
+        from repro.api.protocol import partial_report_to_dict
+
+        return partial_report_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PartialReport":
+        from repro.api.protocol import partial_report_from_dict
+
+        return partial_report_from_dict(payload)
+
     @staticmethod
     def from_report(report: ValidationReport, offset: int, keep_cell_errors: bool) -> "PartialReport":
         rows, cols = np.nonzero(report.cell_flags)
@@ -133,6 +145,18 @@ class StreamSummary:
             f"threshold={self.threshold:.5f}"
         )
 
+    # -- wire protocol (repro.api) ----------------------------------------
+    def to_dict(self) -> dict:
+        from repro.api.protocol import stream_summary_to_dict
+
+        return stream_summary_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "StreamSummary":
+        from repro.api.protocol import stream_summary_from_dict
+
+        return stream_summary_from_dict(payload)
+
 
 class StreamingValidator:
     """Chunk-wise Phase 2 over a fitted validator/engine.
@@ -198,7 +222,7 @@ class StreamingValidator:
                 rule=self.validator.rule,
                 feature_names=list(self.validator.preprocessor.schema.names),
             )
-        return self._fold(self.iter_partials(chunks))
+        return self.fold(self.iter_partials(chunks))
 
     def validate_table(self, table: Table) -> "ValidationReport | StreamSummary":
         """Validate a full table in ``chunk_size`` row slices."""
@@ -210,7 +234,12 @@ class StreamingValidator:
         return self.validate_stream(chunks)
 
     # -- folding -----------------------------------------------------------
-    def _fold(self, partials: Iterable[PartialReport]) -> StreamSummary:
+    def fold(self, partials: Iterable[PartialReport]) -> StreamSummary:
+        """Fold partial reports into a :class:`StreamSummary` incrementally.
+
+        Public so transports (e.g. the HTTP gateway's ``/validate_stream``)
+        can interleave their own per-chunk acknowledgements with the fold.
+        """
         names = list(self.validator.preprocessor.schema.names)
         n_rows = 0
         n_chunks = 0

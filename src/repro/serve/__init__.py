@@ -1,0 +1,15 @@
+"""HTTP serving layer: a stdlib gateway over :class:`ValidationService`.
+
+* :class:`ValidationGateway` — ``http.server.ThreadingHTTPServer`` front
+  with versioned JSON endpoints under ``/v1`` (health, pipeline stats,
+  validate, repair, chunked validate_stream);
+* :class:`Client` — stdlib ``http.client`` counterpart that decodes
+  responses back into the in-process result objects;
+* :mod:`repro.serve.cli` — the ``repro-serve`` console entry point
+  (also ``python -m repro.serve``).
+"""
+
+from repro.serve.client import Client
+from repro.serve.gateway import ValidationGateway
+
+__all__ = ["Client", "ValidationGateway"]

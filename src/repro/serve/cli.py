@@ -1,0 +1,124 @@
+"""``repro-serve`` — serve saved DQuaG pipelines over HTTP.
+
+Examples::
+
+    repro-serve --pipeline hotel=models/hotel.npz --port 8080
+    repro-serve --demo --port 8080          # fit a tiny synthetic pipeline
+    python -m repro.serve --demo            # same, without installation
+
+Then::
+
+    curl http://127.0.0.1:8080/v1/healthz
+    curl -X POST http://127.0.0.1:8080/v1/pipelines/hotel/validate \
+         -H 'Content-Type: application/json' \
+         -d '{"records": [{"adr": 310.0, "country": "PRT", ...}]}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import ReproError
+from repro.runtime.service import ValidationService
+from repro.serve.gateway import ValidationGateway
+from repro.utils.logging import configure_demo_logging
+
+__all__ = ["main", "fit_demo_pipeline", "DEMO_RECORD"]
+
+#: A row that fits the --demo pipeline's schema (handy for smoke tests).
+DEMO_RECORD = {"x": 0.5, "y": 1.0, "z": 0.5, "c": "lo"}
+
+
+def fit_demo_pipeline():
+    """Fit a small synthetic pipeline (columns x, y=2x, z=1-x, c=band(x)).
+
+    Used by ``--demo`` and the CI serve smoke job: it gives the gateway
+    something to serve without shipping a weight archive.
+    """
+    import numpy as np
+
+    from repro.core import DQuaG, DQuaGConfig
+    from repro.data import ColumnKind, ColumnSpec, Table, TableSchema
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0.1, 0.9, 500)
+    schema = TableSchema(
+        [
+            ColumnSpec("x", ColumnKind.NUMERIC, "driver"),
+            ColumnSpec("y", ColumnKind.NUMERIC, "2x + noise"),
+            ColumnSpec("z", ColumnKind.NUMERIC, "1 - x + noise"),
+            ColumnSpec("c", ColumnKind.CATEGORICAL, "band of x", categories=("lo", "hi")),
+        ]
+    )
+    clean = Table(
+        schema,
+        {
+            "x": x,
+            "y": 2.0 * x + rng.normal(0, 0.01, x.size),
+            "z": 1.0 - x + rng.normal(0, 0.01, x.size),
+            "c": np.where(x > 0.5, "hi", "lo"),
+        },
+    )
+    config = DQuaGConfig(hidden_dim=16, epochs=6, batch_size=64)
+    return DQuaG(config).fit(clean, rng=0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve saved DQuaG pipelines over HTTP (stdlib only).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--pipeline",
+        action="append",
+        default=[],
+        metavar="NAME=ARCHIVE",
+        help="register a saved pipeline archive under NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="fit a small synthetic pipeline and serve it as 'demo'",
+    )
+    parser.add_argument("--capacity", type=int, default=8, help="LRU capacity for archive-backed pipelines")
+    parser.add_argument("--workers", type=int, default=None, help="validation thread-pool size")
+    parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
+    args = parser.parse_args(argv)
+
+    if args.verbose:
+        configure_demo_logging()
+
+    service = ValidationService(capacity=args.capacity, max_workers=args.workers)
+    try:
+        for spec in args.pipeline:
+            name, separator, archive = spec.partition("=")
+            if not separator or not name or not archive:
+                parser.error(f"--pipeline expects NAME=ARCHIVE, got {spec!r}")
+            service.register(name, archive)
+        if args.demo:
+            print("fitting demo pipeline...", flush=True)
+            service.add("demo", fit_demo_pipeline())
+        if not service.registered:
+            parser.error("nothing to serve: pass --pipeline NAME=ARCHIVE and/or --demo")
+
+        gateway = ValidationGateway(service, host=args.host, port=args.port)
+        print(f"serving {service.registered} on {gateway.url}", flush=True)
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            gateway.close()
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        service.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

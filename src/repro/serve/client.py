@@ -1,0 +1,181 @@
+"""Stdlib HTTP client for the validation gateway.
+
+A thin :class:`Client` over ``http.client`` that speaks the
+:mod:`repro.api` protocol: requests go out as JSON records, responses
+come back decoded into the same objects the in-process API returns
+(:class:`ValidationReport`, :class:`RepairSummary`,
+:class:`StreamSummary`, :class:`ServiceStats`).
+
+>>> client = Client(port=8080)                       # doctest: +SKIP
+>>> report = client.validate("hotel", table)         # doctest: +SKIP
+>>> report.is_problematic, report.flagged_rows       # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Iterable
+from urllib.parse import quote, urlsplit
+
+from repro.api.protocol import check_envelope
+from repro.api.requests import RepairRequest, ValidateRequest
+from repro.core.repair import RepairSummary
+from repro.core.validator import ValidationReport
+from repro.data.table import Table
+from repro.exceptions import GatewayError
+from repro.runtime.service import ServiceStats
+from repro.runtime.streaming import StreamSummary
+
+__all__ = ["Client"]
+
+
+def _as_records(rows: "Table | list[dict]") -> list[dict]:
+    return rows.to_records() if isinstance(rows, Table) else list(rows)
+
+
+class Client:
+    """Talks to a :class:`~repro.serve.gateway.ValidationGateway`.
+
+    One connection per request keeps the client immune to server-side
+    ``Connection: close`` on error responses; the gateway's thread pool
+    makes per-request connections cheap at this scale.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 60.0) -> "Client":
+        parts = urlsplit(url)
+        return cls(host=parts.hostname or "127.0.0.1", port=parts.port or 80, timeout=timeout)
+
+    # -- endpoints ---------------------------------------------------------
+    def healthz(self) -> dict:
+        return check_envelope(self._request("GET", "/v1/healthz"), "health")
+
+    def pipelines(self) -> ServiceStats:
+        """Service stats snapshot: per-pipeline residency + counters."""
+        return ServiceStats.from_dict(self._request("GET", "/v1/pipelines"))
+
+    def validate(
+        self, pipeline: str, rows: "Table | list[dict]", include_errors: bool = False
+    ) -> ValidationReport:
+        """Validate rows remotely; returns the decoded report.
+
+        With ``include_errors=False`` (the wire-efficient default) the
+        decoded report's flags, threshold, and verdict are exact, and its
+        error values are populated only at flagged coordinates.
+        """
+        request = ValidateRequest(
+            records=_as_records(rows), pipeline=pipeline, include_errors=include_errors
+        )
+        payload = self._request(
+            "POST", f"/v1/pipelines/{quote(pipeline, safe='')}/validate", request.to_dict()
+        )
+        return ValidationReport.from_dict(payload)
+
+    def repair(
+        self,
+        pipeline: str,
+        rows: "Table | list[dict]",
+        iterations: int = 1,
+        include_errors: bool = False,
+    ) -> tuple[list[dict], RepairSummary, ValidationReport]:
+        """Repair rows remotely; returns (repaired records, summary, report)."""
+        request = RepairRequest(
+            records=_as_records(rows),
+            pipeline=pipeline,
+            iterations=iterations,
+            include_errors=include_errors,
+        )
+        payload = self._request(
+            "POST", f"/v1/pipelines/{quote(pipeline, safe='')}/repair", request.to_dict()
+        )
+        check_envelope(payload, "repair_response")
+        return (
+            payload["records"],
+            RepairSummary.from_dict(payload["repair"]),
+            ValidationReport.from_dict(payload["report"]),
+        )
+
+    def validate_stream(
+        self, pipeline: str, chunks: "Iterable[Table | list[dict]]"
+    ) -> StreamSummary:
+        """Stream row chunks through ``/validate_stream``.
+
+        Chunks are sent as chunked-transfer NDJSON, so neither side ever
+        holds the full stream; the gateway's per-chunk acknowledgements
+        are consumed and the final :class:`StreamSummary` returned.
+        """
+
+        def ndjson() -> "Iterable[bytes]":
+            for chunk in chunks:
+                yield json.dumps({"records": _as_records(chunk)}).encode("utf-8") + b"\n"
+
+        connection = self._connect()
+        try:
+            try:
+                connection.request(
+                    "POST",
+                    f"/v1/pipelines/{quote(pipeline, safe='')}/validate_stream",
+                    body=ndjson(),
+                    headers={"Content-Type": "application/x-ndjson"},
+                    encode_chunked=True,
+                )
+            except (BrokenPipeError, ConnectionResetError):
+                # The gateway rejects a bad stream as soon as it sees it
+                # and stops reading; our remaining upload then fails at
+                # the socket. Its error response is usually already in
+                # the receive buffer — surface that instead of the pipe.
+                pass
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise self._error_from(response.status, response.read())
+            summary: StreamSummary | None = None
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                kind = payload.get("kind")
+                if kind == "stream_chunk":
+                    continue
+                if kind == "error":
+                    raise GatewayError(
+                        f"gateway error {payload.get('status')}: {payload.get('error')}"
+                    )
+                summary = StreamSummary.from_dict(payload)
+            if summary is None:
+                raise GatewayError("stream response ended without a summary")
+            return summary
+        finally:
+            connection.close()
+
+    # -- plumbing ----------------------------------------------------------
+    def _connect(self) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = self._connect()
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {} if body is None else {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise self._error_from(response.status, raw)
+            return json.loads(raw)
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _error_from(status: int, raw: bytes) -> GatewayError:
+        try:
+            message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
+        except (json.JSONDecodeError, AttributeError):
+            message = raw.decode("utf-8", "replace")
+        return GatewayError(f"gateway error {status}: {message}")

@@ -1,0 +1,363 @@
+"""Stdlib-only HTTP gateway over a :class:`ValidationService`.
+
+A :class:`ValidationGateway` puts a wire boundary in front of the
+multi-pipeline serving layer using nothing but ``http.server``:
+
+* ``GET  /v1/healthz`` — liveness + protocol version;
+* ``GET  /v1/pipelines`` — :class:`ServiceStats` snapshot (per-pipeline
+  residency and counters);
+* ``POST /v1/pipelines/{name}/validate`` — JSON records in, a
+  :class:`ValidationReport` envelope out (sparse flagged-cell encoding
+  by default; ``include_errors`` switches to dense);
+* ``POST /v1/pipelines/{name}/repair`` — records in; repaired records,
+  the :class:`RepairSummary`, and the pre-repair report out;
+* ``POST /v1/pipelines/{name}/validate_stream`` — NDJSON chunks in
+  (Content-Length or chunked transfer encoding), a chunked NDJSON
+  response out: one acknowledgement line per processed chunk, then the
+  final :class:`StreamSummary` envelope. Rides
+  :class:`~repro.runtime.streaming.StreamingValidator`, so memory stays
+  bounded by the chunk size regardless of stream length.
+
+Every request is handled on its own thread (``ThreadingHTTPServer``);
+the NumPy kernels underneath release the GIL, so concurrent batches
+overlap. Errors come back as ``{"kind": "error", ...}`` envelopes with
+conventional status codes (400 malformed, 404 unknown, 500 internal).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator
+from urllib.parse import unquote
+
+import repro
+from repro.api.protocol import SCHEMA_VERSION, envelope
+from repro.api.requests import RepairRequest, ValidateRequest
+from repro.data.table import Table
+from repro.exceptions import ReproError, SchemaError, ValidationError
+from repro.runtime.service import ValidationService
+from repro.runtime.streaming import StreamingValidator
+from repro.utils.logging import get_logger
+
+__all__ = ["ValidationGateway"]
+
+logger = get_logger("serve.gateway")
+
+_ROUTE = re.compile(r"^/v1/pipelines/(?P<name>[^/]+)/(?P<action>validate|repair|validate_stream)$")
+
+
+class _RequestError(Exception):
+    """Internal: carry an HTTP status + message to the error encoder."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _error_payload(status: int, message: str) -> dict:
+    payload = envelope("error")
+    payload.update(status=status, error=message)
+    return payload
+
+
+class _GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, gateway: "ValidationGateway") -> None:
+        self.gateway = gateway
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.1 gives us keep-alive for clients and chunked responses for
+    # the streaming endpoint; every response must then declare either a
+    # Content-Length or Transfer-Encoding, which _send_json guarantees.
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    @property
+    def gateway(self) -> "ValidationGateway":
+        return self.server.gateway
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        logger.info("%s %s", self.address_string(), format % args)
+
+    # -- dispatch ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/v1/healthz":
+                self._send_json(200, self.gateway.healthz())
+            elif self.path == "/v1/pipelines":
+                self._send_json(200, self.gateway.service.stats_snapshot().to_dict())
+            else:
+                raise _RequestError(404, f"no such route: GET {self.path}")
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._send_failure(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            match = _ROUTE.match(self.path)
+            if match is None:
+                raise _RequestError(404, f"no such route: POST {self.path}")
+            name = unquote(match["name"])
+            if name not in self.gateway.service.registered:
+                raise _RequestError(404, f"unknown pipeline {name!r}")
+            action = match["action"]
+            if action == "validate":
+                self._handle_validate(name)
+            elif action == "repair":
+                self._handle_repair(name)
+            else:
+                self._handle_validate_stream(name)
+        except Exception as exc:
+            self._send_failure(exc)
+
+    # -- endpoints ---------------------------------------------------------
+    def _handle_validate(self, name: str) -> None:
+        request = ValidateRequest.from_payload(self._read_json(), pipeline=name)
+        if request.pipeline != name:
+            raise _RequestError(
+                400, f"request pipeline {request.pipeline!r} does not match URL {name!r}"
+            )
+        table = self._build_table(name, request.records)
+        report = self.gateway.service.validate(name, table)
+        self._send_json(200, report.to_dict(errors="dense" if request.include_errors else "sparse"))
+
+    def _handle_repair(self, name: str) -> None:
+        request = RepairRequest.from_payload(self._read_json(), pipeline=name)
+        if request.pipeline != name:
+            raise _RequestError(
+                400, f"request pipeline {request.pipeline!r} does not match URL {name!r}"
+            )
+        table = self._build_table(name, request.records)
+        service = self.gateway.service
+        report = service.validate(name, table)
+        repaired, summary = service.repair(
+            name, table, report=report, iterations=request.iterations
+        )
+        payload = envelope("repair_response")
+        payload.update(
+            report=report.to_dict(errors="dense" if request.include_errors else "sparse"),
+            repair=summary.to_dict(),
+            records=repaired.to_records(),
+        )
+        self._send_json(200, payload)
+
+    def _handle_validate_stream(self, name: str) -> None:
+        pipeline = self.gateway.service.get(name)
+        schema = pipeline.preprocessor.schema
+        validator = StreamingValidator.from_pipeline(pipeline)
+
+        def tables() -> Iterator[Table]:
+            for line in self._iter_body_lines():
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise _RequestError(400, f"malformed NDJSON chunk: {exc}") from exc
+                records = payload.get("records") if isinstance(payload, dict) else payload
+                if not isinstance(records, list):
+                    raise _RequestError(400, "each NDJSON line must be a record list")
+                yield Table.from_records(schema, records)
+
+        # Chunks are validated incrementally (memory stays O(chunk)),
+        # but nothing is *written* until the request body is fully
+        # consumed: stdlib clients send the whole body before reading,
+        # so interleaving acks with their upload would fill both socket
+        # buffers on long streams and deadlock the connection. Deferring
+        # also means any mid-stream failure still gets a clean 400.
+        acks: list[dict] = []
+
+        def acknowledged():
+            for partial in validator.iter_partials(tables()):
+                ack = envelope("stream_chunk")
+                ack.update(
+                    offset=int(partial.offset),
+                    n_rows=int(partial.n_rows),
+                    n_flagged=int(partial.n_flagged),
+                )
+                acks.append(ack)
+                yield partial
+
+        try:
+            summary = validator.fold(acknowledged())
+        except ValidationError as exc:
+            raise _RequestError(400, str(exc)) from exc
+        self.gateway.service.count_validation(name, summary.n_rows)
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for ack in acks:
+            self._write_chunk_line(ack)
+        self._write_chunk_line(summary.to_dict())
+        self.wfile.write(b"0\r\n\r\n")
+
+    # -- body reading ------------------------------------------------------
+    def _read_body(self) -> bytes:
+        return b"".join(self._iter_body_blocks())
+
+    def _iter_body_blocks(self) -> Iterator[bytes]:
+        transfer = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in transfer:
+            yield from self._iter_chunked_blocks()
+            return
+        remaining = int(self.headers.get("Content-Length") or 0)
+        while remaining > 0:
+            block = self.rfile.read(min(remaining, 65536))
+            if not block:
+                break
+            remaining -= len(block)
+            yield block
+
+    def _iter_chunked_blocks(self) -> Iterator[bytes]:
+        while True:
+            size_line = self.rfile.readline(65536).strip()
+            try:
+                size = int(size_line.split(b";", 1)[0], 16)
+            except ValueError:
+                raise _RequestError(400, "malformed chunked transfer encoding") from None
+            if size == 0:
+                # Consume optional trailers up to the terminating blank line.
+                while self.rfile.readline(65536).strip():
+                    pass
+                return
+            yield self.rfile.read(size)
+            self.rfile.read(2)  # trailing CRLF
+
+    def _iter_body_lines(self) -> Iterator[bytes]:
+        buffer = b""
+        for block in self._iter_body_blocks():
+            buffer += block
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield line
+        if buffer.strip():
+            yield buffer
+
+    def _read_json(self) -> object:
+        body = self._read_body()
+        if not body:
+            raise _RequestError(400, "empty request body")
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _RequestError(400, f"malformed JSON body: {exc}") from exc
+
+    def _build_table(self, name: str, records: list[dict]) -> Table:
+        if not records:
+            raise _RequestError(400, "'records' must not be empty")
+        schema = self.gateway.service.get(name).preprocessor.schema
+        try:
+            return Table.from_records(schema, records)
+        except (SchemaError, TypeError, ValueError) as exc:
+            raise _RequestError(400, f"records do not fit pipeline schema: {exc}") from exc
+
+    # -- response writing --------------------------------------------------
+    def _send_json(self, status: int, payload: dict, close: bool = False) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            # The request body may not have been fully consumed; a
+            # keep-alive connection would misparse its remainder as the
+            # next request, so hang up after this response.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _write_chunk_line(self, payload: dict) -> None:
+        line = json.dumps(payload).encode("utf-8") + b"\n"
+        self.wfile.write(f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n")
+        self.wfile.flush()
+
+    def _send_failure(self, exc: Exception) -> None:
+        if isinstance(exc, _RequestError):
+            status, message = exc.status, str(exc)
+        elif isinstance(exc, ReproError):
+            # Covers ProtocolError (bad envelopes) and SchemaError
+            # (records that don't fit the pipeline) among others — all
+            # client-caused.
+            status, message = 400, str(exc)
+        else:
+            logger.exception("internal error serving %s", self.path)
+            status, message = 500, f"internal error: {exc}"
+        try:
+            self._send_json(status, _error_payload(status, message), close=True)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+
+class ValidationGateway:
+    """The HTTP server: binds, serves, and tears down a service front.
+
+    >>> with ValidationGateway(service, port=0) as gateway:   # doctest: +SKIP
+    ...     print(gateway.url)                                # doctest: +SKIP
+    ...     gateway.serve_forever()                           # doctest: +SKIP
+
+    ``start()`` serves from a daemon thread instead (used by tests and
+    embedded callers); ``port=0`` binds an ephemeral port.
+    """
+
+    def __init__(
+        self, service: ValidationService, host: str = "127.0.0.1", port: int = 8080
+    ) -> None:
+        self.service = service
+        self._server = _GatewayServer((host, port), _Handler, gateway=self)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def healthz(self) -> dict:
+        payload = envelope("health")
+        payload.update(
+            status="ok",
+            version=repro.__version__,
+            pipelines=len(self.service.registered),
+        )
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        logger.info("serving on %s (schema_version %d)", self.url, SCHEMA_VERSION)
+        self._server.serve_forever()
+
+    def start(self) -> "ValidationGateway":
+        """Serve from a background daemon thread."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, name="repro-serve", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ValidationGateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

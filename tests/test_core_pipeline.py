@@ -119,6 +119,21 @@ class TestFitValidate:
         assert verdict.score < 0.10
         assert "threshold" in verdict.details
 
+    def test_validate_batch_summary_is_structured(self, fitted):
+        # details["summary"] is the JSON-ready protocol dict, not a
+        # pre-rendered string; summary() renders it for humans.
+        import json
+
+        pipeline, holdout = fitted
+        verdict = pipeline.validate_batch(holdout.sample(500, rng=1))
+        summary = verdict.details["summary"]
+        assert isinstance(summary, dict)
+        assert summary["kind"] == "verdict_summary"
+        assert summary["n_rows"] == 500
+        assert summary["is_problematic"] == verdict.is_problematic
+        json.dumps(summary)  # must be JSON-native as-is
+        assert "rows flagged" in verdict.summary()
+
 
 class TestRepair:
     def test_repair_reduces_flagged_fraction(self, fitted):

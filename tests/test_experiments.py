@@ -196,3 +196,22 @@ class TestCli:
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):
             cli_main(["table9"])
+
+    def test_cli_out_writes_protocol_json(self, tmp_path, capsys):
+        import json
+        import os
+
+        from repro.experiments.reporting import ResultTable
+
+        out = tmp_path / "results.json"
+        os.environ["REPRO_SCALE"] = "smoke"
+        try:
+            exit_code = cli_main(["table3", "--scale", "smoke", "--out", str(out)])
+        finally:
+            os.environ.pop("REPRO_SCALE", None)
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "experiment_results"
+        table = ResultTable.from_dict(payload["results"]["table3"])
+        assert "Table 3" in table.title
+        assert table.rows

@@ -265,6 +265,94 @@ class TestValidationService:
             assert "resident" in service.resident  # pinned entries survive pressure
             service.validate("resident", holdout)
 
+    def test_evict_is_noop_for_pinned_entries(self, fitted):
+        pipeline, _ = fitted
+        with ValidationService(capacity=1) as service:
+            service.add("pinned", pipeline)
+            assert service.evict("pinned") is False
+            assert "pinned" in service.resident
+            assert service.evict("absent") is False
+
+    def test_pinned_entries_do_not_consume_lru_capacity(self, fitted, tmp_path):
+        # Two pinned pipelines + capacity 1: an archive-backed pipeline
+        # must still get its slot instead of being crowded out.
+        pipeline, holdout = fitted
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+        with ValidationService(capacity=1) as service:
+            service.add("pin_a", pipeline)
+            service.add("pin_b", pipeline)
+            service.register("archived", path)
+            service.validate("archived", holdout)
+            assert set(service.resident) == {"pin_a", "pin_b", "archived"}
+            assert service.n_evictions == 0
+            # Evicting the archive-backed entry still works.
+            assert service.evict("archived") is True
+            assert service.resident == ["pin_a", "pin_b"]
+
+    def test_repair_dispatch(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+        dirty, _ = NumericAnomalyInjector(["y"], fraction=0.25).inject(holdout, rng=11)
+        with ValidationService() as service:
+            service.register("p", path)
+            repaired, summary = service.repair("p", dirty, iterations=2)
+            local_repaired, local_summary = service.get("p").repair(dirty, iterations=2)
+            assert summary.n_cells_repaired == local_summary.n_cells_repaired
+            np.testing.assert_array_equal(repaired["y"], local_repaired["y"])
+
+    def test_submit_many_returns_futures_in_order(self, fitted):
+        pipeline, _ = fitted
+        batches = [make_table(100, seed=s) for s in range(3)]
+        with ValidationService(max_workers=2) as service:
+            service.add("p", pipeline)
+            futures = service.submit_many(("p", batch) for batch in batches)
+            assert len(futures) == 3
+            for batch, future in zip(batches, futures):
+                expected = pipeline.validate(batch)
+                np.testing.assert_array_equal(future.result().row_flags, expected.row_flags)
+
+    def test_per_pipeline_stats_and_snapshot(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+        with ValidationService() as service:
+            service.register("archived", path)
+            service.add("resident", pipeline)
+            service.validate("archived", holdout)
+            service.validate("resident", holdout)
+            service.repair("resident", holdout)
+            detail = service.pipeline_stats()
+            assert detail["archived"]["loads"] == 1
+            assert detail["archived"]["validations"] == 1
+            assert detail["archived"]["rows_validated"] == holdout.n_rows
+            assert detail["archived"]["source"] == str(path)
+            assert detail["resident"]["pinned"] and detail["resident"]["repairs"] == 1
+            snapshot = service.stats_snapshot()
+            assert snapshot.validations == 2 and snapshot.repairs == 1
+            assert snapshot.registered == 2
+            # The snapshot is wire-encodable via the repro.api protocol.
+            import json
+
+            from repro.runtime.service import ServiceStats
+
+            clone = ServiceStats.from_dict(json.loads(json.dumps(snapshot.to_dict())))
+            assert clone == snapshot
+
+    def test_counters_survive_eviction(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        pipeline.save(a)
+        pipeline.save(b)
+        with ValidationService(capacity=1) as service:
+            service.register("a", a)
+            service.register("b", b)
+            service.validate("a", holdout)
+            service.validate("b", holdout)  # evicts "a"
+            assert service.pipeline_stats()["a"]["validations"] == 1
+            assert service.stats()["rows_validated"] == 2 * holdout.n_rows
+
     def test_unknown_pipeline_rejected(self):
         with ValidationService() as service:
             with pytest.raises(ReproError):

@@ -1,0 +1,222 @@
+"""End-to-end tests for the HTTP serving gateway (repro.serve).
+
+A real ``ThreadingHTTPServer`` is bound to an ephemeral port; requests
+travel over actual sockets via the stdlib client. The acceptance bar:
+a report obtained over HTTP must reconstruct flags, threshold, and
+verdict identical to calling ``DQuaG.validate`` in-process.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DQuaG
+from repro.data import Table
+from repro.exceptions import GatewayError
+from repro.runtime import ValidationService
+from repro.serve import Client, ValidationGateway
+from repro.serve.cli import DEMO_RECORD, fit_demo_pipeline
+
+
+def make_batch(pipeline: DQuaG, n: int, seed: int, corrupt: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.1, 0.9, n)
+    y = 2.0 * x + rng.normal(0, 0.01, n)
+    if corrupt:
+        y[:corrupt] += 5.0
+    return Table(
+        pipeline.preprocessor.schema,
+        {
+            "x": x,
+            "y": y,
+            "z": 1.0 - x + rng.normal(0, 0.01, n),
+            "c": np.where(x > 0.5, "hi", "lo"),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def served():
+    pipeline = fit_demo_pipeline()
+    service = ValidationService(capacity=2)
+    service.add("demo", pipeline)
+    with ValidationGateway(service, port=0) as gateway:
+        yield pipeline, gateway, Client(port=gateway.port)
+    service.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, _, client = served
+        payload = client.healthz()
+        assert payload["status"] == "ok" and payload["pipelines"] == 1
+
+    def test_http_report_identical_to_in_process(self, served):
+        pipeline, _, client = served
+        batch = make_batch(pipeline, 400, seed=5, corrupt=50)
+        local = pipeline.validate(batch)
+        remote = client.validate("demo", batch)
+        np.testing.assert_array_equal(remote.row_flags, local.row_flags)
+        np.testing.assert_array_equal(remote.cell_flags, local.cell_flags)
+        assert remote.threshold == local.threshold
+        assert remote.flagged_fraction == local.flagged_fraction
+        assert remote.is_problematic == local.is_problematic
+        assert remote.feature_names == local.feature_names
+        # Sparse default: error values are exact at flagged coordinates.
+        np.testing.assert_array_equal(
+            remote.sample_errors[local.row_flags], local.sample_errors[local.row_flags]
+        )
+
+    def test_dense_errors_on_request(self, served):
+        pipeline, _, client = served
+        batch = make_batch(pipeline, 200, seed=6)
+        local = pipeline.validate(batch)
+        remote = client.validate("demo", batch, include_errors=True)
+        np.testing.assert_array_equal(remote.sample_errors, local.sample_errors)
+        np.testing.assert_array_equal(remote.cell_errors, local.cell_errors)
+
+    def test_repair_matches_in_process(self, served):
+        pipeline, _, client = served
+        batch = make_batch(pipeline, 300, seed=7, corrupt=40)
+        records, summary, report = client.repair("demo", batch, iterations=2)
+        local_report = pipeline.validate(batch)
+        local_repaired, local_summary = pipeline.repair(batch, report=local_report, iterations=2)
+        assert records == local_repaired.to_records()
+        assert summary.n_cells_repaired == local_summary.n_cells_repaired
+        assert summary.repairs_by_column == local_summary.repairs_by_column
+        np.testing.assert_array_equal(report.row_flags, local_report.row_flags)
+
+    def test_validate_stream_chunked(self, served):
+        pipeline, _, client = served
+        batch = make_batch(pipeline, 500, seed=8, corrupt=60)
+        local = pipeline.validate(batch)
+        chunks = [batch.take(np.arange(i, min(i + 128, batch.n_rows))) for i in range(0, batch.n_rows, 128)]
+        rows_before = client.pipelines().pipelines["demo"]["rows_validated"]
+        summary = client.validate_stream("demo", chunks)
+        assert summary.n_rows == batch.n_rows
+        assert summary.n_chunks == len(chunks)
+        assert summary.n_flagged == local.n_flagged
+        np.testing.assert_array_equal(summary.flagged_rows, local.flagged_rows)
+        assert summary.is_problematic == local.is_problematic
+        # Streamed traffic is counted in the per-pipeline stats too.
+        rows_after = client.pipelines().pipelines["demo"]["rows_validated"]
+        assert rows_after == rows_before + batch.n_rows
+
+    def test_pipeline_stats_counters(self, served):
+        pipeline, _, client = served
+        client.validate("demo", make_batch(pipeline, 50, seed=9))
+        stats = client.pipelines()
+        demo = stats.pipelines["demo"]
+        assert demo["resident"] and demo["pinned"]
+        assert demo["validations"] >= 1 and demo["rows_validated"] >= 50
+        assert stats.registered == 1
+
+    def test_bare_curl_style_request(self, served):
+        # What the README's curl example sends: no envelope, raw records.
+        _, gateway, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/v1/pipelines/demo/validate",
+                body=json.dumps({"records": [DEMO_RECORD]}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            payload = json.loads(response.read())
+            assert payload["kind"] == "validation_report"
+            assert payload["n_rows"] == 1
+        finally:
+            connection.close()
+
+
+class TestErrorHandling:
+    def test_unknown_pipeline_404(self, served):
+        pipeline, _, client = served
+        with pytest.raises(GatewayError, match="404"):
+            client.validate("nope", make_batch(pipeline, 10, seed=1))
+
+    def test_unknown_route_404(self, served):
+        _, _, client = served
+        with pytest.raises(GatewayError, match="404"):
+            client._request("GET", "/v2/healthz")
+
+    def test_schema_mismatch_400(self, served):
+        _, _, client = served
+        with pytest.raises(GatewayError, match="400"):
+            client.validate("demo", [{"bogus_column": 1.0}])
+
+    def test_empty_records_400(self, served):
+        _, _, client = served
+        with pytest.raises(GatewayError, match="400"):
+            client.validate("demo", [])
+
+    def test_malformed_json_400(self, served):
+        _, gateway, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            connection.request(
+                "POST", "/v1/pipelines/demo/validate", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["kind"] == "error"
+        finally:
+            connection.close()
+
+    def test_schema_version_gate_on_requests(self, served):
+        _, gateway, _ = served
+        body = json.dumps(
+            {"schema_version": 99, "kind": "validate_request", "records": [DEMO_RECORD]}
+        )
+        connection = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            connection.request(
+                "POST", "/v1/pipelines/demo/validate", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "schema_version" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_pipeline_name_mismatch_400(self, served):
+        _, _, client = served
+        request_payload = {"records": [DEMO_RECORD], "pipeline": "other"}
+        with pytest.raises(GatewayError, match="does not match"):
+            client._request("POST", "/v1/pipelines/demo/validate", request_payload)
+
+    def test_empty_stream_400(self, served):
+        _, _, client = served
+        with pytest.raises(GatewayError, match="400"):
+            client.validate_stream("demo", [])
+
+    def test_mid_stream_error_returns_400(self, served):
+        # Responses are deferred until the body is consumed, so even an
+        # error on a later chunk comes back as a clean status code.
+        pipeline, _, client = served
+        good = make_batch(pipeline, 64, seed=2)
+
+        def chunks():
+            yield good
+            yield [{"bogus_column": 1.0}]
+
+        with pytest.raises(GatewayError, match="400"):
+            client.validate_stream("demo", chunks())
+
+    def test_long_stream_does_not_deadlock(self, served):
+        # Many chunks: the upload must complete even though the gateway
+        # produces one ack line per chunk (acks are deferred, not
+        # interleaved with the upload).
+        pipeline, _, client = served
+        batch = make_batch(pipeline, 600, seed=3)
+        chunks = [batch.take(np.arange(i, i + 4)) for i in range(0, batch.n_rows, 4)]
+        summary = client.validate_stream("demo", chunks)
+        assert summary.n_chunks == 150 and summary.n_rows == batch.n_rows
