@@ -98,7 +98,20 @@ def test_engine_speedup(runtime_setup, scale):
     table.add_row("compiled engine", engine_seconds, int(SLAB_ROWS / engine_seconds))
     table.add_note(f"speedup: {speedup:.2f}x")
     table.add_note(f"flags identical: {flags_identical}; max |Δ cell error| = {max_error_delta:.2e}")
-    emit_result("runtime_engine", table.render())
+    emit_result(
+        "runtime_engine",
+        table.render(),
+        data={
+            "scale": scale.name,
+            "rows": SLAB_ROWS,
+            "dims": SLAB_DIMS,
+            "autograd_seconds": autograd_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": speedup,
+            "flags_identical": flags_identical,
+            "max_error_delta": max_error_delta,
+        },
+    )
 
     assert flags_identical
     assert max_error_delta < 1e-10
@@ -136,7 +149,18 @@ def test_streaming_throughput(runtime_setup, scale):
     table.add_note(
         "memory: O(chunk × features) — the dense error matrix is never materialized"
     )
-    emit_result("runtime_streaming", table.render())
+    emit_result(
+        "runtime_streaming",
+        table.render(),
+        data={
+            "scale": scale.name,
+            "rows": summary.n_rows,
+            "chunks": summary.n_chunks,
+            "seconds": elapsed,
+            "rows_per_second": summary.n_rows / elapsed,
+            "flagged_fraction": summary.flagged_fraction,
+        },
+    )
 
     assert summary.n_rows == n_rows
     assert summary.n_chunks == -(-n_rows // chunk_rows)

@@ -1,0 +1,158 @@
+"""Sharded-validation benchmarks — parity and multi-worker throughput.
+
+Quantifies what :mod:`repro.runtime.sharding` buys on the paper's
+Figure-4 serving workload (NY Taxi, 18 dims):
+
+* ``test_sharded_parity_on_figure4_slab`` — the merged sharded report is
+  bit-identical to the one-shot path across 1/2/4 shards;
+* ``test_sharded_throughput`` — rows/s of the single-process streaming
+  path vs :class:`ParallelValidator` at increasing worker counts. The
+  ≥1.8× @ 4-workers acceptance bar is asserted on hosts with ≥4 CPUs at
+  standard scale or above (below that the measurement is recorded but
+  the bar is skipped — a 1-core runner cannot exhibit process
+  parallelism).
+
+Run with ``REPRO_SCALE=smoke`` for a CI-sized pass. Machine-readable
+snapshots land in ``results/BENCH_sharding_*.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.datasets import TaxiGenerator
+from repro.experiments.reporting import ResultTable
+from repro.runtime.sharding import ParallelValidator
+
+from benchmarks.conftest import emit_result
+
+SLAB_ROWS = 10_000
+SLAB_DIMS = 18
+ACCEPTANCE_WORKERS = 4
+ACCEPTANCE_SPEEDUP = 1.8
+
+
+@pytest.fixture(scope="module")
+def sharding_setup(scale, tmp_path_factory):
+    generator = TaxiGenerator()
+    columns = TaxiGenerator.dimension_subsets()[SLAB_DIMS]
+    train = generator.generate_clean(scale.train_rows, rng=1).select(columns)
+    slab = generator.generate_clean(SLAB_ROWS, rng=2).select(columns)
+    config = DQuaGConfig(hidden_dim=64, epochs=max(scale.epochs // 4, 2), seed=0)
+    pipeline = DQuaG(config).fit(train, rng=0, knowledge_edges=[
+        (a, b) for a, b in generator.knowledge_edges() if a in columns and b in columns
+    ])
+    archive = tmp_path_factory.mktemp("sharding") / "taxi18.npz"
+    pipeline.save(archive)
+    return generator, columns, pipeline, slab, archive
+
+
+def test_sharded_parity_on_figure4_slab(sharding_setup, scale):
+    """Acceptance: sharded == one-shot, bit for bit, for any shard count."""
+    _, _, pipeline, slab, archive = sharding_setup
+    one_shot = pipeline.validate(slab)
+    rows = []
+    with ParallelValidator(archive, workers=2) as parallel:
+        for shards in (1, 2, 4):
+            report = parallel.validate_table(slab, shards=shards, keep_cell_errors=True)
+            identical = bool(
+                np.array_equal(report.row_flags, one_shot.row_flags)
+                and np.array_equal(report.cell_flags, one_shot.cell_flags)
+                and np.array_equal(report.sample_errors, one_shot.sample_errors)
+                and np.array_equal(report.cell_errors, one_shot.cell_errors)
+                and report.threshold == one_shot.threshold
+                and report.is_problematic == one_shot.is_problematic
+            )
+            rows.append((shards, identical))
+
+    table = ResultTable(
+        f"Sharding — parity vs one-shot on the Figure-4 slab "
+        f"({SLAB_ROWS} rows, {SLAB_DIMS} dims, scale={scale.name})",
+        ["shards", "bit-identical"],
+    )
+    for shards, identical in rows:
+        table.add_row(shards, identical)
+    emit_result(
+        "sharding_parity",
+        table.render(),
+        data={
+            "scale": scale.name,
+            "rows": SLAB_ROWS,
+            "dims": SLAB_DIMS,
+            "parity": {str(shards): identical for shards, identical in rows},
+        },
+    )
+    assert all(identical for _, identical in rows)
+
+
+def test_sharded_throughput(sharding_setup, scale):
+    """Single-process streaming vs multi-worker sharded validation."""
+    generator, columns, pipeline, _, archive = sharding_setup
+    if os.environ.get("REPRO_FULL_SCALE"):
+        n_rows = 400_000
+    elif scale.name == "smoke":
+        n_rows = 40_000
+    else:
+        n_rows = 160_000
+    big = generator.generate_clean(n_rows, rng=7).select(columns)
+    cpu_count = os.cpu_count() or 1
+
+    streaming = pipeline.streaming_validator(chunk_size=8192)
+    start = time.perf_counter()
+    single_summary = streaming.validate_table(big)
+    single_seconds = time.perf_counter() - start
+
+    worker_counts = [w for w in (2, ACCEPTANCE_WORKERS) if w <= cpu_count]
+    measured: dict[int, float] = {}
+    for workers in worker_counts:
+        with ParallelValidator(archive, workers=workers).warm() as parallel:
+            start = time.perf_counter()
+            summary = parallel.validate_table(big)
+            measured[workers] = time.perf_counter() - start
+        assert summary.n_flagged == single_summary.n_flagged
+        np.testing.assert_array_equal(summary.flagged_rows, single_summary.flagged_rows)
+
+    table = ResultTable(
+        f"Sharding — throughput on the Figure-4 workload "
+        f"({n_rows} rows, {SLAB_DIMS} dims, {cpu_count} CPUs, scale={scale.name})",
+        ["path", "seconds", "rows/s", "speedup"],
+    )
+    table.add_row("streaming (1 proc)", single_seconds, int(n_rows / single_seconds), 1.0)
+    for workers, seconds in measured.items():
+        table.add_row(
+            f"sharded ({workers} workers)",
+            seconds,
+            int(n_rows / seconds),
+            single_seconds / seconds,
+        )
+    emit_result(
+        "sharding_throughput",
+        table.render(),
+        data={
+            "scale": scale.name,
+            "rows": n_rows,
+            "dims": SLAB_DIMS,
+            "cpu_count": cpu_count,
+            "single_seconds": single_seconds,
+            "sharded_seconds": {str(w): s for w, s in measured.items()},
+            "speedups": {str(w): single_seconds / s for w, s in measured.items()},
+        },
+    )
+
+    if cpu_count < ACCEPTANCE_WORKERS:
+        pytest.skip(
+            f"{ACCEPTANCE_WORKERS}-worker acceptance bar needs >= "
+            f"{ACCEPTANCE_WORKERS} CPUs (host has {cpu_count}); numbers recorded"
+        )
+    if scale.name == "smoke":
+        pytest.skip("acceptance bar asserted at standard scale and above; numbers recorded")
+    speedup = single_seconds / measured[ACCEPTANCE_WORKERS]
+    assert speedup >= ACCEPTANCE_SPEEDUP, (
+        f"sharded speedup {speedup:.2f}x at {ACCEPTANCE_WORKERS} workers is below "
+        f"the {ACCEPTANCE_SPEEDUP}x acceptance bar"
+    )

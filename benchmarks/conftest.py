@@ -14,6 +14,7 @@ contains the paper-vs-measured rows.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -24,10 +25,18 @@ from repro.experiments import resolve_scale
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def emit_result(name: str, rendered: str) -> None:
-    """Persist and display a rendered experiment table."""
+def emit_result(name: str, rendered: str, data: dict | None = None) -> None:
+    """Persist and display a rendered experiment table.
+
+    ``data`` additionally writes a machine-readable
+    ``results/BENCH_{name}.json`` snapshot so the perf trajectory can be
+    tracked across commits without parsing rendered tables.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+    if data is not None:
+        payload = {"bench": name, **data}
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
     # Bypass pytest's capture so the rows appear in the benchmark log.
     print(f"\n{rendered}\n", file=sys.__stdout__, flush=True)
 

@@ -1,0 +1,87 @@
+"""Sharded parallel validation: multi-worker Phase 2 with exact merge.
+
+The §3.2.1 decision rules are row-local, so a large batch can be split
+into row shards, validated on worker processes, and merged into the
+exact one-shot report. This example fits a small pipeline, then runs:
+
+1. ``DQuaG.validate(table, workers=N)`` — the one-liner;
+2. ``ParallelValidator`` directly — explicit control over the pool,
+   including bounded-memory streaming from CSV chunks;
+3. ``ValidationService.validate_sharded`` — the serving-layer form with
+   worker budgeting.
+
+Run with ``PYTHONPATH=src python examples/sharded_validation.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.data import ColumnKind, ColumnSpec, Table, TableSchema, read_csv_chunks, write_csv
+from repro.runtime import ParallelValidator, ValidationService
+
+
+def make_table(n: int, seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.1, 0.9, n)
+    schema = TableSchema(
+        [
+            ColumnSpec("x", ColumnKind.NUMERIC, "driver"),
+            ColumnSpec("y", ColumnKind.NUMERIC, "2x + noise"),
+            ColumnSpec("z", ColumnKind.NUMERIC, "1 - x + noise"),
+            ColumnSpec("c", ColumnKind.CATEGORICAL, "band of x", categories=("lo", "hi")),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "x": x,
+            "y": 2.0 * x + rng.normal(0, 0.01, n),
+            "z": 1.0 - x + rng.normal(0, 0.01, n),
+            "c": np.where(x > 0.5, "hi", "lo"),
+        },
+    )
+
+
+def main() -> None:
+    print("fitting pipeline...")
+    pipeline = DQuaG(DQuaGConfig(hidden_dim=16, epochs=6, batch_size=64)).fit(
+        make_table(600, seed=0), rng=0
+    )
+    batch = make_table(5000, seed=2)
+
+    # 1. The one-liner: shard across 2 worker processes, merge exactly.
+    sharded = pipeline.validate(batch, workers=2)
+    one_shot = pipeline.validate(batch)
+    assert np.array_equal(sharded.row_flags, one_shot.row_flags)
+    assert np.array_equal(sharded.cell_errors, one_shot.cell_errors)
+    print(f"workers=2 report identical to one-shot: {sharded.summary()}")
+    pipeline.close_parallel()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = Path(tmp) / "pipeline.npz"
+        pipeline.save(archive)
+
+        # 2. Explicit executor over the archive; stream a CSV in chunks.
+        csv_path = Path(tmp) / "batch.csv"
+        write_csv(batch, csv_path)
+        with ParallelValidator(archive, workers=2) as parallel:
+            summary = parallel.validate_stream(
+                read_csv_chunks(csv_path, batch.schema, chunk_size=1024)
+            )
+            print(f"sharded CSV stream: {summary.summary()}")
+
+        # 3. The serving layer: per-request worker budgeting.
+        with ValidationService(shard_workers=2) as service:
+            service.register("demo", archive)
+            report = service.validate_sharded("demo", batch, workers=2)
+            print(f"service sharded: {report.summary()}")
+            print(f"service stats: {service.stats()}")
+
+
+if __name__ == "__main__":
+    main()

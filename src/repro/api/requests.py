@@ -26,6 +26,23 @@ def _records_of(payload: dict) -> list[dict]:
     return records
 
 
+def _workers_of(payload: dict) -> int | None:
+    workers = payload.get("workers")
+    if workers is None:
+        return None
+    # Strictly integral: 2.9 (or True) must not silently become a worker
+    # count — the query-param path rejects such values too.
+    if isinstance(workers, bool) or not isinstance(workers, (int, float, str)):
+        raise ProtocolError(f"'workers' must be an integer, got {workers!r}")
+    try:
+        as_float = float(workers)
+    except ValueError:
+        raise ProtocolError(f"'workers' must be an integer, got {workers!r}") from None
+    if not as_float.is_integer():
+        raise ProtocolError(f"'workers' must be an integer, got {workers!r}")
+    return int(as_float)
+
+
 @dataclass
 class ValidateRequest:
     """One validation call: rows to judge, plus response options.
@@ -40,13 +57,26 @@ class ValidateRequest:
     include_errors:
         Return dense per-row/per-cell error matrices instead of the
         sparse flagged-only encoding.
+    workers:
+        Optional sharded-execution request: validate the batch across
+        this many worker processes (see
+        :meth:`~repro.runtime.service.ValidationService.validate_sharded`).
+        The gateway treats it as an upper bound — the service's shard
+        budget may grant fewer. ``None``/1 means in-process.
     """
 
     records: list[dict] = field(default_factory=list)
     pipeline: str | None = None
     include_errors: bool = False
+    workers: int | None = None
 
     kind = "validate_request"
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            self.workers = _workers_of({"workers": self.workers})
+            if self.workers < 1:
+                raise ProtocolError(f"workers must be >= 1, got {self.workers}")
 
     def to_dict(self) -> dict:
         payload = envelope(self.kind)
@@ -54,6 +84,7 @@ class ValidateRequest:
             pipeline=self.pipeline,
             records=jsonable(self.records),
             include_errors=bool(self.include_errors),
+            workers=None if self.workers is None else int(self.workers),
         )
         return payload
 
@@ -64,6 +95,7 @@ class ValidateRequest:
             records=_records_of(payload),
             pipeline=payload.get("pipeline"),
             include_errors=bool(payload.get("include_errors", False)),
+            workers=_workers_of(payload),
         )
 
     @classmethod
@@ -78,6 +110,7 @@ class ValidateRequest:
                 records=_records_of(payload),
                 pipeline=payload.get("pipeline"),
                 include_errors=bool(payload.get("include_errors", False)),
+                workers=_workers_of(payload),
             )
         if request.pipeline is None:
             request.pipeline = pipeline

@@ -23,6 +23,8 @@ pipelines concurrently.
 
 from __future__ import annotations
 
+import os
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -72,6 +74,9 @@ class DQuaG(BaselineValidator):
         self._validator: DataQualityValidator | None = None
         self._repair_engine: RepairEngine | None = None
         self._future_categories: dict[str, list[str]] | None = None
+        #: one cached sharded executor, widened on demand (see validate())
+        self._parallel_validator = None
+        self._parallel_lock = threading.Lock()
 
     # -- phase 1 -----------------------------------------------------------
     def fit(
@@ -102,6 +107,9 @@ class DQuaG(BaselineValidator):
         """
         generator = ensure_rng(rng if rng is not None else self.config.seed)
 
+        # Refitting invalidates any sharded worker pools serving the old
+        # weights; their workers would keep validating with stale state.
+        self.close_parallel()
         self._future_categories = future_categories
         self.preprocessor = TablePreprocessor(
             clean.schema, missing_sentinel=self.config.missing_sentinel
@@ -165,8 +173,33 @@ class DQuaG(BaselineValidator):
         return self
 
     # -- phase 2 --------------------------------------------------------------
-    def validate(self, table: Table) -> ValidationReport:
-        """Full validation report for an unseen table (engine-compiled path)."""
+    def validate(self, table: Table, workers: int | None = None) -> ValidationReport:
+        """Full validation report for an unseen table (engine-compiled path).
+
+        With ``workers > 1`` the table is split into chunk-aligned row
+        shards validated on a process pool (see
+        :mod:`repro.runtime.sharding`); the merged report is bit-identical
+        to the single-process path. The pool is cached per worker count —
+        release with :meth:`close_parallel` when done.
+        """
+        # Empty tables fall through: their one-shot report is
+        # well-defined while a zero-shard plan is not.
+        if workers is not None and workers > 1 and table.n_rows > 0:
+            from repro.exceptions import TransientServiceError
+
+            if table.schema != self._require_validator().preprocessor.schema:
+                raise SchemaError("table schema does not match the trained pipeline")
+            try:
+                return self.parallel_validator(workers).validate_table(
+                    table, shards=workers, keep_cell_errors=True
+                )
+            except TransientServiceError:
+                # A concurrent wider validate() closed our pool between
+                # lookup and submission; the cache now holds the wider
+                # pool, so one retry lands on it.
+                return self.parallel_validator(workers).validate_table(
+                    table, shards=workers, keep_cell_errors=True
+                )
         return self._require_validator().validate(table)
 
     def validate_batch(self, batch: Table) -> BatchVerdict:
@@ -238,6 +271,43 @@ class DQuaG(BaselineValidator):
         return StreamingValidator(
             self._require_validator(), chunk_size=chunk_size, keep_cell_errors=keep_cell_errors
         )
+
+    def parallel_validator(self, workers: int | None = None, chunk_size: int = 8192):
+        """The cached sharded executor over this fitted pipeline.
+
+        One pool is kept, rebuilt wider when a larger worker count (or a
+        different chunk size) is requested; any shard count runs on it
+        with bit-identical results. The pipeline is persisted to a temp
+        archive on first use (workers rebuild from it — no live state is
+        pickled); subsequent calls reuse the warm pool.
+        """
+        from repro.runtime.sharding import ParallelValidator
+
+        self._require_validator()
+        workers = (os.cpu_count() or 1) if workers is None else max(1, int(workers))
+        # Serialized: concurrent first calls must not each save a temp
+        # archive and spawn a pool, orphaning all but the last.
+        with self._parallel_lock:
+            parallel = self._parallel_validator
+            if parallel is not None and (
+                parallel.workers < workers or parallel.chunk_size != chunk_size
+            ):
+                self._parallel_validator = None
+                parallel.close()
+                parallel = None
+            if parallel is None:
+                parallel = ParallelValidator.from_pipeline(
+                    self, workers=workers, chunk_size=chunk_size
+                )
+                self._parallel_validator = parallel
+            return parallel
+
+    def close_parallel(self) -> None:
+        """Shut down the cached sharded worker pool and its temp archive."""
+        with self._parallel_lock:
+            parallel, self._parallel_validator = self._parallel_validator, None
+        if parallel is not None:
+            parallel.close()
 
     def _compile_kernels(self):
         """Compile the fitted model into an :class:`InferenceEngine`
@@ -328,6 +398,7 @@ class DQuaG(BaselineValidator):
         fit time — and numeric scaling ranges), so no clean table is
         needed. ``clean`` is accepted for schema cross-checking only.
         """
+        self.close_parallel()
         state, metadata = load_state(path)
         if "preprocessor" not in metadata:
             raise SerializationError(

@@ -52,5 +52,10 @@ class ProtocolError(SerializationError):
     """A wire payload failed the ``schema_version``/``kind`` gate or is malformed."""
 
 
+class TransientServiceError(ReproError):
+    """A server-side interruption (e.g. a pipeline re-registered mid-request)
+    hit an otherwise well-formed request; retrying is expected to succeed."""
+
+
 class GatewayError(ReproError):
     """An HTTP serving request failed (client-side view of a gateway error)."""

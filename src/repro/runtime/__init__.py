@@ -15,19 +15,27 @@ NumPy kernels and builds the serving stack on top:
   :class:`PartialReport` chunks;
 * :mod:`repro.runtime.service` — :class:`ValidationService`, an LRU
   registry of fitted pipelines dispatching concurrent batch validation
-  across a thread pool.
+  across a thread pool;
+* :mod:`repro.runtime.sharding` — :class:`ShardPlanner` /
+  :class:`ParallelValidator`, multi-process sharded validation whose
+  merged result is bit-identical to the one-shot path.
 """
 
 from repro.runtime.engine import InferenceEngine
-from repro.runtime.streaming import PartialReport, StreamingValidator, StreamSummary
+from repro.runtime.streaming import PartialReport, StreamingValidator, StreamSummary, fold_partials
 from repro.runtime.service import PipelineEntry, ServiceStats, ValidationService
+from repro.runtime.sharding import ParallelValidator, Shard, ShardPlanner
 
 __all__ = [
     "InferenceEngine",
     "PartialReport",
     "StreamingValidator",
     "StreamSummary",
+    "fold_partials",
     "PipelineEntry",
     "ServiceStats",
     "ValidationService",
+    "ParallelValidator",
+    "Shard",
+    "ShardPlanner",
 ]

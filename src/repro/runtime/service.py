@@ -24,12 +24,13 @@ snapshot.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.pipeline import DQuaG
 from repro.core.repair import RepairSummary
@@ -37,6 +38,10 @@ from repro.core.validator import ValidationReport
 from repro.data.table import Table
 from repro.exceptions import ReproError
 from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.sharding import ParallelValidator
+    from repro.runtime.streaming import Chunk, StreamSummary
 
 __all__ = ["PipelineEntry", "ServiceStats", "ValidationService"]
 
@@ -98,7 +103,12 @@ class ValidationService:
     >>> reports = service.validate_many([("hotel", b1), ("taxi", b2)])  # doctest: +SKIP
     """
 
-    def __init__(self, capacity: int = 4, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 4,
+        max_workers: int | None = None,
+        shard_workers: int | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -111,6 +121,21 @@ class ValidationService:
         self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="dquag-validate")
         self.n_loads = 0
         self.n_evictions = 0
+        #: total shard-worker budget across all pipelines: concurrent
+        #: sharded requests draw from it and fall back to the in-process
+        #: path when it is exhausted (see validate_sharded). 0 disables
+        #: sharded execution entirely (every request runs in-process).
+        self.shard_workers = (
+            (os.cpu_count() or 1) if shard_workers is None else max(0, int(shard_workers))
+        )
+        self._shard_available = self.shard_workers
+        #: one pool per pipeline name, built at shard_workers width; the
+        #: per-request grant caps how many shards run on it concurrently
+        self._parallel: dict[str, "ParallelValidator"] = {}
+        #: bumped on every register()/add(); lets a shard-pool build that
+        #: raced a re-registration detect that it is stale
+        self._generations: dict[str, int] = {}
+        self._closed = False
 
     # -- registration ------------------------------------------------------
     def register(self, name: str, archive: str | Path) -> None:
@@ -120,8 +145,11 @@ class ValidationService:
             raise ReproError(f"no such pipeline archive: {archive}")
         with self._lock:
             self._sources[name] = archive
-            # A stale resident copy must not outlive its re-registration.
+            # A stale resident copy must not outlive its re-registration,
+            # and neither must shard pools serving the old archive.
             self._entries.pop(name, None)
+            self._generations[name] = self._generations.get(name, 0) + 1
+        self._close_parallel_for(name)
 
     def add(self, name: str, pipeline: DQuaG) -> None:
         """Insert an already-fitted pipeline (pinned: never evicted)."""
@@ -129,6 +157,10 @@ class ValidationService:
         with self._lock:
             self._entries[name] = PipelineEntry(name=name, pipeline=pipeline, pinned=True)
             self._entries.move_to_end(name)
+            self._generations[name] = self._generations.get(name, 0) + 1
+        # Shard pools built from a previously-added pipeline of the same
+        # name would keep serving the old weights.
+        self._close_parallel_for(name)
 
     @property
     def registered(self) -> list[str]:
@@ -160,6 +192,7 @@ class ValidationService:
                 raise ReproError(
                     f"unknown pipeline {name!r}; registered: {self.registered}"
                 )
+            generation = self._generations.get(name, 0)
             load_lock = self._load_locks.setdefault(name, threading.Lock())
 
         with load_lock:
@@ -172,25 +205,45 @@ class ValidationService:
                     return entry.pipeline
             pipeline = DQuaG().load_weights(source)
             with self._lock:
-                self.n_loads += 1
-                self._counter(name)["loads"] += 1
-                self._entries[name] = PipelineEntry(
-                    name=name, pipeline=pipeline, source=source, hits=1
-                )
-                self._entries.move_to_end(name)
-                self._evict_over_capacity()
-            return pipeline
+                if self._generations.get(name, 0) != generation:
+                    # The name was re-registered while we were loading
+                    # (generations catch even a same-path re-register of
+                    # an archive overwritten in place): caching this
+                    # stale pipeline would resurrect the old weights.
+                    # Discard and retry against the current source.
+                    stale = True
+                    victims: list[str] = []
+                else:
+                    stale = False
+                    self.n_loads += 1
+                    self._counter(name)["loads"] += 1
+                    self._entries[name] = PipelineEntry(
+                        name=name, pipeline=pipeline, source=source, hits=1
+                    )
+                    self._entries.move_to_end(name)
+                    victims = self._evict_over_capacity()
+        if stale:
+            return self.get(name)
+        # Shard pools of LRU-evicted pipelines hold a full pipeline copy
+        # per worker process; keeping them alive would defeat the
+        # capacity bound. Closed outside the registry lock (slow).
+        for victim in victims:
+            self._close_parallel_for(victim)
+        return pipeline
 
-    def _evict_over_capacity(self) -> None:
+    def _evict_over_capacity(self) -> list[str]:
         # Pinned entries are exempt from the capacity budget entirely:
         # a directly-add()ed pipeline must never crowd archive-backed
         # ones out of their LRU slots (nor be evicted itself).
+        victims: list[str] = []
         evictable = [n for n, e in self._entries.items() if not e.pinned]
         while len(evictable) > self.capacity:
             victim = evictable.pop(0)
             del self._entries[victim]
             self.n_evictions += 1
+            victims.append(victim)
             logger.info("evicted pipeline %r (capacity %d)", victim, self.capacity)
+        return victims
 
     def evict(self, name: str) -> bool:
         """Drop a resident pipeline (no-op for pinned or absent entries)."""
@@ -199,7 +252,8 @@ class ValidationService:
             if entry is None or entry.pinned:
                 return False
             del self._entries[name]
-            return True
+        self._close_parallel_for(name)
+        return True
 
     # -- dispatch ----------------------------------------------------------
     def validate(self, name: str, table: Table) -> ValidationReport:
@@ -207,6 +261,148 @@ class ValidationService:
         report = self.get(name).validate(table)
         self.count_validation(name, table.n_rows)
         return report
+
+    # -- sharded dispatch --------------------------------------------------
+    def validate_sharded(
+        self, name: str, table: Table, workers: int | None = None
+    ) -> ValidationReport:
+        """Validate one batch across a per-pipeline shard worker pool.
+
+        ``workers`` is a request, not a guarantee: the grant is capped by
+        the service-wide ``shard_workers`` budget, and what other sharded
+        requests currently hold. With fewer than 2 grantable workers the
+        batch runs on the ordinary in-process path — the result is
+        bit-identical either way, only the wall-clock changes.
+        """
+        from repro.exceptions import TransientServiceError
+
+        requested = self.shard_workers if workers is None else int(workers)
+        granted = self._acquire_shard_workers(requested)
+        # Empty batches take the in-process path too: the one-shot report
+        # for zero rows is well-defined, while a zero-shard plan is not.
+        if granted < 2 or table.n_rows == 0:
+            if granted:
+                self._release_shard_workers(granted)
+            return self.validate(name, table)
+        try:
+            try:
+                report = self._parallel_for(name).validate_table(
+                    table, shards=granted, keep_cell_errors=True
+                )
+            except TransientServiceError:
+                # A concurrent re-register()/add()/eviction closed the
+                # pool under us. _close_parallel_for popped it from the
+                # cache, so one retry builds a fresh pool against the
+                # current registration. Deterministic failures (schema
+                # errors, broken workers) are not retried.
+                report = self._parallel_for(name).validate_table(
+                    table, shards=granted, keep_cell_errors=True
+                )
+        finally:
+            self._release_shard_workers(granted)
+        self.count_validation(name, table.n_rows)
+        return report
+
+    def validate_stream_sharded(
+        self, name: str, chunks: "Iterable[Chunk]", workers: int | None = None
+    ) -> "StreamSummary":
+        """Validate a chunk stream across a per-pipeline shard worker pool.
+
+        Falls back to the bounded-memory in-process streaming path when
+        the worker budget grants fewer than 2 workers.
+        """
+        from repro.exceptions import TransientServiceError
+        from repro.runtime.streaming import StreamingValidator
+
+        requested = self.shard_workers if workers is None else int(workers)
+        granted = self._acquire_shard_workers(requested)
+        if granted < 2:
+            summary = StreamingValidator(
+                self.get(name)._require_validator()
+            ).validate_stream(chunks)
+        else:
+            try:
+                summary = self._parallel_for(name).validate_stream(
+                    chunks, keep_cell_errors=False, max_parallel=granted
+                )
+            except TransientServiceError as exc:
+                # Unlike the table path, the chunk iterator is partially
+                # consumed by now, so a closed-pool race cannot be
+                # retried transparently — fail with guidance instead.
+                raise TransientServiceError(
+                    f"sharded stream on {name!r} was interrupted (pipeline "
+                    "re-registered or pool closed mid-stream); retry the request"
+                ) from exc
+            finally:
+                self._release_shard_workers(granted)
+        self.count_validation(name, summary.n_rows)
+        return summary
+
+    def _acquire_shard_workers(self, requested: int) -> int:
+        with self._lock:
+            granted = min(max(0, requested), self._shard_available)
+            if granted < 2:
+                return 0
+            self._shard_available -= granted
+            return granted
+
+    def _release_shard_workers(self, granted: int) -> None:
+        with self._lock:
+            self._shard_available += granted
+
+    def _parallel_for(self, name: str) -> "ParallelValidator":
+        """The cached sharded executor for ``name``.
+
+        One pool per pipeline, built at ``shard_workers`` width (the
+        per-request grant then caps how many shards run concurrently).
+        Archive-backed pipelines shard straight from their registered
+        archive; pinned (directly-added) ones are persisted to a temp
+        archive on first use. A re-``register()``/re-``add()`` racing the
+        build is detected via the per-name generation counter and the
+        stale pool discarded — mirroring the stale-load guard in
+        :meth:`get`.
+        """
+        from repro.runtime.sharding import ParallelValidator
+
+        while True:
+            with self._lock:
+                parallel = self._parallel.get(name)
+                if parallel is not None:
+                    return parallel
+                source = self._sources.get(name)
+                generation = self._generations.get(name, 0)
+            pipeline = self.get(name)
+            built = ParallelValidator.from_pipeline(
+                pipeline, archive=source, workers=self.shard_workers
+            )
+            with self._lock:
+                if self._closed:
+                    closed = True
+                    stale = False
+                elif self._generations.get(name, 0) != generation:
+                    closed = False
+                    stale = True
+                else:
+                    closed = False
+                    stale = False
+                    existing = self._parallel.setdefault(name, built)
+            if closed:
+                # A racing service.close() already drained _parallel;
+                # inserting now would leak this pool's worker processes.
+                built.close()
+                raise ReproError("ValidationService is closed")
+            if stale:
+                built.close()
+                continue
+            if existing is not built:
+                built.close()
+            return existing
+
+    def _close_parallel_for(self, name: str) -> None:
+        with self._lock:
+            parallel = self._parallel.pop(name, None)
+        if parallel is not None:
+            parallel.close()
 
     def count_validation(self, name: str, n_rows: int, validations: int = 1) -> None:
         """Record validation work done outside :meth:`validate`.
@@ -293,6 +489,12 @@ class ValidationService:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        with self._lock:
+            self._closed = True
+            validators = list(self._parallel.values())
+            self._parallel.clear()
+        for parallel in validators:
+            parallel.close()
 
     def __enter__(self) -> "ValidationService":
         return self

@@ -1,0 +1,533 @@
+"""Sharded parallel Phase-2 validation: partition, validate, merge exactly.
+
+The §3.2.1 decision rules are row-local (only the final 5%·n batch
+verdict is global), so a table or stream can be partitioned into row
+shards, validated on independent worker *processes*, and the shard
+outcomes merged into the exact one-shot result — the same property the
+streaming fold exploits for bounded memory, applied here for parallel
+speed (the Figure-4 scalability axis):
+
+* :class:`ShardPlanner` — splits row ranges into engine-chunk-aligned
+  contiguous shards, and regroups arbitrary chunk streams (e.g.
+  ``read_csv_chunks``) into shard-sized super-chunks;
+* :class:`ParallelValidator` — executes shards on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`. Workers rebuild the
+  validator from a ``DQuaG.save`` weight archive (nothing live is
+  pickled); shard outcomes travel back as wire-encoded
+  :class:`~repro.runtime.streaming.PartialReport` payloads via the
+  :mod:`repro.api` protocol and are folded into the exact
+  :class:`~repro.core.validator.ValidationReport` (dense mode) or
+  :class:`~repro.runtime.streaming.StreamSummary` (bounded-memory mode).
+
+Because shard boundaries are multiples of the validation chunk size and
+the engine's numerics are chunk-size invariant, the merged result is
+bit-identical to the single-process path regardless of the worker count.
+One caveat on *streams*: incoming chunks are regrouped into shard-sized
+super-chunks, so the summary's ``n_chunks`` reflects the shard
+partition, not the caller's chunking (every row-local outcome — flags,
+counts, verdict — is still identical); table-path summaries share the
+single-process chunk partition exactly, ``n_chunks`` included.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+import weakref
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.thresholds import DatasetDecisionRule
+from repro.core.validator import ValidationReport
+from repro.data.table import Table
+from repro.exceptions import (
+    ReproError,
+    SerializationError,
+    TransientServiceError,
+    ValidationError,
+)
+from repro.runtime.streaming import (
+    EMPTY_STREAM_MESSAGE,
+    Chunk,
+    PartialReport,
+    StreamSummary,
+    fold_partials,
+)
+from repro.utils.logging import get_logger
+
+__all__ = ["Shard", "ShardPlanner", "ParallelValidator"]
+
+logger = get_logger("runtime.sharding")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous row range of the global table/stream."""
+
+    index: int
+    offset: int
+    n_rows: int
+
+    @property
+    def stop(self) -> int:
+        return self.offset + self.n_rows
+
+
+class ShardPlanner:
+    """Splits row ranges into chunk-aligned contiguous shards.
+
+    Shard boundaries fall on multiples of ``chunk_size`` (the validation
+    chunk), so a worker chunking its shard locally reproduces the exact
+    global chunk partition of the single-process streaming path — partial
+    reports, and therefore the merged result, line up one-to-one.
+    """
+
+    def __init__(self, chunk_size: int = 8192) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def plan(self, n_rows: int, shards: int) -> list[Shard]:
+        """At most ``shards`` balanced, chunk-aligned contiguous ranges."""
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if n_rows == 0:
+            return []
+        n_chunks = -(-n_rows // self.chunk_size)
+        shards = min(shards, n_chunks)
+        base, extra = divmod(n_chunks, shards)
+        plans: list[Shard] = []
+        offset = 0
+        for index in range(shards):
+            chunks = base + (1 if index < extra else 0)
+            n = min(chunks * self.chunk_size, n_rows - offset)
+            plans.append(Shard(index=index, offset=offset, n_rows=n))
+            offset += n
+        return plans
+
+    def split_table(self, table: Table, shards: int) -> list[tuple[Shard, Table]]:
+        """Slice a table into planned shards (column views, no row copies)."""
+        return [
+            (shard, _slice_chunk(table, shard.offset, shard.stop))
+            for shard in self.plan(table.n_rows, shards)
+        ]
+
+    def iter_stream_shards(
+        self, chunks: Iterable[Chunk], chunks_per_shard: int = 4
+    ) -> Iterator[tuple[Shard, Chunk]]:
+        """Regroup an arbitrary chunk stream into shard-sized super-chunks.
+
+        Incoming chunks (Tables or preprocessed matrices, not mixed) are
+        buffered and re-cut at multiples of ``chunk_size × chunks_per_shard``
+        rows; only one shard of rows is ever buffered.
+        """
+        if chunks_per_shard < 1:
+            raise ValueError(f"chunks_per_shard must be positive, got {chunks_per_shard}")
+        shard_rows = self.chunk_size * chunks_per_shard
+        buffer: list[Chunk] = []
+        buffered = 0
+        offset = 0
+        index = 0
+        kind: str | None = None
+        for chunk in chunks:
+            if isinstance(chunk, Table):
+                this = "table"
+            else:
+                chunk = np.asarray(chunk, dtype=np.float64)
+                this = "matrix"
+            if kind is None:
+                kind = this
+            elif kind != this:
+                raise ValidationError("cannot mix Table and matrix chunks in one stream")
+            buffer.append(chunk)
+            buffered += chunk.n_rows if isinstance(chunk, Table) else chunk.shape[0]
+            while buffered >= shard_rows:
+                merged = _concat_chunks(buffer)
+                head = _slice_chunk(merged, 0, shard_rows)
+                rest = _slice_chunk(merged, shard_rows, buffered)
+                yield Shard(index=index, offset=offset, n_rows=shard_rows), head
+                index += 1
+                offset += shard_rows
+                buffered -= shard_rows
+                buffer = [rest] if buffered else []
+        if buffered:
+            merged = _concat_chunks(buffer)
+            yield Shard(index=index, offset=offset, n_rows=buffered), merged
+
+
+def _concat_chunks(chunks: list[Chunk]) -> Chunk:
+    if len(chunks) == 1:
+        return chunks[0]
+    if isinstance(chunks[0], Table):
+        return Table.concat(chunks)
+    return np.concatenate(chunks, axis=0)
+
+
+def _slice_chunk(chunk: Chunk, start: int, stop: int) -> Chunk:
+    if isinstance(chunk, Table):
+        return Table(
+            chunk.schema,
+            {name: chunk.column(name)[start:stop] for name in chunk.schema.names},
+        )
+    return chunk[start:stop]
+
+
+# ---------------------------------------------------------------------------
+# merge context — what the parent needs to fold shard outputs
+# ---------------------------------------------------------------------------
+@dataclass
+class _MergeContext:
+    """The (tiny) parent-side state folding needs: no model, no engine."""
+
+    threshold: float
+    rule: DatasetDecisionRule
+    schema: object  # TableSchema of the trained pipeline
+    feature_names: list[str]
+
+
+def _context_from_archive(archive: Path) -> _MergeContext:
+    from repro.core.config import DQuaGConfig
+    from repro.data.preprocess import TablePreprocessor
+    from repro.nn.serialization import load_state
+
+    _, metadata = load_state(archive)
+    if "preprocessor" not in metadata or "calibration" not in metadata:
+        raise SerializationError(
+            f"{archive} does not carry preprocessor/calibration state "
+            "(pre-runtime archive); retrain and re-save the pipeline"
+        )
+    config = DQuaGConfig.from_dict(metadata["config"])
+    schema = TablePreprocessor.from_metadata(metadata["preprocessor"]).schema
+    return _MergeContext(
+        threshold=float(metadata["calibration"]["threshold"]),
+        rule=DatasetDecisionRule(
+            percentile=config.threshold_percentile,
+            n_multiplier=config.dataset_rule_n,
+        ),
+        schema=schema,
+        feature_names=list(schema.names),
+    )
+
+
+# ---------------------------------------------------------------------------
+# worker side — one pipeline per process, rebuilt from the archive
+# ---------------------------------------------------------------------------
+_WORKER: dict[str, object] = {}
+
+
+def _worker_init(archive: str, chunk_size: int) -> None:
+    """Process-pool initializer: rebuild the validator from the archive."""
+    from repro.core.pipeline import DQuaG
+
+    pipeline = DQuaG().load_weights(archive)
+    _WORKER["validator"] = pipeline._require_validator()
+    _WORKER["chunk_size"] = int(chunk_size)
+
+
+def _validate_shard(offset: int, payload: tuple[str, object], keep_cell_errors: bool) -> list[dict]:
+    """Validate one shard; return wire-encoded partial reports.
+
+    The shard is processed in ``chunk_size`` sub-chunks (one
+    :class:`PartialReport` each, offsets globalized), so worker memory
+    stays bounded and the global chunk partition matches the
+    single-process streaming path exactly.
+    """
+    from repro.runtime.streaming import StreamingValidator
+
+    validator = _WORKER["validator"]
+    chunk_size: int = _WORKER["chunk_size"]  # type: ignore[assignment]
+    streaming = StreamingValidator(
+        validator, chunk_size=chunk_size, keep_cell_errors=keep_cell_errors
+    )
+    kind, data = payload
+    if kind == "table":
+        table = Table(validator.preprocessor.schema, data)
+        chunks: Iterable[np.ndarray] = validator.preprocessor.transform_chunks(
+            table, chunk_size
+        )
+    else:
+        matrix = np.asarray(data, dtype=np.float64)
+        chunks = (
+            matrix[start : start + chunk_size]
+            for start in range(0, matrix.shape[0], chunk_size)
+        )
+    encoded: list[dict] = []
+    for partial in streaming.iter_partials(chunks):
+        partial.offset += offset
+        encoded.append(partial.to_dict())
+    return encoded
+
+
+def _warm_task(delay: float) -> int:
+    """Occupy one worker briefly; identifies which process ran it."""
+    time.sleep(delay)
+    return os.getpid()
+
+
+def _remove_file(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# the parallel executor
+# ---------------------------------------------------------------------------
+class ParallelValidator:
+    """Multi-process Phase-2 validation with exact single-process results.
+
+    >>> parallel = ParallelValidator("models/hotel.npz", workers=4)  # doctest: +SKIP
+    >>> report = parallel.validate_table(big_table, keep_cell_errors=True)  # doctest: +SKIP
+    >>> summary = parallel.validate_stream(read_csv_chunks(path, schema))   # doctest: +SKIP
+
+    Workers are separate processes (``spawn`` by default: safe to create
+    from threaded servers) that each load the pipeline from ``archive``
+    once; requests then only ship row data out and wire-encoded partial
+    reports back. The pool is lazy — created on first use — and must be
+    released with :meth:`close` (or a ``with`` block).
+    """
+
+    def __init__(
+        self,
+        archive: str | Path,
+        workers: int | None = None,
+        chunk_size: int = 8192,
+        keep_cell_errors: bool = False,
+        chunks_per_shard: int = 4,
+        mp_context: str = "spawn",
+        _context: _MergeContext | None = None,
+        _owns_archive: bool = False,
+    ) -> None:
+        self.archive = Path(archive)
+        if not self.archive.exists():
+            raise ReproError(f"no such pipeline archive: {self.archive}")
+        self.workers = (os.cpu_count() or 1) if workers is None else max(1, int(workers))
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.keep_cell_errors = keep_cell_errors
+        self.chunks_per_shard = chunks_per_shard
+        self.planner = ShardPlanner(chunk_size)
+        self._mp_context = mp_context
+        self._merge = _context if _context is not None else _context_from_archive(self.archive)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        # Temp archives written by from_pipeline are reclaimed even if
+        # close() is never called.
+        self._archive_finalizer = (
+            weakref.finalize(self, _remove_file, str(self.archive)) if _owns_archive else None
+        )
+
+    @classmethod
+    def from_pipeline(
+        cls, pipeline, archive: str | Path | None = None, **options
+    ) -> "ParallelValidator":
+        """Build from a fitted :class:`~repro.core.pipeline.DQuaG`.
+
+        Workers cannot receive the live pipeline (nothing live is
+        pickled), so it is saved to ``archive`` — a temp file, reclaimed
+        on :meth:`close`, when no path is given. The merge context is
+        taken from the live validator, skipping an archive re-read.
+        """
+        validator = pipeline._require_validator()
+        context = _MergeContext(
+            threshold=validator.calibration.threshold,
+            rule=validator.rule,
+            schema=validator.preprocessor.schema,
+            feature_names=list(validator.preprocessor.schema.names),
+        )
+        owns = archive is None
+        if owns:
+            handle, archive = tempfile.mkstemp(prefix="dquag-shard-", suffix=".npz")
+            os.close(handle)
+        archive = Path(archive)
+        if owns or not archive.exists():
+            pipeline.save(archive)
+        return cls(archive, _context=context, _owns_archive=owns, **options)
+
+    # -- execution ---------------------------------------------------------
+    def validate_table(
+        self,
+        table: Table,
+        shards: int | None = None,
+        keep_cell_errors: bool | None = None,
+    ) -> "ValidationReport | StreamSummary":
+        """Validate a full table across the worker pool.
+
+        ``shards`` defaults to the worker count; any value yields the
+        same result bit-for-bit — boundaries stay chunk-aligned.
+        """
+        if table.n_rows == 0:
+            raise ValidationError(EMPTY_STREAM_MESSAGE)
+        self._check_schema(table)
+        keep = self.keep_cell_errors if keep_cell_errors is None else keep_cell_errors
+        pool = self._ensure_pool()
+        futures = [
+            self._submit(pool, shard.offset, shard_table, keep)
+            for shard, shard_table in self.planner.split_table(table, shards or self.workers)
+        ]
+        partials = [
+            PartialReport.from_dict(payload)
+            for future in futures
+            for payload in future.result()
+        ]
+        return self._finish(partials, keep)
+
+    def validate_stream(
+        self,
+        chunks: Iterable[Chunk],
+        keep_cell_errors: bool | None = None,
+        max_parallel: int | None = None,
+    ) -> "ValidationReport | StreamSummary":
+        """Validate a chunk stream, dispatching shard-sized groups as they fill.
+
+        At most ``max_parallel`` (default ``2 × workers``) shards are in
+        flight, so parent memory stays bounded by the shard size
+        regardless of stream length; a smaller cap also bounds how many
+        workers the stream can occupy at once (used by the service's
+        budgeted grants).
+        """
+        keep = self.keep_cell_errors if keep_cell_errors is None else keep_cell_errors
+        in_flight = max(1, max_parallel) if max_parallel else 2 * self.workers
+        pool = self._ensure_pool()
+        pending: "deque" = deque()
+        partials: list[PartialReport] = []
+
+        def drain(future) -> None:
+            partials.extend(PartialReport.from_dict(payload) for payload in future.result())
+
+        for shard, payload in self.planner.iter_stream_shards(chunks, self.chunks_per_shard):
+            while len(pending) >= in_flight:
+                drain(pending.popleft())
+            pending.append(self._submit(pool, shard.offset, payload, keep))
+        while pending:
+            drain(pending.popleft())
+        return self._finish(partials, keep)
+
+    def _check_schema(self, table: Table) -> None:
+        # Workers rebuild shard Tables under the *trained* schema, which
+        # would silently coerce a mismatched input; reject it up front
+        # with the same error the one-shot path raises.
+        if table.schema != self._merge.schema:
+            from repro.exceptions import SchemaError
+
+            raise SchemaError("table schema does not match the trained pipeline")
+
+    def _submit(self, pool, offset: int, chunk: Chunk, keep: bool):
+        if isinstance(chunk, Table):
+            self._check_schema(chunk)
+            payload = ("table", {name: chunk.column(name) for name in chunk.schema.names})
+        else:
+            payload = ("matrix", np.ascontiguousarray(chunk, dtype=np.float64))
+        try:
+            return pool.submit(_validate_shard, offset, payload, keep)
+        except RuntimeError as exc:
+            from concurrent.futures.process import BrokenProcessPool
+
+            if isinstance(exc, BrokenProcessPool):
+                raise  # genuinely broken workers — not retryable
+            # submit-after-shutdown: a concurrent close() (re-register,
+            # eviction, widen) got here first. Typed so callers holding a
+            # registry can retry against a fresh pool.
+            raise TransientServiceError(
+                "ParallelValidator pool was closed during submission"
+            ) from exc
+
+    def _finish(
+        self, partials: list[PartialReport], keep: bool
+    ) -> "ValidationReport | StreamSummary":
+        if not partials:
+            raise ValidationError(EMPTY_STREAM_MESSAGE)
+        partials.sort(key=lambda partial: partial.offset)
+        if keep:
+            return PartialReport.merge(
+                partials,
+                threshold=self._merge.threshold,
+                rule=self._merge.rule,
+                feature_names=self._merge.feature_names,
+            )
+        return fold_partials(
+            partials,
+            threshold=self._merge.threshold,
+            rule=self._merge.rule,
+            feature_names=self._merge.feature_names,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        # Double-checked under a lock: concurrent first calls (the
+        # gateway serves each request on its own thread) must not each
+        # spawn a pool and orphan all but the last.
+        if self._pool is not None:
+            return self._pool
+        with self._pool_lock:
+            if self._pool is not None:
+                return self._pool
+            if self._closed:
+                raise TransientServiceError("ParallelValidator is closed")
+            if not self.archive.exists():
+                # Workers would die loading a missing archive, surfacing
+                # as an opaque BrokenProcessPool; refuse up front.
+                raise ReproError(f"pipeline archive {self.archive} no longer exists")
+            logger.info(
+                "starting %d shard worker(s) from %s (%s)",
+                self.workers,
+                self.archive,
+                self._mp_context,
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(self._mp_context),
+                initializer=_worker_init,
+                initargs=(str(self.archive), self.chunk_size),
+            )
+        return self._pool
+
+    def warm(self, timeout: float = 120.0) -> "ParallelValidator":
+        """Start the pool and block until every worker has loaded the archive.
+
+        Worker identity is verified by PID: rounds of brief blocking
+        tasks are submitted until all ``workers`` distinct processes have
+        answered (a fast worker draining several tasks cannot fake a
+        cold sibling warm).
+        """
+        pool = self._ensure_pool()
+        seen: set[int] = set()
+        deadline = time.monotonic() + timeout
+        while len(seen) < self.workers and time.monotonic() < deadline:
+            futures = [pool.submit(_warm_task, 0.05) for _ in range(self.workers)]
+            seen.update(future.result() for future in futures)
+        if len(seen) < self.workers:
+            raise ReproError(
+                f"only {len(seen)}/{self.workers} shard workers answered within "
+                f"{timeout:.0f}s; the pool is not fully warm"
+            )
+        return self
+
+    def close(self) -> None:
+        """Shut down the pool; the validator cannot be used afterwards."""
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if self._archive_finalizer is not None:
+            self._archive_finalizer()
+
+    def __enter__(self) -> "ParallelValidator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -29,9 +29,14 @@ from repro.core.validator import DataQualityValidator, ValidationReport
 from repro.data.table import Table
 from repro.exceptions import ValidationError
 
-__all__ = ["PartialReport", "StreamSummary", "StreamingValidator"]
+__all__ = ["PartialReport", "StreamSummary", "StreamingValidator", "fold_partials"]
 
 Chunk = Union[Table, np.ndarray]
+
+#: The one error message for streams/tables with no rows: every entry
+#: point (dense merge, incremental fold, sharded execution) raises it so
+#: callers can match on a single string.
+EMPTY_STREAM_MESSAGE = "cannot validate an empty stream"
 
 
 @dataclass
@@ -97,7 +102,7 @@ class PartialReport:
         use :class:`StreamSummary` folding for bounded-memory streams.
         """
         if not partials:
-            raise ValidationError("cannot merge zero partial reports")
+            raise ValidationError(EMPTY_STREAM_MESSAGE)
         ordered = sorted(partials, key=lambda p: p.offset)
         if any(p.cell_errors is None for p in ordered):
             raise ValidationError(
@@ -194,7 +199,15 @@ class StreamingValidator:
         if isinstance(chunk, Table):
             matrix = self.validator.preprocessor.transform(chunk)
         else:
+            from repro.exceptions import SchemaError
+
             matrix = np.asarray(chunk, dtype=np.float64)
+            n_features = len(self.validator.preprocessor.schema)
+            if matrix.ndim != 2 or matrix.shape[1] != n_features:
+                raise SchemaError(
+                    f"chunk matrix has shape {matrix.shape}; the trained schema "
+                    f"expects (rows, {n_features})"
+                )
         report = self.validator.validate_matrix(matrix)
         return PartialReport.from_report(report, offset, self.keep_cell_errors)
 
@@ -240,38 +253,58 @@ class StreamingValidator:
         Public so transports (e.g. the HTTP gateway's ``/validate_stream``)
         can interleave their own per-chunk acknowledgements with the fold.
         """
-        names = list(self.validator.preprocessor.schema.names)
-        n_rows = 0
-        n_chunks = 0
-        n_flagged = 0
-        flagged: list[np.ndarray] = []
-        by_column: dict[str, int] = {}
-        error_sum = 0.0
-        error_max = 0.0
-        for partial in partials:
-            n_rows += partial.n_rows
-            n_chunks += 1
-            n_flagged += partial.n_flagged
-            if partial.n_flagged:
-                flagged.append(partial.flagged_rows)
-            for col, count in zip(*np.unique(partial.cell_cols, return_counts=True)):
-                name = names[int(col)]
-                by_column[name] = by_column.get(name, 0) + int(count)
-            if partial.sample_errors.size:
-                error_sum += float(partial.sample_errors.sum())
-                error_max = max(error_max, float(partial.sample_errors.max()))
-        if n_rows == 0:
-            raise ValidationError("cannot validate an empty stream")
-        flagged_fraction = n_flagged / n_rows
-        return StreamSummary(
-            n_rows=n_rows,
-            n_chunks=n_chunks,
-            n_flagged=n_flagged,
-            flagged_rows=np.concatenate(flagged) if flagged else np.empty(0, dtype=np.int64),
+        return fold_partials(
+            partials,
             threshold=self.validator.calibration.threshold,
-            flagged_fraction=flagged_fraction,
-            is_problematic=self.validator.rule.is_problematic(flagged_fraction),
-            flagged_cells_by_column=by_column,
-            mean_sample_error=error_sum / n_rows,
-            max_sample_error=error_max,
+            rule=self.validator.rule,
+            feature_names=list(self.validator.preprocessor.schema.names),
         )
+
+
+def fold_partials(
+    partials: Iterable[PartialReport],
+    threshold: float,
+    rule,
+    feature_names: list[str],
+) -> StreamSummary:
+    """Fold partial reports into a :class:`StreamSummary` incrementally.
+
+    Standalone so mergers that have no live validator — e.g. the sharded
+    executor folding worker outputs against archive metadata — apply the
+    exact same accumulation as :meth:`StreamingValidator.fold`.
+    """
+    names = list(feature_names)
+    n_rows = 0
+    n_chunks = 0
+    n_flagged = 0
+    flagged: list[np.ndarray] = []
+    by_column: dict[str, int] = {}
+    error_sum = 0.0
+    error_max = 0.0
+    for partial in partials:
+        n_rows += partial.n_rows
+        n_chunks += 1
+        n_flagged += partial.n_flagged
+        if partial.n_flagged:
+            flagged.append(partial.flagged_rows)
+        for col, count in zip(*np.unique(partial.cell_cols, return_counts=True)):
+            name = names[int(col)]
+            by_column[name] = by_column.get(name, 0) + int(count)
+        if partial.sample_errors.size:
+            error_sum += float(partial.sample_errors.sum())
+            error_max = max(error_max, float(partial.sample_errors.max()))
+    if n_rows == 0:
+        raise ValidationError(EMPTY_STREAM_MESSAGE)
+    flagged_fraction = n_flagged / n_rows
+    return StreamSummary(
+        n_rows=n_rows,
+        n_chunks=n_chunks,
+        n_flagged=n_flagged,
+        flagged_rows=np.concatenate(flagged) if flagged else np.empty(0, dtype=np.int64),
+        threshold=threshold,
+        flagged_fraction=flagged_fraction,
+        is_problematic=rule.is_problematic(flagged_fraction),
+        flagged_cells_by_column=by_column,
+        mean_sample_error=error_sum / n_rows,
+        max_sample_error=error_max,
+    )

@@ -85,13 +85,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--capacity", type=int, default=8, help="LRU capacity for archive-backed pipelines")
     parser.add_argument("--workers", type=int, default=None, help="validation thread-pool size")
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="total shard-worker budget for ?workers=N sharded validation "
+        "(default: CPU count; 0 disables sharded execution)",
+    )
+    parser.add_argument(
+        "--max-body-mb",
+        type=float,
+        default=None,
+        help="request-body size limit in MiB; oversized requests get HTTP 413 "
+        "(default: 64)",
+    )
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
     args = parser.parse_args(argv)
 
     if args.verbose:
         configure_demo_logging()
 
-    service = ValidationService(capacity=args.capacity, max_workers=args.workers)
+    service = ValidationService(
+        capacity=args.capacity, max_workers=args.workers, shard_workers=args.shard_workers
+    )
     try:
         for spec in args.pipeline:
             name, separator, archive = spec.partition("=")
@@ -104,7 +120,14 @@ def main(argv: list[str] | None = None) -> int:
         if not service.registered:
             parser.error("nothing to serve: pass --pipeline NAME=ARCHIVE and/or --demo")
 
-        gateway = ValidationGateway(service, host=args.host, port=args.port)
+        if args.max_body_mb is not None and args.max_body_mb <= 0:
+            parser.error(f"--max-body-mb must be positive, got {args.max_body_mb}")
+        max_body_bytes = (
+            None if args.max_body_mb is None else int(args.max_body_mb * 1024 * 1024)
+        )
+        gateway = ValidationGateway(
+            service, host=args.host, port=args.port, max_body_bytes=max_body_bytes
+        )
         print(f"serving {service.registered} on {gateway.url}", flush=True)
         try:
             gateway.serve_forever()

@@ -14,7 +14,7 @@ come back decoded into the same objects the in-process API returns
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPSConnection
 from typing import Iterable
 from urllib.parse import quote, urlsplit
 
@@ -42,15 +42,58 @@ class Client:
     makes per-request connections cheap at this scale.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0) -> None:
+    #: scheme → default port, for URLs that do not spell one out
+    _SCHEME_PORTS = {"http": 80, "https": 443}
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 60.0,
+        scheme: str = "http",
+    ) -> None:
+        if scheme not in self._SCHEME_PORTS:
+            raise GatewayError(
+                f"unsupported URL scheme {scheme!r}; this client speaks http and https"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.scheme = scheme
 
     @classmethod
     def from_url(cls, url: str, timeout: float = 60.0) -> "Client":
+        """Build from a gateway URL, honoring its scheme.
+
+        ``https://host`` connects over TLS on 443 (not silently over
+        plain HTTP on 80); an explicit ``:port`` always wins; schemes
+        other than http/https raise :class:`GatewayError`. Scheme-less
+        forms (``host`` or ``host:port``) are treated as plain HTTP to
+        the named host — never silently redirected elsewhere.
+        """
         parts = urlsplit(url)
-        return cls(host=parts.hostname or "127.0.0.1", port=parts.port or 80, timeout=timeout)
+        if parts.hostname is None and parts.scheme not in cls._SCHEME_PORTS:
+            # "host" lands in path, "host:port" is misread as a scheme;
+            # re-split as a network location to recover the real host.
+            parts = urlsplit("//" + url)
+        scheme = parts.scheme or "http"
+        if scheme not in cls._SCHEME_PORTS:
+            raise GatewayError(
+                f"unsupported URL scheme {scheme!r} in {url!r}; "
+                "this client speaks http and https"
+            )
+        if parts.hostname is None:
+            raise GatewayError(f"no host in gateway URL {url!r}")
+        try:
+            port = parts.port
+        except ValueError as exc:
+            raise GatewayError(f"invalid port in gateway URL {url!r}: {exc}") from None
+        return cls(
+            host=parts.hostname,
+            port=port or cls._SCHEME_PORTS[scheme],
+            timeout=timeout,
+            scheme=scheme,
+        )
 
     # -- endpoints ---------------------------------------------------------
     def healthz(self) -> dict:
@@ -61,16 +104,25 @@ class Client:
         return ServiceStats.from_dict(self._request("GET", "/v1/pipelines"))
 
     def validate(
-        self, pipeline: str, rows: "Table | list[dict]", include_errors: bool = False
+        self,
+        pipeline: str,
+        rows: "Table | list[dict]",
+        include_errors: bool = False,
+        workers: int | None = None,
     ) -> ValidationReport:
         """Validate rows remotely; returns the decoded report.
 
         With ``include_errors=False`` (the wire-efficient default) the
         decoded report's flags, threshold, and verdict are exact, and its
         error values are populated only at flagged coordinates.
+        ``workers > 1`` requests sharded execution on the gateway (capped
+        by the service's shard budget; the report is identical).
         """
         request = ValidateRequest(
-            records=_as_records(rows), pipeline=pipeline, include_errors=include_errors
+            records=_as_records(rows),
+            pipeline=pipeline,
+            include_errors=include_errors,
+            workers=workers,
         )
         payload = self._request(
             "POST", f"/v1/pipelines/{quote(pipeline, safe='')}/validate", request.to_dict()
@@ -102,25 +154,33 @@ class Client:
         )
 
     def validate_stream(
-        self, pipeline: str, chunks: "Iterable[Table | list[dict]]"
+        self,
+        pipeline: str,
+        chunks: "Iterable[Table | list[dict]]",
+        workers: int | None = None,
     ) -> StreamSummary:
         """Stream row chunks through ``/validate_stream``.
 
         Chunks are sent as chunked-transfer NDJSON, so neither side ever
         holds the full stream; the gateway's per-chunk acknowledgements
         are consumed and the final :class:`StreamSummary` returned.
+        ``workers > 1`` asks the gateway for sharded execution (the
+        summary then arrives without per-chunk acknowledgements).
         """
 
         def ndjson() -> "Iterable[bytes]":
             for chunk in chunks:
                 yield json.dumps({"records": _as_records(chunk)}).encode("utf-8") + b"\n"
 
+        path = f"/v1/pipelines/{quote(pipeline, safe='')}/validate_stream"
+        if workers is not None and workers > 1:
+            path += f"?workers={int(workers)}"
         connection = self._connect()
         try:
             try:
                 connection.request(
                     "POST",
-                    f"/v1/pipelines/{quote(pipeline, safe='')}/validate_stream",
+                    path,
                     body=ndjson(),
                     headers={"Content-Type": "application/x-ndjson"},
                     encode_chunked=True,
@@ -156,6 +216,8 @@ class Client:
 
     # -- plumbing ----------------------------------------------------------
     def _connect(self) -> HTTPConnection:
+        if self.scheme == "https":
+            return HTTPSConnection(self.host, self.port, timeout=self.timeout)
         return HTTPConnection(self.host, self.port, timeout=self.timeout)
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:

@@ -18,10 +18,18 @@ multi-pipeline serving layer using nothing but ``http.server``:
   :class:`~repro.runtime.streaming.StreamingValidator`, so memory stays
   bounded by the chunk size regardless of stream length.
 
+Sharded execution: a ``workers`` field on the validate request (or a
+``?workers=N`` query parameter on either POST endpoint) routes the batch
+through :meth:`ValidationService.validate_sharded` /
+:meth:`~ValidationService.validate_stream_sharded` — shard worker
+processes governed by the service's budget, results identical to the
+in-process path.
+
 Every request is handled on its own thread (``ThreadingHTTPServer``);
 the NumPy kernels underneath release the GIL, so concurrent batches
 overlap. Errors come back as ``{"kind": "error", ...}`` envelopes with
-conventional status codes (400 malformed, 404 unknown, 500 internal).
+conventional status codes (400 malformed, 404 unknown, 413 oversized
+body — bounded by ``max_body_bytes`` — and 500 internal).
 """
 
 from __future__ import annotations
@@ -31,13 +39,13 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote, urlsplit
 
 import repro
 from repro.api.protocol import SCHEMA_VERSION, envelope
 from repro.api.requests import RepairRequest, ValidateRequest
 from repro.data.table import Table
-from repro.exceptions import ReproError, SchemaError, ValidationError
+from repro.exceptions import ReproError, SchemaError, TransientServiceError, ValidationError
 from repro.runtime.service import ValidationService
 from repro.runtime.streaming import StreamingValidator
 from repro.utils.logging import get_logger
@@ -89,42 +97,62 @@ class _Handler(BaseHTTPRequestHandler):
     # -- dispatch ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         try:
-            if self.path == "/v1/healthz":
+            path = urlsplit(self.path).path
+            if path == "/v1/healthz":
                 self._send_json(200, self.gateway.healthz())
-            elif self.path == "/v1/pipelines":
+            elif path == "/v1/pipelines":
                 self._send_json(200, self.gateway.service.stats_snapshot().to_dict())
             else:
-                raise _RequestError(404, f"no such route: GET {self.path}")
+                raise _RequestError(404, f"no such route: GET {path}")
         except Exception as exc:  # pragma: no cover - defensive catch-all
             self._send_failure(exc)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
-            match = _ROUTE.match(self.path)
+            parts = urlsplit(self.path)
+            match = _ROUTE.match(parts.path)
             if match is None:
-                raise _RequestError(404, f"no such route: POST {self.path}")
+                raise _RequestError(404, f"no such route: POST {parts.path}")
             name = unquote(match["name"])
             if name not in self.gateway.service.registered:
                 raise _RequestError(404, f"unknown pipeline {name!r}")
             action = match["action"]
+            query_workers = self._query_workers(parts.query)
             if action == "validate":
-                self._handle_validate(name)
+                self._handle_validate(name, query_workers)
             elif action == "repair":
                 self._handle_repair(name)
             else:
-                self._handle_validate_stream(name)
+                self._handle_validate_stream(name, query_workers)
         except Exception as exc:
             self._send_failure(exc)
 
+    @staticmethod
+    def _query_workers(query: str) -> int | None:
+        values = parse_qs(query).get("workers")
+        if not values:
+            return None
+        try:
+            workers = int(values[-1])
+        except ValueError:
+            raise _RequestError(400, f"'workers' must be an integer, got {values[-1]!r}") from None
+        if workers < 1:
+            raise _RequestError(400, f"'workers' must be >= 1, got {workers}")
+        return workers
+
     # -- endpoints ---------------------------------------------------------
-    def _handle_validate(self, name: str) -> None:
+    def _handle_validate(self, name: str, query_workers: int | None = None) -> None:
         request = ValidateRequest.from_payload(self._read_json(), pipeline=name)
         if request.pipeline != name:
             raise _RequestError(
                 400, f"request pipeline {request.pipeline!r} does not match URL {name!r}"
             )
         table = self._build_table(name, request.records)
-        report = self.gateway.service.validate(name, table)
+        workers = request.workers if request.workers is not None else query_workers
+        if workers is not None and workers > 1:
+            report = self.gateway.service.validate_sharded(name, table, workers=workers)
+        else:
+            report = self.gateway.service.validate(name, table)
         self._send_json(200, report.to_dict(errors="dense" if request.include_errors else "sparse"))
 
     def _handle_repair(self, name: str) -> None:
@@ -147,10 +175,9 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._send_json(200, payload)
 
-    def _handle_validate_stream(self, name: str) -> None:
+    def _handle_validate_stream(self, name: str, query_workers: int | None = None) -> None:
         pipeline = self.gateway.service.get(name)
         schema = pipeline.preprocessor.schema
-        validator = StreamingValidator.from_pipeline(pipeline)
 
         def tables() -> Iterator[Table]:
             for line in self._iter_body_lines():
@@ -171,22 +198,35 @@ class _Handler(BaseHTTPRequestHandler):
         # also means any mid-stream failure still gets a clean 400.
         acks: list[dict] = []
 
-        def acknowledged():
-            for partial in validator.iter_partials(tables()):
-                ack = envelope("stream_chunk")
-                ack.update(
-                    offset=int(partial.offset),
-                    n_rows=int(partial.n_rows),
-                    n_flagged=int(partial.n_flagged),
+        if query_workers is not None and query_workers > 1:
+            # Sharded execution regroups the stream into shard-sized
+            # super-chunks, so per-client-chunk acks do not apply; the
+            # response is the summary envelope alone.
+            try:
+                summary = self.gateway.service.validate_stream_sharded(
+                    name, tables(), workers=query_workers
                 )
-                acks.append(ack)
-                yield partial
+            except ValidationError as exc:
+                raise _RequestError(400, str(exc)) from exc
+        else:
+            validator = StreamingValidator.from_pipeline(pipeline)
 
-        try:
-            summary = validator.fold(acknowledged())
-        except ValidationError as exc:
-            raise _RequestError(400, str(exc)) from exc
-        self.gateway.service.count_validation(name, summary.n_rows)
+            def acknowledged():
+                for partial in validator.iter_partials(tables()):
+                    ack = envelope("stream_chunk")
+                    ack.update(
+                        offset=int(partial.offset),
+                        n_rows=int(partial.n_rows),
+                        n_flagged=int(partial.n_flagged),
+                    )
+                    acks.append(ack)
+                    yield partial
+
+            try:
+                summary = validator.fold(acknowledged())
+            except ValidationError as exc:
+                raise _RequestError(400, str(exc)) from exc
+            self.gateway.service.count_validation(name, summary.n_rows)
 
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
@@ -199,14 +239,35 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- body reading ------------------------------------------------------
     def _read_body(self) -> bytes:
-        return b"".join(self._iter_body_blocks())
+        return b"".join(self._iter_body_blocks(bound_total=True))
 
-    def _iter_body_blocks(self) -> Iterator[bytes]:
+    def _body_limit_exceeded(self) -> _RequestError:
+        return _RequestError(
+            413,
+            f"request body exceeds the configured limit "
+            f"({self.gateway.max_body_bytes} bytes)",
+        )
+
+    def _iter_body_blocks(self, bound_total: bool) -> Iterator[bytes]:
+        # Declared sizes are checked *before* any buffer is allocated: a
+        # hostile Content-Length (or chunk-size hex) must not make the
+        # server reserve arbitrary memory on its behalf. ``bound_total``
+        # additionally caps the cumulative size — right for endpoints
+        # that buffer the whole body (validate/repair), wrong for the
+        # incrementally-consumed streaming endpoint, whose memory is
+        # bounded per chunk and whose total length is unbounded by
+        # design.
+        limit = self.gateway.max_body_bytes
         transfer = (self.headers.get("Transfer-Encoding") or "").lower()
         if "chunked" in transfer:
-            yield from self._iter_chunked_blocks()
+            yield from self._iter_chunked_blocks(limit, bound_total)
             return
-        remaining = int(self.headers.get("Content-Length") or 0)
+        try:
+            remaining = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise _RequestError(400, "malformed Content-Length header") from None
+        if bound_total and remaining > limit:
+            raise self._body_limit_exceeded()
         while remaining > 0:
             block = self.rfile.read(min(remaining, 65536))
             if not block:
@@ -214,7 +275,8 @@ class _Handler(BaseHTTPRequestHandler):
             remaining -= len(block)
             yield block
 
-    def _iter_chunked_blocks(self) -> Iterator[bytes]:
+    def _iter_chunked_blocks(self, limit: int, bound_total: bool) -> Iterator[bytes]:
+        total = 0
         while True:
             size_line = self.rfile.readline(65536).strip()
             try:
@@ -226,17 +288,28 @@ class _Handler(BaseHTTPRequestHandler):
                 while self.rfile.readline(65536).strip():
                     pass
                 return
+            if size > limit:
+                raise self._body_limit_exceeded()
+            if bound_total:
+                total += size
+                if total > limit:
+                    raise self._body_limit_exceeded()
             yield self.rfile.read(size)
             self.rfile.read(2)  # trailing CRLF
 
     def _iter_body_lines(self) -> Iterator[bytes]:
         buffer = b""
-        for block in self._iter_body_blocks():
+        for block in self._iter_body_blocks(bound_total=False):
             buffer += block
             while b"\n" in buffer:
                 line, buffer = buffer.split(b"\n", 1)
                 if line.strip():
                     yield line
+            # Complete lines are drained first; only the leftover partial
+            # line counts against the limit. Without this cap a
+            # newline-free stream would grow the buffer unboundedly.
+            if len(buffer) > self.gateway.max_body_bytes:
+                raise self._body_limit_exceeded()
         if buffer.strip():
             yield buffer
 
@@ -281,6 +354,11 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_failure(self, exc: Exception) -> None:
         if isinstance(exc, _RequestError):
             status, message = exc.status, str(exc)
+        elif isinstance(exc, TransientServiceError):
+            # Well-formed request hit a server-side race (pool closed by
+            # a concurrent re-registration); a retry is expected to
+            # succeed, so signal retryable, not client error.
+            status, message = 503, str(exc)
         elif isinstance(exc, ReproError):
             # Covers ProtocolError (bad envelopes) and SchemaError
             # (records that don't fit the pipeline) among others — all
@@ -304,12 +382,29 @@ class ValidationGateway:
 
     ``start()`` serves from a daemon thread instead (used by tests and
     embedded callers); ``port=0`` binds an ephemeral port.
+    ``max_body_bytes`` bounds what a request may make the server buffer,
+    refused with HTTP 413 before any allocation: the whole body for the
+    buffered endpoints (validate/repair), each transfer chunk and each
+    NDJSON line for the streaming endpoint — whose *total* length stays
+    unbounded by design.
     """
 
+    #: default request-body ceiling: 64 MiB
+    DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
     def __init__(
-        self, service: ValidationService, host: str = "127.0.0.1", port: int = 8080
+        self,
+        service: ValidationService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_body_bytes: int | None = None,
     ) -> None:
         self.service = service
+        self.max_body_bytes = (
+            self.DEFAULT_MAX_BODY_BYTES if max_body_bytes is None else int(max_body_bytes)
+        )
+        if self.max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be positive, got {max_body_bytes}")
         self._server = _GatewayServer((host, port), _Handler, gateway=self)
         self._thread: threading.Thread | None = None
 

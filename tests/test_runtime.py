@@ -209,6 +209,32 @@ class TestStreaming:
         with pytest.raises(ValidationError):
             pipeline.streaming_validator().validate_stream([])
 
+    def test_empty_stream_message_identical_in_both_modes(self, fitted):
+        # The dense-merge path and the bounded-memory fold used to raise
+        # different messages ("cannot merge zero partial reports" vs
+        # "cannot validate an empty stream"); both now raise the latter.
+        pipeline, _ = fitted
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="cannot validate an empty stream"):
+            pipeline.streaming_validator(keep_cell_errors=True).validate_stream([])
+        with pytest.raises(ValidationError, match="cannot validate an empty stream"):
+            pipeline.streaming_validator(keep_cell_errors=False).validate_stream([])
+
+    def test_raw_matrix_width_mismatch_raises_schema_error(self, fitted):
+        # A matrix whose width disagrees with the trained schema used to
+        # surface as an IndexError deep inside fold's column lookup.
+        pipeline, _ = fitted
+        from repro.exceptions import SchemaError
+
+        validator = pipeline.streaming_validator()
+        with pytest.raises(SchemaError, match="expects"):
+            validator.validate_chunk(np.zeros((10, 99)))
+        with pytest.raises(SchemaError):
+            validator.validate_chunk(np.zeros(30))  # 1-D is not a row chunk
+        with pytest.raises(SchemaError):
+            validator.validate_stream(iter([np.zeros((10, 99))]))
+
     def test_transform_chunks_concatenate_to_full_transform(self, fitted):
         pipeline, holdout = fitted
         full = pipeline.preprocessor.transform(holdout)
@@ -357,6 +383,82 @@ class TestValidationService:
         with ValidationService() as service:
             with pytest.raises(ReproError):
                 service.get("nope")
+
+    def test_reregister_resident_name_under_concurrent_get(self, fitted, tmp_path):
+        # Hammer get() on a name while it is re-register()ed in between:
+        # every get must return a working pipeline (old or new — never a
+        # torn state), and the final load must come from the new archive.
+        import threading
+
+        pipeline, holdout = fitted
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        pipeline.save(a)
+        pipeline.save(b)
+        with ValidationService(capacity=2) as service:
+            service.register("p", a)
+            errors: list[Exception] = []
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        service.get("p").validate(holdout.head(20))
+                    except Exception as exc:  # pragma: no cover - failure path
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for source in (b, a, b):
+                service.register("p", source)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            # The re-registration dropped any stale resident copy; the
+            # next get() loads from the latest archive.
+            service.get("p")
+            with service._lock:
+                assert service._entries["p"].source == b
+            assert service.pipeline_stats()["p"]["loads"] >= 1
+
+    def test_eviction_order_with_mixed_pinned_and_unpinned(self, fitted, tmp_path):
+        # Pinned entries are invisible to the LRU: with capacity 2 and an
+        # interleaved pinned entry, the eviction victim must be the
+        # least-recently-used *unpinned* entry, in usage (not insertion)
+        # order.
+        pipeline, holdout = fitted
+        paths = {}
+        for name in ("u1", "u2", "u3"):
+            paths[name] = tmp_path / f"{name}.npz"
+            pipeline.save(paths[name])
+        with ValidationService(capacity=2) as service:
+            service.add("pin", pipeline)
+            for name in ("u1", "u2"):
+                service.register(name, paths[name])
+                service.validate(name, holdout.head(10))
+            service.validate("u1", holdout.head(10))  # u1 becomes MRU
+            service.register("u3", paths["u3"])
+            service.validate("u3", holdout.head(10))  # over capacity: evict u2
+            assert "pin" in service.resident
+            assert set(service.resident) == {"pin", "u1", "u3"}
+            assert service.n_evictions == 1
+
+    def test_lifetime_counters_survive_eviction_and_reregistration(self, fitted, tmp_path):
+        pipeline, holdout = fitted
+        path = tmp_path / "p.npz"
+        pipeline.save(path)
+        with ValidationService(capacity=1) as service:
+            service.register("p", path)
+            service.validate("p", holdout.head(30))
+            assert service.evict("p") is True
+            service.register("p", path)  # fresh registration of the same name
+            service.validate("p", holdout.head(30))
+            stats = service.pipeline_stats()["p"]
+            assert stats["validations"] == 2
+            assert stats["rows_validated"] == 60
+            assert stats["loads"] == 2  # one load per residency
 
     def test_unknown_archive_rejected(self, tmp_path):
         with ValidationService() as service:

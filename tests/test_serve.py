@@ -42,7 +42,9 @@ def make_batch(pipeline: DQuaG, n: int, seed: int, corrupt: int = 0) -> Table:
 @pytest.fixture(scope="module")
 def served():
     pipeline = fit_demo_pipeline()
-    service = ValidationService(capacity=2)
+    # shard_workers=2 gives the ?workers= sharded paths a real budget
+    # even on single-core CI runners.
+    service = ValidationService(capacity=2, shard_workers=2)
     service.add("demo", pipeline)
     with ValidationGateway(service, port=0) as gateway:
         yield pipeline, gateway, Client(port=gateway.port)
@@ -133,6 +135,194 @@ class TestEndpoints:
             assert payload["n_rows"] == 1
         finally:
             connection.close()
+
+
+class TestShardedOverHTTP:
+    def test_validate_with_workers_identical_to_in_process(self, served):
+        pipeline, _, client = served
+        batch = make_batch(pipeline, 400, seed=21, corrupt=50)
+        local = pipeline.validate(batch)
+        remote = client.validate("demo", batch, workers=2)
+        np.testing.assert_array_equal(remote.row_flags, local.row_flags)
+        np.testing.assert_array_equal(remote.cell_flags, local.cell_flags)
+        assert remote.threshold == local.threshold
+        assert remote.is_problematic == local.is_problematic
+
+    def test_workers_field_round_trips_on_requests(self):
+        from repro.api.requests import ValidateRequest
+        from repro.exceptions import ProtocolError
+
+        request = ValidateRequest(records=[DEMO_RECORD], pipeline="demo", workers=4)
+        clone = ValidateRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert clone.workers == 4
+        assert ValidateRequest.from_payload({"records": [DEMO_RECORD]}).workers is None
+        assert ValidateRequest.from_payload({"records": [DEMO_RECORD], "workers": 2}).workers == 2
+        with pytest.raises(ProtocolError):
+            ValidateRequest(records=[DEMO_RECORD], workers=0)
+        with pytest.raises(ProtocolError):
+            ValidateRequest.from_payload({"records": [DEMO_RECORD], "workers": "lots"})
+
+    def test_stream_with_workers_matches_local_flags(self, served):
+        pipeline, _, client = served
+        batch = make_batch(pipeline, 500, seed=22, corrupt=40)
+        local = pipeline.validate(batch)
+        chunks = [
+            batch.take(np.arange(i, min(i + 100, batch.n_rows)))
+            for i in range(0, batch.n_rows, 100)
+        ]
+        summary = client.validate_stream("demo", chunks, workers=2)
+        assert summary.n_rows == batch.n_rows
+        assert summary.n_flagged == local.n_flagged
+        np.testing.assert_array_equal(summary.flagged_rows, local.flagged_rows)
+        assert summary.is_problematic == local.is_problematic
+
+    def test_bad_workers_query_rejected(self, served):
+        pipeline, gateway, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/v1/pipelines/demo/validate_stream?workers=banana",
+                body=json.dumps({"records": [DEMO_RECORD]}) + "\n",
+                headers={"Content-Type": "application/x-ndjson"},
+            )
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+
+class TestClientFromUrl:
+    def test_http_url_with_explicit_port(self):
+        client = Client.from_url("http://gateway.internal:8731")
+        assert (client.scheme, client.host, client.port) == ("http", "gateway.internal", 8731)
+
+    def test_http_url_defaults_to_port_80(self):
+        client = Client.from_url("http://gateway.internal")
+        assert (client.scheme, client.port) == ("http", 80)
+
+    def test_https_url_keeps_scheme_and_defaults_to_443(self):
+        # Regression: an https:// URL used to silently connect over
+        # plain HTTP on port 80.
+        client = Client.from_url("https://gateway.internal")
+        assert (client.scheme, client.port) == ("https", 443)
+        client = Client.from_url("https://gateway.internal:8443")
+        assert (client.scheme, client.port) == ("https", 8443)
+
+    def test_scheme_less_url_targets_named_host(self):
+        # "host" and "host:port" must reach the named host over HTTP —
+        # not fall back to 127.0.0.1, and not be misread as a scheme.
+        client = Client.from_url("gateway.internal")
+        assert (client.scheme, client.host, client.port) == ("http", "gateway.internal", 80)
+        client = Client.from_url("gateway.internal:8443")
+        assert (client.scheme, client.host, client.port) == ("http", "gateway.internal", 8443)
+
+    def test_hostless_url_rejected(self):
+        with pytest.raises(GatewayError, match="no host"):
+            Client.from_url("http://")
+
+    def test_invalid_port_raises_gateway_error(self):
+        with pytest.raises(GatewayError, match="invalid port"):
+            Client.from_url("gateway.internal:8o80")
+        with pytest.raises(GatewayError, match="invalid port"):
+            Client.from_url("http://gateway.internal:99999")
+
+    def test_unsupported_scheme_rejected(self):
+        with pytest.raises(GatewayError, match="unsupported URL scheme"):
+            Client.from_url("ftp://gateway.internal")
+        with pytest.raises(GatewayError, match="unsupported URL scheme"):
+            Client(scheme="gopher")
+
+    def test_https_client_connects_with_tls(self):
+        import http.client as http_client
+
+        connection = Client.from_url("https://gateway.internal")._connect()
+        assert isinstance(connection, http_client.HTTPSConnection)
+
+
+class TestBodyLimits:
+    @pytest.fixture(scope="class")
+    def small_gateway(self, served):
+        pipeline, _, _ = served
+        service = ValidationService(capacity=1)
+        service.add("demo", pipeline)
+        with ValidationGateway(service, port=0, max_body_bytes=4096) as gateway:
+            yield pipeline, gateway, Client(port=gateway.port)
+        service.close()
+
+    def test_small_requests_still_pass(self, small_gateway):
+        pipeline, _, client = small_gateway
+        report = client.validate("demo", make_batch(pipeline, 5, seed=1))
+        assert report.row_flags.shape == (5,)
+
+    def test_oversized_content_length_refused_413(self, small_gateway):
+        pipeline, _, client = small_gateway
+        with pytest.raises(GatewayError, match="413"):
+            client.validate("demo", make_batch(pipeline, 2000, seed=2))
+
+    def test_hostile_content_length_header_refused_before_read(self, small_gateway):
+        # A forged huge Content-Length must be refused outright — the
+        # server must not wait for (or try to buffer) a terabyte body.
+        _, gateway, _ = small_gateway
+        connection = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/pipelines/demo/validate")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(1024**4))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert json.loads(response.read())["kind"] == "error"
+        finally:
+            connection.close()
+
+    def test_oversized_stream_chunk_refused_413(self, small_gateway):
+        # Each 200-row NDJSON line far exceeds the 4 KiB limit: the
+        # per-chunk guard refuses it before buffering.
+        pipeline, _, client = small_gateway
+        chunks = [make_batch(pipeline, 200, seed=3) for _ in range(10)]
+        with pytest.raises(GatewayError, match="413"):
+            client.validate_stream("demo", chunks)
+
+    def test_long_stream_of_small_chunks_is_not_capped(self, small_gateway):
+        # The stream endpoint is consumed incrementally, so the limit
+        # bounds each chunk/line — not the cumulative stream length.
+        pipeline, _, client = small_gateway
+        chunks = [make_batch(pipeline, 8, seed=s) for s in range(30)]  # ~25 KiB total
+        summary = client.validate_stream("demo", chunks)
+        assert summary.n_rows == 240
+        assert summary.n_chunks == 30
+
+    def test_content_length_stream_body_over_limit_with_small_lines(self, small_gateway):
+        # A plain (non-chunked) body: multiple small NDJSON lines whose
+        # total exceeds the limit must pass — only a single line may not
+        # outgrow it.
+        pipeline, gateway, _ = small_gateway
+        lines = b"".join(
+            json.dumps({"records": make_batch(pipeline, 8, seed=s).to_records()}).encode()
+            + b"\n"
+            for s in range(10)
+        )
+        assert len(lines) > 4096  # over the gateway's whole-body limit
+        connection = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/v1/pipelines/demo/validate_stream",
+                body=lines,
+                headers={"Content-Type": "application/x-ndjson"},
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            payloads = [json.loads(raw) for raw in response.read().splitlines() if raw.strip()]
+            assert payloads[-1]["kind"] == "stream_summary"
+            assert payloads[-1]["n_rows"] == 80
+        finally:
+            connection.close()
+
+    def test_invalid_max_body_bytes_rejected(self, served):
+        _, gateway, _ = served
+        with pytest.raises(ValueError):
+            ValidationGateway(gateway.service, port=0, max_body_bytes=0)
 
 
 class TestErrorHandling:
