@@ -41,4 +41,8 @@ def __getattr__(name: str):
         import repro.serve as serve
 
         return getattr(serve, name)
+    if name in {"DriftMonitor", "MonitorSnapshot", "DriftAlert", "MonitorBaseline"}:
+        import repro.monitor as monitor
+
+        return getattr(monitor, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -12,6 +12,7 @@ objects the HTTP gateway (:mod:`repro.serve`) consumes.
 """
 
 from repro.api.protocol import (
+    CODEC_REVISION,
     SCHEMA_VERSION,
     check_envelope,
     decode_array,
@@ -29,6 +30,7 @@ from repro.api.requests import RepairRequest, ValidateRequest
 
 __all__ = [
     "SCHEMA_VERSION",
+    "CODEC_REVISION",
     "envelope",
     "check_envelope",
     "encode_array",

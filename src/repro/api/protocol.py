@@ -34,11 +34,13 @@ from repro.core.thresholds import ThresholdCalibration
 from repro.core.validator import ValidationReport
 from repro.exceptions import ProtocolError
 from repro.experiments.reporting import ResultTable
+from repro.monitor.monitor import DriftAlert, MonitorSnapshot
 from repro.runtime.service import ServiceStats
 from repro.runtime.streaming import PartialReport, StreamSummary
 
 __all__ = [
     "SCHEMA_VERSION",
+    "CODEC_REVISION",
     "envelope",
     "check_envelope",
     "encode_array",
@@ -62,6 +64,10 @@ __all__ = [
     "calibration_from_dict",
     "service_stats_to_dict",
     "service_stats_from_dict",
+    "drift_alert_to_dict",
+    "drift_alert_from_dict",
+    "monitor_snapshot_to_dict",
+    "monitor_snapshot_from_dict",
     "result_table_to_dict",
     "result_table_from_dict",
     "to_dict",
@@ -71,6 +77,17 @@ __all__ = [
 #: Version of the wire format. Bump on any incompatible change; decoders
 #: reject other versions outright rather than guessing.
 SCHEMA_VERSION = 1
+
+#: Additive codec revision *within* SCHEMA_VERSION 1. Revisions add
+#: optional fields that old decoders ignore and new decoders default
+#: (``payload.get``) — never rename, retype, or remove a field (that
+#: takes a SCHEMA_VERSION bump, gated by the golden fixtures in
+#: ``tests/golden/``). History:
+#: 1 — PR 2 initial protocol.
+#: 2 — observation timestamps on partial_report (``timestamp``) and
+#:     stream_summary (``first_timestamp``/``last_timestamp``); new
+#:     monitor_snapshot / drift_alert kinds.
+CODEC_REVISION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -306,12 +323,14 @@ def partial_report_to_dict(partial: PartialReport) -> dict:
         cell_cols=encode_array(partial.cell_cols),
         cell_errors=None if partial.cell_errors is None else encode_array(partial.cell_errors),
         cell_flags=None if partial.cell_flags is None else encode_mask(partial.cell_flags),
+        timestamp=None if partial.timestamp is None else float(partial.timestamp),
     )
     return payload
 
 
 def partial_report_from_dict(payload: dict) -> PartialReport:
     check_envelope(payload, "partial_report")
+    timestamp = payload.get("timestamp")  # absent in codec revision 1
     return PartialReport(
         offset=int(payload["offset"]),
         n_rows=int(payload["n_rows"]),
@@ -325,6 +344,7 @@ def partial_report_from_dict(payload: dict) -> PartialReport:
         cell_flags=(
             None if payload["cell_flags"] is None else decode_mask(payload["cell_flags"])
         ),
+        timestamp=None if timestamp is None else float(timestamp),
     )
 
 
@@ -343,12 +363,20 @@ def stream_summary_to_dict(summary: StreamSummary) -> dict:
         },
         mean_sample_error=float(summary.mean_sample_error),
         max_sample_error=float(summary.max_sample_error),
+        first_timestamp=(
+            None if summary.first_timestamp is None else float(summary.first_timestamp)
+        ),
+        last_timestamp=(
+            None if summary.last_timestamp is None else float(summary.last_timestamp)
+        ),
     )
     return payload
 
 
 def stream_summary_from_dict(payload: dict) -> StreamSummary:
     check_envelope(payload, "stream_summary")
+    first_ts = payload.get("first_timestamp")  # absent in codec revision 1
+    last_ts = payload.get("last_timestamp")
     return StreamSummary(
         n_rows=int(payload["n_rows"]),
         n_chunks=int(payload["n_chunks"]),
@@ -360,6 +388,8 @@ def stream_summary_from_dict(payload: dict) -> StreamSummary:
         flagged_cells_by_column=dict(payload["flagged_cells_by_column"]),
         mean_sample_error=float(payload["mean_sample_error"]),
         max_sample_error=float(payload["max_sample_error"]),
+        first_timestamp=None if first_ts is None else float(first_ts),
+        last_timestamp=None if last_ts is None else float(last_ts),
     )
 
 
@@ -426,6 +456,108 @@ def service_stats_from_dict(payload: dict) -> ServiceStats:
 
 
 # ---------------------------------------------------------------------------
+# MonitorSnapshot / DriftAlert (drift monitoring)
+# ---------------------------------------------------------------------------
+def drift_alert_to_dict(alert: "DriftAlert") -> dict:
+    payload = envelope("drift_alert")
+    payload.update(
+        metric=str(alert.metric),
+        column=None if alert.column is None else str(alert.column),
+        value=float(alert.value),
+        threshold=float(alert.threshold),
+        message=str(alert.message),
+        timestamp=None if alert.timestamp is None else float(alert.timestamp),
+    )
+    return payload
+
+
+def drift_alert_from_dict(payload: dict) -> "DriftAlert":
+    from repro.monitor.monitor import DriftAlert
+
+    check_envelope(payload, "drift_alert")
+    timestamp = payload.get("timestamp")
+    return DriftAlert(
+        metric=str(payload["metric"]),
+        column=None if payload["column"] is None else str(payload["column"]),
+        value=float(payload["value"]),
+        threshold=float(payload["threshold"]),
+        message=str(payload["message"]),
+        timestamp=None if timestamp is None else float(timestamp),
+    )
+
+
+def monitor_snapshot_to_dict(snapshot: "MonitorSnapshot") -> dict:
+    payload = envelope("monitor_snapshot")
+    payload.update(
+        window_capacity=int(snapshot.window_capacity),
+        window_chunks=int(snapshot.window_chunks),
+        window_rows=int(snapshot.window_rows),
+        total_observations=int(snapshot.total_observations),
+        total_rows=int(snapshot.total_rows),
+        total_alerts=int(snapshot.total_alerts),
+        first_timestamp=(
+            None if snapshot.first_timestamp is None else float(snapshot.first_timestamp)
+        ),
+        last_timestamp=(
+            None if snapshot.last_timestamp is None else float(snapshot.last_timestamp)
+        ),
+        flag_rate_ewma=float(snapshot.flag_rate_ewma),
+        flag_rate_center=float(snapshot.flag_rate_center),
+        flag_rate_limit=float(snapshot.flag_rate_limit),
+        flag_rate_alarm=bool(snapshot.flag_rate_alarm),
+        psi_threshold=float(snapshot.psi_threshold),
+        js_threshold=float(snapshot.js_threshold),
+        columns=[
+            {
+                "name": str(column.name),
+                "kind": str(column.kind),
+                "psi": float(column.psi),
+                "js": float(column.js),
+                "drifted": bool(column.drifted),
+            }
+            for column in snapshot.columns
+        ],
+        alerts=[drift_alert_to_dict(alert) for alert in snapshot.alerts],
+    )
+    return payload
+
+
+def monitor_snapshot_from_dict(payload: dict) -> "MonitorSnapshot":
+    from repro.monitor.monitor import ColumnDrift, MonitorSnapshot
+
+    check_envelope(payload, "monitor_snapshot")
+    first_ts = payload.get("first_timestamp")
+    last_ts = payload.get("last_timestamp")
+    return MonitorSnapshot(
+        window_capacity=int(payload["window_capacity"]),
+        window_chunks=int(payload["window_chunks"]),
+        window_rows=int(payload["window_rows"]),
+        total_observations=int(payload["total_observations"]),
+        total_rows=int(payload["total_rows"]),
+        total_alerts=int(payload["total_alerts"]),
+        first_timestamp=None if first_ts is None else float(first_ts),
+        last_timestamp=None if last_ts is None else float(last_ts),
+        flag_rate_ewma=float(payload["flag_rate_ewma"]),
+        flag_rate_center=float(payload["flag_rate_center"]),
+        flag_rate_limit=float(payload["flag_rate_limit"]),
+        flag_rate_alarm=bool(payload["flag_rate_alarm"]),
+        psi_threshold=float(payload["psi_threshold"]),
+        js_threshold=float(payload["js_threshold"]),
+        columns=[
+            ColumnDrift(
+                name=str(column["name"]),
+                kind=str(column["kind"]),
+                psi=float(column["psi"]),
+                js=float(column["js"]),
+                drifted=bool(column["drifted"]),
+            )
+            for column in payload["columns"]
+        ],
+        alerts=[drift_alert_from_dict(alert) for alert in payload["alerts"]],
+    )
+
+
+# ---------------------------------------------------------------------------
 # ResultTable (experiment outputs)
 # ---------------------------------------------------------------------------
 def result_table_to_dict(table: ResultTable) -> dict:
@@ -460,6 +592,8 @@ _BY_TYPE = {
     StreamSummary: stream_summary_to_dict,
     ThresholdCalibration: calibration_to_dict,
     ServiceStats: service_stats_to_dict,
+    DriftAlert: drift_alert_to_dict,
+    MonitorSnapshot: monitor_snapshot_to_dict,
     ResultTable: result_table_to_dict,
 }
 
@@ -471,6 +605,8 @@ _BY_KIND = {
     "stream_summary": stream_summary_from_dict,
     "threshold_calibration": calibration_from_dict,
     "service_stats": service_stats_from_dict,
+    "drift_alert": drift_alert_from_dict,
+    "monitor_snapshot": monitor_snapshot_from_dict,
     "result_table": result_table_from_dict,
 }
 

@@ -74,6 +74,9 @@ class DQuaG(BaselineValidator):
         self._validator: DataQualityValidator | None = None
         self._repair_engine: RepairEngine | None = None
         self._future_categories: dict[str, list[str]] | None = None
+        #: training-time distribution baseline for drift monitoring
+        #: (built at fit(), persisted in save() archives)
+        self._monitor_baseline = None
         #: one cached sharded executor, widened on demand (see validate())
         self._parallel_validator = None
         self._parallel_lock = threading.Lock()
@@ -168,6 +171,15 @@ class DQuaG(BaselineValidator):
             feature_scales=feature_scales,
             clean_column_centers=np.median(matrix, axis=0),
             engine=engine,
+        )
+        # Freeze the clean distribution for drift monitoring: per-column
+        # histograms of the exact matrix the model trained on, plus the
+        # expected clean flag rate as the control-chart center.
+        from repro.monitor import MonitorBaseline
+
+        self._monitor_baseline = MonitorBaseline.from_matrix(
+            self.preprocessor, matrix,
+            flag_rate=1.0 - self.config.threshold_percentile / 100.0,
         )
         logger.info("calibrated threshold=%.6f (p%.0f)", self.calibration.threshold, self.config.threshold_percentile)
         return self
@@ -264,13 +276,79 @@ class DQuaG(BaselineValidator):
         serving this pipeline (``None`` if the model is not exportable)."""
         return self._require_validator().engine
 
-    def streaming_validator(self, chunk_size: int = 8192, keep_cell_errors: bool = False):
-        """Bounded-memory chunked validator over this fitted pipeline."""
+    def streaming_validator(
+        self,
+        chunk_size: int = 8192,
+        keep_cell_errors: bool = False,
+        monitor=None,
+        clock=None,
+    ):
+        """Bounded-memory chunked validator over this fitted pipeline.
+
+        ``monitor`` attaches a :class:`~repro.monitor.monitor.DriftMonitor`
+        (see :meth:`monitor`) that observes every validated chunk.
+        """
         from repro.runtime.streaming import StreamingValidator
 
         return StreamingValidator(
-            self._require_validator(), chunk_size=chunk_size, keep_cell_errors=keep_cell_errors
+            self._require_validator(),
+            chunk_size=chunk_size,
+            keep_cell_errors=keep_cell_errors,
+            monitor=monitor,
+            clock=clock,
         )
+
+    # -- drift monitoring --------------------------------------------------
+    @property
+    def monitor_baseline(self):
+        """The training-time distribution baseline (``None`` when the
+        pipeline was loaded from an archive that predates monitoring)."""
+        return self._monitor_baseline
+
+    def monitor(self, window_chunks: int = 32, **options):
+        """A fresh :class:`~repro.monitor.monitor.DriftMonitor` over this
+        pipeline's training-time baseline.
+
+        The monitor compares everything it observes (tables, preprocessed
+        chunks, partial reports) to the clean distribution frozen at
+        ``fit()`` time; the baseline travels in ``save()`` archives, so
+        reloaded pipelines monitor against the distribution they were
+        actually trained on. ``options`` forward to
+        :class:`~repro.monitor.monitor.DriftMonitor` (thresholds, EWMA
+        parameters, ``clock`` for tests).
+        """
+        from repro.exceptions import ReproError
+        from repro.monitor import DriftMonitor
+
+        validator = self._require_validator()
+        if self._monitor_baseline is None:
+            raise ReproError(
+                "this pipeline has no drift-monitoring baseline (archive saved "
+                "before drift monitoring); call fit_monitor_baseline(clean_table) "
+                "or refit and re-save"
+            )
+        return DriftMonitor(
+            self._monitor_baseline,
+            preprocessor=validator.preprocessor,
+            window_chunks=window_chunks,
+            **options,
+        )
+
+    def fit_monitor_baseline(self, clean: Table) -> "DQuaG":
+        """(Re)build the monitoring baseline from a clean table.
+
+        For pipelines restored from pre-monitoring archives, or to
+        re-anchor monitoring on fresher clean data without retraining.
+        """
+        from repro.monitor import MonitorBaseline
+
+        validator = self._require_validator()
+        self._monitor_baseline = MonitorBaseline.from_matrix(
+            validator.preprocessor,
+            validator.preprocessor.transform(clean),
+            flag_rate=1.0 - self.config.threshold_percentile / 100.0,
+        )
+        return self
 
     def parallel_validator(self, workers: int | None = None, chunk_size: int = 8192):
         """The cached sharded executor over this fitted pipeline.
@@ -387,6 +465,12 @@ class DQuaG(BaselineValidator):
                 if self._repair_engine is None
                 else self._repair_engine.clean_column_centers.tolist()
             ),
+            # Additive since the monitoring era: archives without it
+            # still load, they just cannot build a DriftMonitor until
+            # fit_monitor_baseline() re-anchors them.
+            "monitor_baseline": (
+                None if self._monitor_baseline is None else self._monitor_baseline.to_metadata()
+            ),
         }
         save_state(self.model.state_dict(), path, metadata=metadata)
 
@@ -425,6 +509,13 @@ class DQuaG(BaselineValidator):
         scales = metadata.get("feature_scales")
         thresholds = metadata.get("feature_thresholds")
         centers = metadata.get("clean_column_centers")
+        baseline = metadata.get("monitor_baseline")
+        if baseline is None:
+            self._monitor_baseline = None
+        else:
+            from repro.monitor import MonitorBaseline
+
+            self._monitor_baseline = MonitorBaseline.from_metadata(baseline)
         self._build_phase2(
             feature_thresholds=None if thresholds is None else np.asarray(thresholds),
             feature_scales=None if scales is None else np.asarray(scales),

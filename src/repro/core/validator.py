@@ -182,10 +182,19 @@ class DataQualityValidator:
 
     def validate(self, table: Table) -> ValidationReport:
         """Validate a table with the same schema as the training data."""
+        return self.validate_with_matrix(table)[1]
+
+    def validate_with_matrix(self, table: Table) -> "tuple[np.ndarray, ValidationReport]":
+        """Validate a table, also returning its preprocessed matrix.
+
+        For callers that need the model-space matrix the validation
+        already computed — e.g. the serving layer feeding the drift
+        monitor — without paying a second preprocessing pass.
+        """
         if table.schema != self.preprocessor.schema:
             raise SchemaError("table schema does not match the trained pipeline")
         matrix = self.preprocessor.transform(table)
-        return self.validate_matrix(matrix)
+        return matrix, self.validate_matrix(matrix)
 
     def validate_matrix(self, matrix: np.ndarray) -> ValidationReport:
         """Validate an already-preprocessed matrix (used by benchmarks)."""

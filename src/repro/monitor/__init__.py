@@ -1,0 +1,37 @@
+"""Continuous drift monitoring — the production counterpart of Phase 2.
+
+The validator decides batch quality against statistics learned at
+training time; this package watches how serving traffic *moves away*
+from those statistics over time:
+
+* :mod:`repro.monitor.baseline` — :class:`MonitorBaseline`, per-column
+  clean-data histograms frozen at fit time (persisted in ``DQuaG.save``
+  archives);
+* :mod:`repro.monitor.drift` — PSI / Jensen–Shannon divergence and the
+  EWMA flag-rate control chart;
+* :mod:`repro.monitor.monitor` — :class:`DriftMonitor`, the rolling
+  window folding every observed chunk into per-column drift scores and
+  edge-triggered :class:`DriftAlert` events, snapshotted as
+  wire-serializable :class:`MonitorSnapshot` objects;
+* :mod:`repro.monitor.export` — Prometheus text rendering for the
+  gateway's ``GET /v1/metrics``.
+"""
+
+from repro.monitor.baseline import ColumnBaseline, MonitorBaseline
+from repro.monitor.drift import EwmaChart, jensen_shannon_divergence, population_stability_index
+from repro.monitor.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.monitor.monitor import ColumnDrift, DriftAlert, DriftMonitor, MonitorSnapshot
+
+__all__ = [
+    "ColumnBaseline",
+    "MonitorBaseline",
+    "EwmaChart",
+    "population_stability_index",
+    "jensen_shannon_divergence",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "ColumnDrift",
+    "DriftAlert",
+    "DriftMonitor",
+    "MonitorSnapshot",
+]

@@ -1,0 +1,222 @@
+"""Training-time distribution baselines for drift monitoring.
+
+A :class:`MonitorBaseline` freezes what the clean training data looked
+like *in model space* — the preprocessed [0, 1] representation every
+serving path already computes — one histogram per column:
+
+* **numeric** columns bin on clean-data quantile edges (classic
+  PSI-style deciles), with open outer segments so out-of-range values
+  (including the missing sentinel) are counted rather than dropped;
+* **categorical** columns get one segment per fitted category (bin edges
+  at the midpoints between the scaled code positions), plus a dedicated
+  ``<missing>`` segment below and ``<unknown>`` segment above — the
+  sentinel and the ``1 + unknown_margin`` placement land there exactly.
+
+Binning in model space keeps the monitor independent of raw value
+ranges and lets the streaming path observe the preprocessed matrix it
+already holds, with no second preprocessing pass.
+
+The baseline is JSON-serializable (:meth:`to_metadata`) and travels in
+``DQuaG.save`` archives, so a reloaded pipeline monitors against the
+exact distribution it was trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = ["ColumnBaseline", "MonitorBaseline"]
+
+#: default numeric bin count: the ten PSI deciles
+DEFAULT_BINS = 10
+
+#: fallback <missing> boundary for pathological non-negative sentinels
+#: (valid scaled category codes are >= 0, so such a sentinel cannot be
+#: told apart from a category anyway)
+_FALLBACK_MISSING_EDGE = -0.25
+
+
+@dataclass
+class ColumnBaseline:
+    """One column's frozen clean-data histogram.
+
+    ``edges`` are the inner segment boundaries; values are binned into
+    ``len(edges) + 1`` segments via ``searchsorted`` (open on both
+    ends), so every observable value — sentinel, in-range, unknown —
+    lands in exactly one segment.
+    """
+
+    name: str
+    kind: str  # ColumnKind.NUMERIC | ColumnKind.CATEGORICAL
+    edges: np.ndarray
+    counts: np.ndarray
+    labels: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.edges = np.asarray(self.edges, dtype=np.float64)
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.counts.shape != (self.edges.size + 1,):
+            raise ReproError(
+                f"column {self.name!r}: {self.counts.size} counts do not fit "
+                f"{self.edges.size} edges (need edges + 1 segments)"
+            )
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.counts.size)
+
+    def bin(self, values: np.ndarray) -> np.ndarray:
+        """Segment counts of ``values`` under this column's edges."""
+        segments = np.searchsorted(self.edges, np.asarray(values, dtype=np.float64), side="right")
+        return np.bincount(segments, minlength=self.n_segments).astype(np.int64)
+
+
+class MonitorBaseline:
+    """Per-column clean histograms plus the expected clean flag rate."""
+
+    def __init__(
+        self,
+        columns: list[ColumnBaseline],
+        n_rows: int,
+        flag_rate: float,
+    ) -> None:
+        if not columns:
+            raise ReproError("a monitor baseline needs at least one column")
+        if not 0.0 <= flag_rate <= 1.0:
+            raise ReproError(f"flag_rate must be in [0, 1], got {flag_rate}")
+        self.columns = list(columns)
+        self.n_rows = int(n_rows)
+        self.flag_rate = float(flag_rate)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_matrix(
+        cls,
+        preprocessor,
+        matrix: np.ndarray,
+        flag_rate: float,
+        bins: int = DEFAULT_BINS,
+    ) -> "MonitorBaseline":
+        """Freeze the clean distribution from a fitted preprocessor.
+
+        ``matrix`` is the preprocessed clean table (the exact array
+        Phase 1 trained on); ``flag_rate`` is the expected clean-data
+        flag rate (``1 − threshold_percentile/100``), the EWMA control
+        chart's center line.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        schema = preprocessor.schema
+        if matrix.ndim != 2 or matrix.shape[1] != len(schema):
+            raise ReproError(
+                f"baseline matrix has shape {matrix.shape}; schema expects "
+                f"(rows, {len(schema)})"
+            )
+        if matrix.shape[0] < 1:
+            raise ReproError("cannot build a monitor baseline from zero rows")
+        columns: list[ColumnBaseline] = []
+        for j, spec in enumerate(schema):
+            if spec.is_categorical:
+                edges, labels = cls._categorical_edges(preprocessor, spec.name)
+            else:
+                edges, labels = cls._numeric_edges(matrix[:, j], bins)
+            column = ColumnBaseline(
+                name=spec.name,
+                kind=spec.kind,
+                edges=edges,
+                counts=np.zeros(edges.size + 1, dtype=np.int64),
+                labels=labels,
+            )
+            column.counts = column.bin(matrix[:, j])
+            columns.append(column)
+        return cls(columns, n_rows=matrix.shape[0], flag_rate=flag_rate)
+
+    @staticmethod
+    def _numeric_edges(values: np.ndarray, bins: int) -> tuple[np.ndarray, list[str]]:
+        quantiles = np.linspace(0.0, 1.0, bins + 1)[1:-1]
+        edges = np.unique(np.quantile(values, quantiles))
+        if edges.size < 2:
+            # A (near-)constant column needs edges *bracketing* the
+            # constant, so below / at / above land in three distinct
+            # segments — with a single edge at the constant, values
+            # above it would share the constant's own segment
+            # (searchsorted side="right") and upward drift would be
+            # invisible.
+            center = float(values[0]) if edges.size == 0 else float(edges[0])
+            margin = max(1e-6, 1e-6 * abs(center))
+            edges = np.asarray([center - margin, center + margin])
+        labels = ["<low>"] + [f"q{i + 1}" for i in range(edges.size - 1)] + ["<high>"]
+        return edges, labels
+
+    @staticmethod
+    def _categorical_edges(preprocessor, name: str) -> tuple[np.ndarray, list[str]]:
+        positions = preprocessor.valid_code_positions(name)
+        classes = list(preprocessor.label_encoder(name).classes_)
+        midpoints = (positions[:-1] + positions[1:]) / 2.0
+        # The <missing> boundary sits midway between the configured
+        # sentinel and the lowest category position (0.0), so any
+        # negative sentinel — not just the default -1.0 — lands in the
+        # <missing> segment rather than inside the first category's.
+        sentinel = float(preprocessor.missing_sentinel)
+        missing_edge = sentinel / 2.0 if sentinel < 0 else _FALLBACK_MISSING_EDGE
+        unknown_edge = float(positions[-1]) + preprocessor.unknown_margin / 2.0
+        edges = np.concatenate(([missing_edge], midpoints, [unknown_edge]))
+        labels = ["<missing>"] + [str(c) for c in classes] + ["<unknown>"]
+        return edges, labels
+
+    # -- binning -----------------------------------------------------------
+    def bin_matrix(self, matrix: np.ndarray) -> list[np.ndarray]:
+        """Per-column segment counts of one observed chunk."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.n_features:
+            raise ReproError(
+                f"observed matrix has shape {matrix.shape}; the baseline "
+                f"expects (rows, {self.n_features})"
+            )
+        return [column.bin(matrix[:, j]) for j, column in enumerate(self.columns)]
+
+    # -- persistence -------------------------------------------------------
+    def to_metadata(self) -> dict:
+        """JSON-serializable snapshot (persisted in weight archives)."""
+        return {
+            "n_rows": self.n_rows,
+            "flag_rate": self.flag_rate,
+            "columns": [
+                {
+                    "name": column.name,
+                    "kind": column.kind,
+                    "edges": column.edges.tolist(),
+                    "counts": column.counts.tolist(),
+                    "labels": list(column.labels),
+                }
+                for column in self.columns
+            ],
+        }
+
+    @staticmethod
+    def from_metadata(payload: dict) -> "MonitorBaseline":
+        return MonitorBaseline(
+            columns=[
+                ColumnBaseline(
+                    name=column["name"],
+                    kind=column["kind"],
+                    edges=np.asarray(column["edges"], dtype=np.float64),
+                    counts=np.asarray(column["counts"], dtype=np.int64),
+                    labels=list(column.get("labels", [])),
+                )
+                for column in payload["columns"]
+            ],
+            n_rows=int(payload["n_rows"]),
+            flag_rate=float(payload["flag_rate"]),
+        )

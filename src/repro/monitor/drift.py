@@ -1,0 +1,104 @@
+"""Drift scores and the flag-rate control chart.
+
+Pure math, no state beyond the EWMA chart: the Population Stability
+Index and Jensen–Shannon divergence compare an observed histogram to the
+baseline histogram (both as raw segment counts), and
+:class:`EwmaChart` tracks the exponentially-weighted flag rate against
+binomial control limits around the calibrated clean rate — the
+TFDV-style skew/drift comparators, but computable incrementally on the
+streaming path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["population_stability_index", "jensen_shannon_divergence", "EwmaChart"]
+
+#: Laplace-style smoothing so empty segments never produce infinities.
+_EPSILON = 1e-4
+
+
+def _as_probabilities(counts: np.ndarray) -> np.ndarray:
+    counts = np.asarray(counts, dtype=np.float64)
+    smoothed = counts + _EPSILON
+    return smoothed / smoothed.sum()
+
+
+def population_stability_index(
+    expected_counts: np.ndarray, observed_counts: np.ndarray
+) -> float:
+    """PSI between two histograms over identical segments.
+
+    Conventional reading: < 0.1 stable, 0.1–0.25 moderate shift,
+    > 0.25 significant shift. Returns 0.0 when the observed histogram
+    is empty (nothing seen yet is not drift).
+    """
+    observed_counts = np.asarray(observed_counts, dtype=np.float64)
+    if observed_counts.sum() <= 0:
+        return 0.0
+    expected = _as_probabilities(expected_counts)
+    observed = _as_probabilities(observed_counts)
+    return float(np.sum((observed - expected) * np.log(observed / expected)))
+
+
+def jensen_shannon_divergence(
+    expected_counts: np.ndarray, observed_counts: np.ndarray
+) -> float:
+    """JS divergence (base 2, bounded [0, 1]) between two histograms."""
+    observed_counts = np.asarray(observed_counts, dtype=np.float64)
+    if observed_counts.sum() <= 0:
+        return 0.0
+    expected = _as_probabilities(expected_counts)
+    observed = _as_probabilities(observed_counts)
+    mixture = (expected + observed) / 2.0
+    kl_expected = np.sum(expected * np.log2(expected / mixture))
+    kl_observed = np.sum(observed * np.log2(observed / mixture))
+    # Clamp tiny negative round-off so the score stays in [0, 1].
+    return float(max(0.0, (kl_expected + kl_observed) / 2.0))
+
+
+class EwmaChart:
+    """EWMA control chart over per-observation flag rates.
+
+    The center line is the calibrated clean flag rate
+    (``1 − percentile/100``); each observation contributes its flag
+    fraction with weight ``alpha``, and the alarm fires when the EWMA
+    exceeds the center by ``sigma_limit`` asymptotic standard errors —
+    the per-observation standard error being the binomial
+    ``sqrt(p(1−p)/n)`` of that observation's row count, shrunk by the
+    EWMA factor ``sqrt(alpha / (2 − alpha))``.
+    """
+
+    def __init__(self, center: float, alpha: float = 0.2, sigma_limit: float = 3.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if sigma_limit <= 0:
+            raise ValueError(f"sigma_limit must be positive, got {sigma_limit}")
+        self.center = float(center)
+        self.alpha = float(alpha)
+        self.sigma_limit = float(sigma_limit)
+        #: the chart starts at its target, the standard EWMA convention
+        self.value = float(center)
+        #: upper control limit of the latest observation (center until then)
+        self.limit = float(center)
+        self.n_observations = 0
+        self.alarm = False
+
+    def observe(self, flagged_fraction: float, n_rows: int) -> bool:
+        """Fold one observation in; returns the current alarm state."""
+        n_rows = max(1, int(n_rows))
+        self.value = self.alpha * float(flagged_fraction) + (1.0 - self.alpha) * self.value
+        sigma = np.sqrt(max(self.center * (1.0 - self.center), 1e-12) / n_rows)
+        self.limit = self.center + self.sigma_limit * sigma * np.sqrt(
+            self.alpha / (2.0 - self.alpha)
+        )
+        self.n_observations += 1
+        self.alarm = bool(self.value > self.limit)
+        return self.alarm
+
+    def reset(self) -> None:
+        self.value = self.center
+        self.limit = self.center
+        self.n_observations = 0
+        self.alarm = False

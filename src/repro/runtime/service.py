@@ -19,7 +19,9 @@ per dataset/tenant — the way a model server fronts model versions:
 This is the dispatch surface the HTTP gateway (:mod:`repro.serve`)
 fronts: ``validate``/``repair``/``submit_many`` plus per-pipeline
 :meth:`pipeline_stats` and a wire-encodable :class:`ServiceStats`
-snapshot.
+snapshot. Every pipeline additionally gets a lazy per-generation
+:class:`~repro.monitor.monitor.DriftMonitor` (see :meth:`monitor_for`)
+that every validate path folds its traffic into.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from repro.exceptions import ReproError
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.monitor.monitor import DriftMonitor, MonitorSnapshot
     from repro.runtime.sharding import ParallelValidator
     from repro.runtime.streaming import Chunk, StreamSummary
 
@@ -108,6 +111,7 @@ class ValidationService:
         capacity: int = 4,
         max_workers: int | None = None,
         shard_workers: int | None = None,
+        monitor_window: int = 32,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -135,6 +139,15 @@ class ValidationService:
         #: bumped on every register()/add(); lets a shard-pool build that
         #: raced a re-registration detect that it is stale
         self._generations: dict[str, int] = {}
+        #: rolling-window size of per-pipeline drift monitors (chunks);
+        #: 0 disables monitoring entirely
+        self.monitor_window = max(0, int(monitor_window))
+        #: per-pipeline drift monitors, tagged with the generation whose
+        #: baseline they were built from — a re-register()/re-add() bumps
+        #: the generation, so a monitor watching the old weights' baseline
+        #: can never be resurrected (it survives plain LRU eviction,
+        #: which does not change the weights)
+        self._monitors: dict[str, tuple[int, "DriftMonitor"]] = {}
         self._closed = False
 
     # -- registration ------------------------------------------------------
@@ -146,9 +159,11 @@ class ValidationService:
         with self._lock:
             self._sources[name] = archive
             # A stale resident copy must not outlive its re-registration,
-            # and neither must shard pools serving the old archive.
+            # and neither must shard pools serving the old archive, nor
+            # drift monitors watching the old weights' baseline.
             self._entries.pop(name, None)
             self._generations[name] = self._generations.get(name, 0) + 1
+            self._monitors.pop(name, None)
         self._close_parallel_for(name)
 
     def add(self, name: str, pipeline: DQuaG) -> None:
@@ -158,6 +173,7 @@ class ValidationService:
             self._entries[name] = PipelineEntry(name=name, pipeline=pipeline, pinned=True)
             self._entries.move_to_end(name)
             self._generations[name] = self._generations.get(name, 0) + 1
+            self._monitors.pop(name, None)
         # Shard pools built from a previously-added pipeline of the same
         # name would keep serving the old weights.
         self._close_parallel_for(name)
@@ -257,9 +273,16 @@ class ValidationService:
 
     # -- dispatch ----------------------------------------------------------
     def validate(self, name: str, table: Table) -> ValidationReport:
-        """Validate one batch on the named pipeline (synchronous)."""
-        report = self.get(name).validate(table)
+        """Validate one batch on the named pipeline (synchronous).
+
+        The batch is preprocessed exactly once: the same matrix feeds
+        the validator and the drift monitor, so monitoring adds a
+        histogram pass, not a second transform.
+        """
+        validator = self.get(name)._require_validator()
+        matrix, report = validator.validate_with_matrix(table)
         self.count_validation(name, table.n_rows)
+        self._observe_matrix(name, matrix, report)
         return report
 
     # -- sharded dispatch --------------------------------------------------
@@ -301,6 +324,7 @@ class ValidationService:
         finally:
             self._release_shard_workers(granted)
         self.count_validation(name, table.n_rows)
+        self._observe_batch(name, table, report)
         return report
 
     def validate_stream_sharded(
@@ -310,17 +334,27 @@ class ValidationService:
 
         Falls back to the bounded-memory in-process streaming path when
         the worker budget grants fewer than 2 workers.
+
+        Drift monitoring: on the in-process fallback the monitor rides
+        the :class:`StreamingValidator` (observing each preprocessed
+        chunk with its flags); on the sharded path the coordinator
+        observes each chunk's distribution as it hands it to the workers
+        (Table chunks cost one extra preprocessing pass there) and feeds
+        the flag-rate chart once from the merged summary.
         """
         from repro.exceptions import TransientServiceError
         from repro.runtime.streaming import StreamingValidator
 
+        monitor = self.monitor_for(name)
         requested = self.shard_workers if workers is None else int(workers)
         granted = self._acquire_shard_workers(requested)
         if granted < 2:
             summary = StreamingValidator(
-                self.get(name)._require_validator()
+                self.get(name)._require_validator(), monitor=monitor
             ).validate_stream(chunks)
         else:
+            if monitor is not None:
+                chunks = self._observed_chunks(monitor, chunks)
             try:
                 summary = self._parallel_for(name).validate_stream(
                     chunks, keep_cell_errors=False, max_parallel=granted
@@ -335,6 +369,11 @@ class ValidationService:
                 ) from exc
             finally:
                 self._release_shard_workers(granted)
+            if monitor is not None:
+                try:
+                    monitor.observe_flags(summary.n_flagged, summary.n_rows)
+                except Exception:
+                    logger.warning("drift monitor update failed for %r", name, exc_info=True)
         self.count_validation(name, summary.n_rows)
         return summary
 
@@ -416,6 +455,106 @@ class ValidationService:
             counters["validations"] += validations
             counters["rows_validated"] += n_rows
 
+    # -- drift monitoring --------------------------------------------------
+    def monitor_for(self, name: str) -> "DriftMonitor | None":
+        """The drift monitor watching pipeline ``name``.
+
+        Built lazily from the pipeline's training-time baseline and
+        cached against the pipeline's generation: a re-``register()``/
+        re-``add()`` (new weights, new baseline) discards the old
+        monitor, while plain LRU eviction keeps it (the weights did not
+        change, so neither did the baseline). Returns ``None`` when
+        monitoring is disabled (``monitor_window=0``) or the pipeline's
+        archive predates monitoring baselines.
+        """
+        if self.monitor_window < 1:
+            return None
+        while True:
+            with self._lock:
+                generation = self._generations.get(name, 0)
+                cached = self._monitors.get(name)
+                if cached is not None and cached[0] == generation:
+                    return cached[1]
+            # Load + baseline build happen outside the registry lock.
+            pipeline = self.get(name)
+            try:
+                monitor = pipeline.monitor(window_chunks=self.monitor_window)
+            except ReproError:
+                return None
+            with self._lock:
+                current = self._generations.get(name, 0)
+                if current != generation:
+                    # The pipeline was re-registered while we were
+                    # building: our monitor may watch the *old* weights'
+                    # baseline. Discard and retry against the current
+                    # registration — mirroring the stale-load guard in
+                    # get().
+                    continue
+                cached = self._monitors.get(name)
+                if cached is not None and cached[0] == generation:
+                    # Another thread won the build race; keep its monitor
+                    # (and the observations it already folded in).
+                    return cached[1]
+                self._monitors[name] = (generation, monitor)
+                return monitor
+
+    def monitor_snapshot(self, name: str) -> "MonitorSnapshot | None":
+        """Wire-serializable state of the named pipeline's monitor."""
+        monitor = self.monitor_for(name)
+        return None if monitor is None else monitor.snapshot()
+
+    def monitor_snapshots(self) -> "dict[str, MonitorSnapshot]":
+        """Snapshots of every *live* monitor (does not force-load
+        pipelines that have never been monitored)."""
+        with self._lock:
+            live = {name: entry[1] for name, entry in self._monitors.items()}
+        return {name: monitor.snapshot() for name, monitor in sorted(live.items())}
+
+    def _observe_matrix(self, name: str, matrix, report: ValidationReport) -> None:
+        """Fold one already-preprocessed batch into the drift monitor.
+
+        Monitoring is advisory: any failure is logged and swallowed so
+        it can never fail a validation request that already succeeded.
+        """
+        if self.monitor_window < 1 or matrix.shape[0] == 0:
+            return
+        try:
+            monitor = self.monitor_for(name)
+            if monitor is not None:
+                monitor.observe_matrix(matrix, n_flagged=report.n_flagged)
+        except Exception:
+            logger.warning("drift monitor update failed for %r", name, exc_info=True)
+
+    def _observe_batch(self, name: str, table: Table, report: ValidationReport) -> None:
+        """Fold one validated batch into the pipeline's drift monitor.
+
+        Used by the sharded table path, where the workers preprocess
+        their own shards and the coordinator never sees a matrix — the
+        observation costs one coordinator-side transform there.
+        Monitoring is advisory: any failure is logged and swallowed.
+        """
+        if self.monitor_window < 1 or table.n_rows == 0:
+            return
+        try:
+            monitor = self.monitor_for(name)
+            if monitor is not None:
+                monitor.observe_table(table, n_flagged=report.n_flagged)
+        except Exception:
+            logger.warning("drift monitor update failed for %r", name, exc_info=True)
+
+    def _observed_chunks(self, monitor: "DriftMonitor", chunks: "Iterable[Chunk]"):
+        """Tee a chunk stream into ``monitor`` (distribution only —
+        flags are not known until the workers report back)."""
+        for chunk in chunks:
+            try:
+                if isinstance(chunk, Table):
+                    monitor.observe_table(chunk)
+                else:
+                    monitor.observe_matrix(chunk)
+            except Exception:
+                logger.warning("drift monitor chunk observation failed", exc_info=True)
+            yield chunk
+
     def repair(
         self,
         name: str,
@@ -493,6 +632,7 @@ class ValidationService:
             self._closed = True
             validators = list(self._parallel.values())
             self._parallel.clear()
+            self._monitors.clear()
         for parallel in validators:
             parallel.close()
 

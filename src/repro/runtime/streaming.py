@@ -39,6 +39,12 @@ Chunk = Union[Table, np.ndarray]
 EMPTY_STREAM_MESSAGE = "cannot validate an empty stream"
 
 
+def _logger():
+    from repro.utils.logging import get_logger
+
+    return get_logger("runtime.streaming")
+
+
 @dataclass
 class PartialReport:
     """Validation outcome of one row chunk at a global row offset."""
@@ -53,6 +59,11 @@ class PartialReport:
     #: dense per-cell errors/flags — only retained on request
     cell_errors: np.ndarray | None = None
     cell_flags: np.ndarray | None = None
+    #: when the chunk was observed (caller-supplied wall clock; ``None``
+    #: keeps the report fully deterministic). Travels additively on the
+    #: wire so drift monitors can window by time, and folds into
+    #: :attr:`StreamSummary.first_timestamp`/``last_timestamp``.
+    timestamp: float | None = None
 
     @property
     def n_flagged(self) -> int:
@@ -76,7 +87,12 @@ class PartialReport:
         return partial_report_from_dict(payload)
 
     @staticmethod
-    def from_report(report: ValidationReport, offset: int, keep_cell_errors: bool) -> "PartialReport":
+    def from_report(
+        report: ValidationReport,
+        offset: int,
+        keep_cell_errors: bool,
+        timestamp: float | None = None,
+    ) -> "PartialReport":
         rows, cols = np.nonzero(report.cell_flags)
         return PartialReport(
             offset=offset,
@@ -87,6 +103,7 @@ class PartialReport:
             cell_cols=cols,
             cell_errors=report.cell_errors if keep_cell_errors else None,
             cell_flags=report.cell_flags if keep_cell_errors else None,
+            timestamp=timestamp,
         )
 
     @staticmethod
@@ -141,6 +158,10 @@ class StreamSummary:
     flagged_cells_by_column: dict[str, int] = field(default_factory=dict)
     mean_sample_error: float = 0.0
     max_sample_error: float = 0.0
+    #: observation span of the stream, from the earliest/latest stamped
+    #: :class:`PartialReport` (``None`` when no chunk carried a timestamp)
+    first_timestamp: float | None = None
+    last_timestamp: float | None = None
 
     def summary(self) -> str:
         verdict = "PROBLEMATIC" if self.is_problematic else "OK"
@@ -170,6 +191,16 @@ class StreamingValidator:
     use is O(chunk_size × features) regardless of the table length. The
     default is a multiple of the engine's internal chunk so streamed
     numerics match the one-shot path exactly.
+
+    ``monitor`` attaches a :class:`~repro.monitor.monitor.DriftMonitor`:
+    every validated chunk is observed (reusing the already-preprocessed
+    matrix, so the monitor costs a histogram pass, not a second
+    preprocessing). Monitor failures are logged, never raised — drift
+    observation is advisory and must not break validation.
+
+    ``clock`` stamps each :class:`PartialReport` with an observation
+    timestamp (injectable for tests); the default ``None`` leaves
+    partials unstamped so streamed results stay fully deterministic.
     """
 
     def __init__(
@@ -177,25 +208,42 @@ class StreamingValidator:
         validator: DataQualityValidator,
         chunk_size: int = 8192,
         keep_cell_errors: bool = False,
+        monitor=None,
+        clock=None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.validator = validator
         self.chunk_size = chunk_size
         self.keep_cell_errors = keep_cell_errors
+        self.monitor = monitor
+        self.clock = clock
 
     @classmethod
-    def from_pipeline(cls, pipeline, chunk_size: int = 8192, keep_cell_errors: bool = False):
+    def from_pipeline(
+        cls,
+        pipeline,
+        chunk_size: int = 8192,
+        keep_cell_errors: bool = False,
+        monitor=None,
+        clock=None,
+    ):
         """Build from a fitted :class:`~repro.core.pipeline.DQuaG`."""
         return cls(
             pipeline._require_validator(),
             chunk_size=chunk_size,
             keep_cell_errors=keep_cell_errors,
+            monitor=monitor,
+            clock=clock,
         )
 
     # -- chunk-level API ---------------------------------------------------
-    def validate_chunk(self, chunk: Chunk, offset: int = 0) -> PartialReport:
+    def validate_chunk(
+        self, chunk: Chunk, offset: int = 0, timestamp: float | None = None
+    ) -> PartialReport:
         """Validate one row chunk (a Table or a preprocessed matrix)."""
+        if timestamp is None and self.clock is not None:
+            timestamp = float(self.clock())
         if isinstance(chunk, Table):
             matrix = self.validator.preprocessor.transform(chunk)
         else:
@@ -209,7 +257,15 @@ class StreamingValidator:
                     f"expects (rows, {n_features})"
                 )
         report = self.validator.validate_matrix(matrix)
-        return PartialReport.from_report(report, offset, self.keep_cell_errors)
+        partial = PartialReport.from_report(
+            report, offset, self.keep_cell_errors, timestamp=timestamp
+        )
+        if self.monitor is not None:
+            try:
+                self.monitor.observe_partial(partial, matrix=matrix)
+            except Exception:
+                _logger().warning("drift monitor observation failed", exc_info=True)
+        return partial
 
     def iter_partials(self, chunks: Iterable[Chunk]) -> Iterator[PartialReport]:
         """Yield one :class:`PartialReport` per incoming chunk."""
@@ -281,6 +337,8 @@ def fold_partials(
     by_column: dict[str, int] = {}
     error_sum = 0.0
     error_max = 0.0
+    first_ts: float | None = None
+    last_ts: float | None = None
     for partial in partials:
         n_rows += partial.n_rows
         n_chunks += 1
@@ -293,6 +351,10 @@ def fold_partials(
         if partial.sample_errors.size:
             error_sum += float(partial.sample_errors.sum())
             error_max = max(error_max, float(partial.sample_errors.max()))
+        if partial.timestamp is not None:
+            ts = float(partial.timestamp)
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
     if n_rows == 0:
         raise ValidationError(EMPTY_STREAM_MESSAGE)
     flagged_fraction = n_flagged / n_rows
@@ -307,4 +369,6 @@ def fold_partials(
         flagged_cells_by_column=by_column,
         mean_sample_error=error_sum / n_rows,
         max_sample_error=error_max,
+        first_timestamp=first_ts,
+        last_timestamp=last_ts,
     )

@@ -93,6 +93,13 @@ def main(argv: list[str] | None = None) -> int:
         "(default: CPU count; 0 disables sharded execution)",
     )
     parser.add_argument(
+        "--monitor-window",
+        type=int,
+        default=None,
+        help="drift-monitor rolling window in chunks (default: 32; 0 disables "
+        "monitoring and the /monitor endpoint)",
+    )
+    parser.add_argument(
         "--max-body-mb",
         type=float,
         default=None,
@@ -105,8 +112,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.verbose:
         configure_demo_logging()
 
+    if args.monitor_window is not None and args.monitor_window < 0:
+        parser.error(f"--monitor-window must be >= 0, got {args.monitor_window}")
     service = ValidationService(
-        capacity=args.capacity, max_workers=args.workers, shard_workers=args.shard_workers
+        capacity=args.capacity,
+        max_workers=args.workers,
+        shard_workers=args.shard_workers,
+        monitor_window=32 if args.monitor_window is None else args.monitor_window,
     )
     try:
         for spec in args.pipeline:

@@ -103,6 +103,19 @@ class Client:
         """Service stats snapshot: per-pipeline residency + counters."""
         return ServiceStats.from_dict(self._request("GET", "/v1/pipelines"))
 
+    def monitor(self, pipeline: str) -> "MonitorSnapshot":
+        """Drift-monitor snapshot of one pipeline (scores, chart, alerts)."""
+        from repro.monitor import MonitorSnapshot
+
+        payload = self._request(
+            "GET", f"/v1/pipelines/{quote(pipeline, safe='')}/monitor"
+        )
+        return MonitorSnapshot.from_dict(payload)
+
+    def metrics(self) -> str:
+        """The gateway's Prometheus text exposition, verbatim."""
+        return self._request_raw("GET", "/v1/metrics").decode("utf-8")
+
     def validate(
         self,
         pipeline: str,
@@ -221,6 +234,9 @@ class Client:
         return HTTPConnection(self.host, self.port, timeout=self.timeout)
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        return json.loads(self._request_raw(method, path, payload))
+
+    def _request_raw(self, method: str, path: str, payload: dict | None = None) -> bytes:
         connection = self._connect()
         try:
             body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -230,7 +246,7 @@ class Client:
             raw = response.read()
             if response.status >= 400:
                 raise self._error_from(response.status, raw)
-            return json.loads(raw)
+            return raw
         finally:
             connection.close()
 

@@ -6,6 +6,11 @@ multi-pipeline serving layer using nothing but ``http.server``:
 * ``GET  /v1/healthz`` — liveness + protocol version;
 * ``GET  /v1/pipelines`` — :class:`ServiceStats` snapshot (per-pipeline
   residency and counters);
+* ``GET  /v1/pipelines/{name}/monitor`` — the pipeline's
+  :class:`~repro.monitor.monitor.MonitorSnapshot` (rolling-window drift
+  scores, flag-rate control chart, recent alerts);
+* ``GET  /v1/metrics`` — Prometheus text exposition of service stats
+  and every live drift monitor;
 * ``POST /v1/pipelines/{name}/validate`` — JSON records in, a
   :class:`ValidationReport` envelope out (sparse flagged-cell encoding
   by default; ``include_errors`` switches to dense);
@@ -46,6 +51,7 @@ from repro.api.protocol import SCHEMA_VERSION, envelope
 from repro.api.requests import RepairRequest, ValidateRequest
 from repro.data.table import Table
 from repro.exceptions import ReproError, SchemaError, TransientServiceError, ValidationError
+from repro.monitor.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.runtime.service import ValidationService
 from repro.runtime.streaming import StreamingValidator
 from repro.utils.logging import get_logger
@@ -55,6 +61,7 @@ __all__ = ["ValidationGateway"]
 logger = get_logger("serve.gateway")
 
 _ROUTE = re.compile(r"^/v1/pipelines/(?P<name>[^/]+)/(?P<action>validate|repair|validate_stream)$")
+_MONITOR_ROUTE = re.compile(r"^/v1/pipelines/(?P<name>[^/]+)/monitor$")
 
 
 class _RequestError(Exception):
@@ -102,10 +109,26 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.gateway.healthz())
             elif path == "/v1/pipelines":
                 self._send_json(200, self.gateway.service.stats_snapshot().to_dict())
+            elif path == "/v1/metrics":
+                self._send_text(200, self.gateway.metrics_text(), PROMETHEUS_CONTENT_TYPE)
+            elif (match := _MONITOR_ROUTE.match(path)) is not None:
+                self._handle_monitor(unquote(match["name"]))
             else:
                 raise _RequestError(404, f"no such route: GET {path}")
-        except Exception as exc:  # pragma: no cover - defensive catch-all
+        except Exception as exc:
             self._send_failure(exc)
+
+    def _handle_monitor(self, name: str) -> None:
+        if name not in self.gateway.service.registered:
+            raise _RequestError(404, f"unknown pipeline {name!r}")
+        snapshot = self.gateway.service.monitor_snapshot(name)
+        if snapshot is None:
+            raise _RequestError(
+                404,
+                f"no drift monitor for pipeline {name!r} (monitoring disabled "
+                "or the archive predates monitoring baselines)",
+            )
+        self._send_json(200, snapshot.to_dict())
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
@@ -209,7 +232,9 @@ class _Handler(BaseHTTPRequestHandler):
             except ValidationError as exc:
                 raise _RequestError(400, str(exc)) from exc
         else:
-            validator = StreamingValidator.from_pipeline(pipeline)
+            validator = StreamingValidator.from_pipeline(
+                pipeline, monitor=self.gateway.service.monitor_for(name)
+            )
 
             def acknowledged():
                 for partial in validator.iter_partials(tables()):
@@ -332,6 +357,14 @@ class _Handler(BaseHTTPRequestHandler):
             raise _RequestError(400, f"records do not fit pipeline schema: {exc}") from exc
 
     # -- response writing --------------------------------------------------
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _send_json(self, status: int, payload: dict, close: bool = False) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -428,6 +461,12 @@ class ValidationGateway:
             pipelines=len(self.service.registered),
         )
         return payload
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of service stats + drift monitors."""
+        return render_prometheus(
+            self.service.stats_snapshot(), self.service.monitor_snapshots()
+        )
 
     # -- lifecycle ---------------------------------------------------------
     def serve_forever(self) -> None:

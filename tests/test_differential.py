@@ -1,0 +1,178 @@
+"""Differential fuzzing: every execution path produces the same report.
+
+A seeded generator drives random tables through paper-style corruptions
+(:mod:`repro.errors`) and asserts that the one-shot path, the streaming
+path, sharded execution (2 and 4 shards), and the full HTTP round-trip
+all produce **bit-identical** :class:`ValidationReport` objects — the
+invariant that makes every future refactor of the serving stack safe.
+
+Pool spawns are expensive, so the sharded paths share one module-scoped
+2-worker executor; shard-count parity (2 vs 4) is a planner claim, not
+a pool-size claim.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.core.validator import ValidationReport
+from repro.data import ColumnKind, ColumnSpec, Table, TableSchema
+from repro.errors import (
+    CompositeInjector,
+    MissingValueInjector,
+    NumericAnomalyInjector,
+    StringTypoInjector,
+)
+from repro.runtime import ParallelValidator, ValidationService
+from repro.serve import Client, ValidationGateway
+
+N_SCENARIOS = 20
+
+#: streaming chunk size — a divisor relationship with the engine's
+#: internal chunk is *not* required for parity (the kernels are
+#: row-local), but a small chunk forces real multi-chunk merges
+CHUNK_SIZE = 256
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        [
+            ColumnSpec("x", ColumnKind.NUMERIC, "driver"),
+            ColumnSpec("y", ColumnKind.NUMERIC, "2x + noise"),
+            ColumnSpec("z", ColumnKind.NUMERIC, "1 - x + noise"),
+            ColumnSpec("c", ColumnKind.CATEGORICAL, "band of x", categories=("lo", "hi")),
+        ]
+    )
+
+
+def make_clean(n: int, seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.1, 0.9, n)
+    return Table(
+        make_schema(),
+        {
+            "x": x,
+            "y": 2.0 * x + rng.normal(0, 0.01, n),
+            "z": 1.0 - x + rng.normal(0, 0.01, n),
+            "c": np.where(x > 0.5, "hi", "lo"),
+        },
+    )
+
+
+def make_scenario(index: int) -> Table:
+    """One seeded random table + a seeded random corruption."""
+    rng = np.random.default_rng(10_000 + index)
+    n_rows = int(rng.integers(300, 1200))
+    table = make_clean(n_rows, seed=20_000 + index)
+    fraction = float(rng.uniform(0.05, 0.3))
+    injectors = [
+        None,  # in-distribution: the paths must also agree on clean data
+        NumericAnomalyInjector(columns=["y"], fraction=fraction),
+        MissingValueInjector(columns=["z"], fraction=fraction),
+        StringTypoInjector(columns=["c"], fraction=fraction),
+        CompositeInjector(
+            [
+                NumericAnomalyInjector(columns=["x"], fraction=fraction / 2),
+                MissingValueInjector(columns=["y"], fraction=fraction / 2),
+            ]
+        ),
+    ]
+    injector = injectors[index % len(injectors)]
+    if injector is None:
+        return table
+    dirty, _ = injector.inject(table, rng=30_000 + index)
+    return dirty
+
+
+@pytest.fixture(scope="module")
+def fitted() -> DQuaG:
+    config = DQuaGConfig(hidden_dim=16, epochs=6, batch_size=64)
+    return DQuaG(config).fit(make_clean(500, seed=0), rng=0)
+
+
+@pytest.fixture(scope="module")
+def parallel(fitted):
+    with ParallelValidator.from_pipeline(
+        fitted, workers=2, chunk_size=CHUNK_SIZE
+    ) as validator:
+        yield validator
+
+
+@pytest.fixture(scope="module")
+def served(fitted):
+    service = ValidationService(capacity=2, shard_workers=0)
+    service.add("demo", fitted)
+    with ValidationGateway(service, port=0) as gateway:
+        yield Client(port=gateway.port)
+    service.close()
+
+
+def assert_reports_identical(reference: ValidationReport, other: ValidationReport, path: str):
+    __tracebackhide__ = True
+    np.testing.assert_array_equal(
+        other.sample_errors, reference.sample_errors, err_msg=f"{path}: sample_errors"
+    )
+    np.testing.assert_array_equal(
+        other.cell_errors, reference.cell_errors, err_msg=f"{path}: cell_errors"
+    )
+    np.testing.assert_array_equal(
+        other.row_flags, reference.row_flags, err_msg=f"{path}: row_flags"
+    )
+    np.testing.assert_array_equal(
+        other.cell_flags, reference.cell_flags, err_msg=f"{path}: cell_flags"
+    )
+    assert other.sample_errors.dtype == reference.sample_errors.dtype, path
+    assert other.cell_errors.dtype == reference.cell_errors.dtype, path
+    assert other.threshold == reference.threshold, path
+    assert other.flagged_fraction == reference.flagged_fraction, path
+    assert other.is_problematic == reference.is_problematic, path
+    assert other.feature_names == reference.feature_names, path
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+def test_all_paths_bit_identical(index, fitted, parallel, served):
+    table = make_scenario(index)
+    reference = fitted.validate(table)
+
+    streamed = fitted.streaming_validator(
+        chunk_size=CHUNK_SIZE, keep_cell_errors=True
+    ).validate_table(table)
+    assert_reports_identical(reference, streamed, "streaming")
+
+    for shards in (2, 4):
+        sharded = parallel.validate_table(table, shards=shards, keep_cell_errors=True)
+        assert_reports_identical(reference, sharded, f"sharded[{shards}]")
+
+    remote = served.validate("demo", table, include_errors=True)
+    assert_reports_identical(reference, remote, "http")
+
+    # The wire protocol itself must be exact: a JSON round-trip of the
+    # reference decodes to the same report, bit for bit.
+    decoded = ValidationReport.from_dict(json.loads(json.dumps(reference.to_dict())))
+    assert_reports_identical(reference, decoded, "json-round-trip")
+
+
+def test_scenarios_cover_clean_and_problematic():
+    """The seeded scenario mix must exercise both verdict branches."""
+    tables = [make_scenario(i) for i in range(N_SCENARIOS)]
+    missing = [t for t in tables if any(t.missing_fraction(n) > 0 for n in t.schema.names)]
+    assert missing, "no scenario injected missing values"
+    sizes = {t.n_rows for t in tables}
+    assert len(sizes) > 5, "scenario sizes are not diverse"
+
+
+def test_streamed_summary_agrees_with_report(fitted):
+    """The bounded-memory fold reaches the same verdict as the dense path."""
+    for index in range(0, N_SCENARIOS, 5):
+        table = make_scenario(index)
+        reference = fitted.validate(table)
+        summary = fitted.streaming_validator(chunk_size=CHUNK_SIZE).validate_table(table)
+        assert summary.n_rows == table.n_rows
+        assert summary.n_flagged == reference.n_flagged
+        np.testing.assert_array_equal(summary.flagged_rows, reference.flagged_rows)
+        assert summary.is_problematic == reference.is_problematic
+        assert summary.flagged_fraction == reference.flagged_fraction
