@@ -65,7 +65,7 @@ def attention_summary(pipeline: DQuaG, table: Table, max_rows: int = 512) -> dic
     """
     if pipeline.model is None:
         raise ValidationError("pipeline is not fitted")
-    matrix = pipeline.preprocessor.transform(table.head(max_rows))
+    matrix = pipeline.preprocessor.compile().transform(table.head(max_rows))
     with no_grad():
         pipeline.model.encode(Tensor(matrix))
     maps = pipeline.model.encoder.attention_maps()

@@ -138,7 +138,7 @@ class DQuaG(BaselineValidator):
 
         self.model = DQuaGModel(self.graph, self.config, rng=derive_rng(generator, "model"))
         trainer = Trainer(self.model, self.config)
-        matrix = self.preprocessor.transform(clean)
+        matrix = self.preprocessor.compile().transform(clean)
         self.history = trainer.train(matrix, rng=derive_rng(generator, "train"), epochs=epochs)
 
         # Compile the inference kernels now and calibrate *through* them:
@@ -148,7 +148,7 @@ class DQuaG(BaselineValidator):
         engine = self._compile_kernels()
         errors_of = engine.reconstruction_errors if engine is not None else self.model.reconstruction_errors
         if calibration_table is not None:
-            calib_matrix = self.preprocessor.transform(calibration_table)
+            calib_matrix = self.preprocessor.compile().transform(calibration_table)
             calib_cell_errors = errors_of(calib_matrix)
         else:
             calib_cell_errors = errors_of(matrix)
@@ -345,7 +345,7 @@ class DQuaG(BaselineValidator):
         validator = self._require_validator()
         self._monitor_baseline = MonitorBaseline.from_matrix(
             validator.preprocessor,
-            validator.preprocessor.transform(clean),
+            validator.preprocessor.compile().transform(clean),
             flag_rate=1.0 - self.config.threshold_percentile / 100.0,
         )
         return self
@@ -410,6 +410,10 @@ class DQuaG(BaselineValidator):
         inference engine (falling back to autograd when not exportable)."""
         if engine is None:
             engine = self._compile_kernels()
+        # Warm the compiled preprocessing plan alongside the model
+        # kernels: both fit() and load_weights() land here, so the first
+        # request (local or via ValidationService) runs fully hot.
+        self.preprocessor.compile()
         self._validator = DataQualityValidator(
             self.model, self.preprocessor, self.calibration, self.config,
             feature_thresholds=feature_thresholds,

@@ -91,7 +91,7 @@ class RepairEngine:
         # Missing values are always in scope for repair.
         cell_flags = cell_flags | table.missing_mask()
 
-        matrix = self.preprocessor.transform(table)
+        matrix = self.preprocessor.compile().transform(table)
         masked = matrix.copy()
         masked[cell_flags] = np.broadcast_to(self.clean_column_centers, matrix.shape)[cell_flags]
         if self.engine is not None:

@@ -193,7 +193,7 @@ class DataQualityValidator:
         """
         if table.schema != self.preprocessor.schema:
             raise SchemaError("table schema does not match the trained pipeline")
-        matrix = self.preprocessor.transform(table)
+        matrix = self.preprocessor.compile().transform(table)
         return matrix, self.validate_matrix(matrix)
 
     def validate_matrix(self, matrix: np.ndarray) -> ValidationReport:

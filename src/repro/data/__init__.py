@@ -3,6 +3,7 @@
 from repro.data.schema import ColumnKind, ColumnSpec, TableSchema
 from repro.data.table import Table
 from repro.data.encoders import LabelEncoder, MinMaxNormalizer
+from repro.data.plan import TransformPlan
 from repro.data.preprocess import TablePreprocessor
 from repro.data.batching import iterate_minibatches, sample_validation_batches
 from repro.data.io import read_csv, read_csv_chunks, write_csv
@@ -14,6 +15,7 @@ __all__ = [
     "Table",
     "LabelEncoder",
     "MinMaxNormalizer",
+    "TransformPlan",
     "TablePreprocessor",
     "iterate_minibatches",
     "sample_validation_batches",

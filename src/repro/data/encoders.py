@@ -73,17 +73,28 @@ class LabelEncoder:
     def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
         """Decode float codes back to category strings (object array).
 
-        Codes are rounded and clipped into the valid range, so arbitrary
-        model outputs decode to the *nearest* valid category.
+        Codes are rounded (half-to-even, matching the scalar path's
+        ``round()``) and clipped into the valid range, so arbitrary
+        model outputs decode to the *nearest* valid category; NaN
+        decodes to ``None``. Fully vectorized: one ``rint``/``clip``
+        pass and an object-array ``take``, no per-value Python loop.
         """
         self._check_fitted()
+        codes = np.asarray(codes, dtype=np.float64)
+        missing = np.isnan(codes)
         out = np.empty(len(codes), dtype=object)
+        out[:] = None
+        if missing.all():
+            return out
         top = len(self.classes_) - 1
-        for i, code in enumerate(np.asarray(codes, dtype=np.float64)):
-            if np.isnan(code):
-                out[i] = None
-            else:
-                out[i] = self.classes_[int(np.clip(round(code), 0, top))]
+        indices = np.clip(np.rint(codes), 0, top)
+        indices = np.where(missing, 0, indices).astype(np.int64)
+        # An object-array vocabulary keeps the decoded cells as the
+        # original ``str`` instances rather than NumPy unicode scalars.
+        classes = np.empty(len(self.classes_), dtype=object)
+        classes[:] = self.classes_
+        out[:] = np.take(classes, indices)
+        out[missing] = None
         return out
 
     def _check_fitted(self) -> None:

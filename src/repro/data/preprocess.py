@@ -21,6 +21,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.data.encoders import LabelEncoder, MinMaxNormalizer
+from repro.data.plan import TransformPlan
 from repro.data.schema import TableSchema
 from repro.data.table import Table
 from repro.exceptions import NotFittedError, SchemaError
@@ -52,6 +53,7 @@ class TablePreprocessor:
         self._label_encoders: dict[str, LabelEncoder] = {}
         self._normalizers: dict[str, MinMaxNormalizer] = {}
         self._fitted = False
+        self._plan: TransformPlan | None = None
 
     # -- fitting ------------------------------------------------------------
     def fit(self, table: Table, future_categories: dict[str, list[str]] | None = None) -> "TablePreprocessor":
@@ -77,12 +79,50 @@ class TablePreprocessor:
                 self._normalizers[spec.name] = normalizer
             else:
                 self._normalizers[spec.name] = MinMaxNormalizer().fit(column)
+        self._plan = None  # refitting invalidates any compiled plan
         self._fitted = True
         return self
 
+    # -- compiled execution --------------------------------------------------
+    def compile(self) -> TransformPlan:
+        """The compiled :class:`~repro.data.plan.TransformPlan` (cached).
+
+        The plan encodes tables bit-identically to :meth:`transform`
+        with vectorized categorical encoding and buffer-reusing chunked
+        execution — the preprocessing hot path every serving consumer
+        (validator, streaming, shard workers, drift monitor) runs on.
+        :meth:`transform` below is kept as the scalar reference
+        implementation the differential suite checks the plan against.
+        """
+        self._check_fitted()
+        plan = self._plan
+        if plan is None:
+            # Benign race: concurrent first calls each build a plan and
+            # one wins — plans are immutable and interchangeable.
+            plan = TransformPlan(
+                self.schema,
+                missing_sentinel=self.missing_sentinel,
+                unknown_margin=self.unknown_margin,
+                label_classes={
+                    name: list(encoder.classes_)
+                    for name, encoder in self._label_encoders.items()
+                },
+                normalizer_ranges={
+                    name: (normalizer.minimum_, normalizer.maximum_)
+                    for name, normalizer in self._normalizers.items()
+                },
+            )
+            self._plan = plan
+        return plan
+
     # -- transform -------------------------------------------------------------
     def transform(self, table: Table) -> np.ndarray:
-        """Encode ``table`` to a ``(n_rows, n_features)`` float matrix."""
+        """Encode ``table`` to a ``(n_rows, n_features)`` float matrix.
+
+        This is the *reference* implementation (per-value label
+        encoding); serving paths run the compiled, bit-identical
+        :meth:`compile` plan instead.
+        """
         self._check_fitted()
         if table.schema != self.schema:
             raise SchemaError("table schema does not match preprocessor schema")
@@ -105,17 +145,20 @@ class TablePreprocessor:
 
         Row encoding is independent of other rows (all fit-time state is
         frozen), so the concatenated chunks equal :meth:`transform` of
-        the whole table. This is the bounded-memory path used by
-        :class:`~repro.runtime.streaming.StreamingValidator`.
+        the whole table. Chunks are zero-copy row views
+        (:meth:`Table.slice_rows`) encoded through the compiled plan;
+        each yielded matrix is independently owned by the caller. The
+        streaming validator goes one step further and runs
+        :meth:`TransformPlan.transform_chunks` with a reused buffer.
         """
         self._check_fitted()
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if table.schema != self.schema:
             raise SchemaError("table schema does not match preprocessor schema")
+        plan = self.compile()
         for start in range(0, table.n_rows, chunk_size):
-            stop = min(start + chunk_size, table.n_rows)
-            yield self.transform(table.take(np.arange(start, stop)))
+            yield plan.transform(table.slice_rows(start, start + chunk_size))
 
     def inverse_transform(self, matrix: np.ndarray) -> Table:
         """Decode a model-space matrix back into a :class:`Table`."""

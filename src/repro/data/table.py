@@ -77,8 +77,25 @@ class Table:
         indices = np.asarray(indices)
         return Table(self.schema, {name: col[indices] for name, col in self._columns.items()})
 
+    def slice_rows(self, start: int, stop: int | None = None) -> "Table":
+        """Contiguous row range ``[start, stop)`` as a **zero-copy** view.
+
+        Column arrays are shared with this table (standard slice
+        semantics: negatives count from the end, out-of-range clamps),
+        and the normalization pass of the constructor is skipped — the
+        rows are already normalized. This is what makes chunked
+        preprocessing allocation-free: ``take(np.arange(start, stop))``
+        would allocate an index array and copy every column per chunk.
+        """
+        start, stop, _ = slice(start, stop).indices(self.n_rows)
+        view = object.__new__(Table)
+        view.schema = self.schema
+        view._columns = {name: col[start:stop] for name, col in self._columns.items()}
+        view.n_rows = max(0, stop - start)
+        return view
+
     def head(self, n: int) -> "Table":
-        return self.take(np.arange(min(n, self.n_rows)))
+        return self.slice_rows(0, max(0, n))
 
     def sample(self, n: int, rng: int | np.random.Generator | None = None, replace: bool = False) -> "Table":
         """Uniform random row sample."""

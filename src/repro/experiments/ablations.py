@@ -133,7 +133,7 @@ def run_ablations(
     # engine that serves _measure(), so calibration and serving numerics
     # agree to the last bit (matching DQuaG.fit).
     reference = fit(DQuaGConfig(**base_kwargs))
-    calib_matrix = reference.preprocessor.transform(splits.calibration)
+    calib_matrix = reference.preprocessor.compile().transform(splits.calibration)
     errors_of = (
         reference.engine.reconstruction_errors
         if reference.engine is not None

@@ -32,8 +32,10 @@ logger = get_logger("experiments.cache")
 #: trained under different encodings must never be reused. v3: archives
 #: now persist preprocessor state (runtime era, archive format v2);
 #: pre-runtime archives are additionally rejected by the format check in
-#: :mod:`repro.nn.serialization`.
-CACHE_VERSION = 3
+#: :mod:`repro.nn.serialization`. v4: encoder-side constant folding
+#: changes engine summation order at the last bits, so calibrations
+#: cached under v3 numerics must not be mixed with fresh validations.
+CACHE_VERSION = 4
 
 _SPLITS: dict[tuple, DataSplits] = {}
 _PIPELINES: dict[tuple, DQuaG] = {}

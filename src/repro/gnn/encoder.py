@@ -88,16 +88,41 @@ class GNNEncoder(Module):
                 x = x.elu() if activation == "elu" else x.relu()
         return x
 
-    def export_kernel(self, ctx: GraphContext) -> Callable:
+    def can_fold_embeddings(self, embeddings: np.ndarray) -> bool:
+        """Whether :meth:`export_kernel` can fold constant per-feature
+        embeddings into the first layer's affine (the layer must expose
+        ``export_folded_kernel`` and take ``1 + embed_dim`` inputs)."""
+        first = self._layers[0]
+        return (
+            hasattr(first, "export_folded_kernel")
+            and getattr(first, "in_features", None) == 1 + int(embeddings.shape[-1])
+        )
+
+    def export_kernel(self, ctx: GraphContext, fold_embeddings: np.ndarray | None = None) -> Callable:
         """Compile the whole stack into one pure-NumPy forward function.
 
         Each layer contributes its own compiled kernel (weights are
         snapshotted at export time); the inter-layer ELU/ReLU pattern of
         :meth:`forward` is reproduced exactly. Activations run in place
         on the layer kernels' scratch buffers.
+
+        With ``fold_embeddings`` (the constant ``(N, e)`` per-feature
+        identity embeddings), the first layer is compiled with the
+        embeddings folded into its affine — the returned kernel then
+        takes the raw ``(B, N)`` value chunk instead of the
+        ``(B, N, 1+e)`` node-input slab. Callers must check
+        :meth:`can_fold_embeddings` first.
         """
         kernels: list[Callable] = []
-        for layer in self._layers:
+        for i, layer in enumerate(self._layers):
+            if i == 0 and fold_embeddings is not None:
+                if not self.can_fold_embeddings(fold_embeddings):
+                    raise KernelExportError(
+                        f"layer {layer!r} cannot fold embeddings of shape "
+                        f"{np.asarray(fold_embeddings).shape}"
+                    )
+                kernels.append(layer.export_folded_kernel(ctx, fold_embeddings))
+                continue
             export = getattr(layer, "export_kernel", None)
             if export is None:
                 raise KernelExportError(

@@ -78,6 +78,46 @@ class GATConv(Module):
         place on workspace scratch; the leaky-ReLU branch select is
         computed as ``max(x, slope·x)`` (equal for slope < 1)."""
         weight = self.weight.data.copy()
+        attend = self._export_attention(ctx)
+        key = (id(self), "transform")
+        out_features = self.out_features
+
+        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
+            out_shape = x.shape[:-1] + (out_features,)
+            transformed = np.matmul(x, weight, out=buffer(ws, key, out_shape))
+            return attend(transformed, ws)
+
+        return kernel
+
+    def export_folded_kernel(self, ctx: GraphContext, embeddings: np.ndarray):
+        """Compile with the constant identity embeddings folded away.
+
+        The layer input is ``[x_f ⊕ E_f]`` with ``E`` batch-independent,
+        so ``X W`` splits into a per-value rank-1 term plus a constant:
+        ``values·W[0] + (E W[1:])``. The kernel takes the raw ``(B, N)``
+        value chunk — the ``(B, N, 1+e)`` node-input slab is never
+        materialized at all.
+        """
+        weight = self.weight.data.copy()
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        value_weight = weight[0].copy()  # (out,)
+        constant = embeddings @ weight[1:]  # (N, out), batch-independent
+        attend = self._export_attention(ctx)
+        key = (id(self), "transform")
+        out_features = self.out_features
+
+        def kernel(values: np.ndarray, ws=None) -> np.ndarray:
+            out_shape = values.shape + (out_features,)
+            transformed = buffer(ws, key, out_shape)
+            np.multiply(values[..., None], value_weight, out=transformed)
+            transformed += constant
+            return attend(transformed, ws)
+
+        return kernel
+
+    def _export_attention(self, ctx: GraphContext):
+        """The per-head attention chain over already-transformed features,
+        shared by the plain and embedding-folded kernels."""
         attn_src = self.attn_src.data.copy()
         attn_dst = self.attn_dst.data.copy()
         bias = self.bias.data.copy()
@@ -85,11 +125,9 @@ class GATConv(Module):
         heads, head_dim, slope = self.heads, self.head_dim, self.negative_slope
         n_nodes = ctx.n_nodes
 
-        def kernel(x: np.ndarray, ws=None) -> np.ndarray:
-            batch = x.shape[0]
-            out_shape = (batch, n_nodes, heads * head_dim)
-            transformed = np.matmul(x, weight, out=buffer(ws, (id(self), "transform"), out_shape))
-            out = buffer(ws, (id(self), "out"), out_shape)
+        def attend(transformed: np.ndarray, ws=None) -> np.ndarray:
+            batch = transformed.shape[0]
+            out = buffer(ws, (id(self), "out"), (batch, n_nodes, heads * head_dim))
             scores = buffer(ws, (id(self), "scores"), (batch, n_nodes, n_nodes))
             scaled = buffer(ws, (id(self), "scaled"), (batch, n_nodes, n_nodes))
             for h in range(heads):
@@ -107,7 +145,7 @@ class GATConv(Module):
             out += bias
             return out
 
-        return kernel
+        return attend
 
     @property
     def last_attention(self) -> np.ndarray | None:

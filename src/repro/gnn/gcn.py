@@ -58,5 +58,33 @@ class GCNConv(Module):
 
         return kernel
 
+    def export_folded_kernel(self, ctx: GraphContext, embeddings: np.ndarray):
+        """Compile with the constant identity embeddings folded away.
+
+        ``X W`` over the ``[x_f ⊕ E_f]`` node input splits into
+        ``values·W[0] + (E W[1:])`` with the second term
+        batch-independent; the kernel takes the raw ``(B, N)`` value
+        chunk and never materializes the node-input slab.
+        """
+        weight = self.weight.data.copy()
+        bias = self.bias.data.copy()
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        value_weight = weight[0].copy()  # (out,)
+        constant = embeddings @ weight[1:]  # (N, out), batch-independent
+        norm_adjacency = np.ascontiguousarray(ctx.norm_adjacency)
+        support_key = (id(self), "support")
+        out_key = (id(self), "out")
+
+        def kernel(values: np.ndarray, ws=None) -> np.ndarray:
+            out_shape = values.shape + (weight.shape[1],)
+            support = buffer(ws, support_key, out_shape)
+            np.multiply(values[..., None], value_weight, out=support)
+            support += constant
+            out = np.matmul(norm_adjacency, support, out=buffer(ws, out_key, out_shape))
+            out += bias
+            return out
+
+        return kernel
+
     def __repr__(self) -> str:
         return f"GCNConv({self.in_features}, {self.out_features})"

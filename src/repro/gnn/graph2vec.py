@@ -120,5 +120,27 @@ class Graph2VecEncoder(Module):
 
         return kernel
 
+    def export_folded_kernel(self, ctx: GraphContext, embeddings: np.ndarray):
+        """Compile with the constant identity embeddings folded away.
+
+        Both constants — the WL structure term and the embeddings' share
+        of the projection — collapse into one per-node vector; only the
+        raw ``(B, N)`` cell values multiply per batch.
+        """
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        value_row = self.projection.data[0].copy()  # (hidden,)
+        constant = embeddings @ self.projection.data[1 : self.in_features]
+        constant = constant + self._signature @ self.projection.data[self.in_features :]
+        key = (id(self), "out")
+
+        def kernel(values: np.ndarray, ws=None) -> np.ndarray:
+            out_shape = values.shape + (value_row.shape[0],)
+            out = buffer(ws, key, out_shape)
+            np.multiply(values[..., None], value_row, out=out)
+            out += constant
+            return np.tanh(out, out=out)
+
+        return kernel
+
     def __repr__(self) -> str:
         return f"Graph2VecEncoder({self.in_features}, {self.hidden_features})"

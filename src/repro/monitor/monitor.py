@@ -186,9 +186,13 @@ class DriftMonitor:
             )
         if table.n_rows == 0:
             return
-        self.observe_matrix(
-            self.preprocessor.transform(table), n_flagged=n_flagged, timestamp=timestamp
+        # Encode through the compiled plan when the bound preprocessor
+        # provides one (duck-typed: tests may bind minimal stand-ins).
+        compiled = getattr(self.preprocessor, "compile", None)
+        matrix = (
+            compiled().transform(table) if compiled is not None else self.preprocessor.transform(table)
         )
+        self.observe_matrix(matrix, n_flagged=n_flagged, timestamp=timestamp)
 
     def observe_matrix(
         self,

@@ -36,12 +36,24 @@ class Workspace:
 
         Contents are unspecified — callers must fully overwrite it.
         """
+        return self.acquire(key, shape)[0]
+
+    def acquire(self, key: object, shape: tuple[int, ...]) -> tuple[np.ndarray, bool]:
+        """Like :meth:`get`, also reporting whether the buffer is fresh.
+
+        Returns ``(array, fresh)`` — ``fresh`` is True when the backing
+        storage was (re)allocated on this call. A non-fresh buffer still
+        holds whatever the same key's previous (equal-or-larger) request
+        wrote, letting callers skip re-writing constant regions (see
+        ``InferenceEngine._node_inputs``).
+        """
         size = int(np.prod(shape))
         flat = self._buffers.get(key)
-        if flat is None or flat.size < size:
+        fresh = flat is None or flat.size < size
+        if fresh:
             flat = np.empty(size, dtype=np.float64)
             self._buffers[key] = flat
-        return flat[:size].reshape(shape)
+        return flat[:size].reshape(shape), fresh
 
     def nbytes(self) -> int:
         return sum(buf.nbytes for buf in self._buffers.values())

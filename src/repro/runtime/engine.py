@@ -14,9 +14,16 @@ runs Phase 2 with:
   large temporaries are faulted in once and recycled across chunks, and
   a single engine can serve concurrent requests,
 * constant folding: the per-feature identity embeddings are baked into
-  the decoder's first affine layer, so no per-batch concatenation of
-  constant data happens at all,
-* reconstruction-error / repair-value computation fused into the kernel.
+  the decoder's first affine layer — and, where the first encoder layer
+  allows it (GCN, GAT, graph2vec — every paper architecture), into the
+  encoder's first affine too, so the ``(b, F, 1+e)`` node-input slab is
+  never materialized. Architectures that cannot fold (SAGE) keep the
+  slab path, whose constant embedding region is written once per
+  workspace buffer rather than once per chunk,
+* reconstruction-error / repair-value computation fused into the kernel,
+* table encoding through the preprocessor's compiled
+  :class:`~repro.data.plan.TransformPlan` (vectorized, bit-identical to
+  the legacy transform).
 
 Numerics agree with the autograd forward to floating-point roundoff
 (summation orders differ where constant terms were folded); the parity
@@ -72,7 +79,22 @@ class InferenceEngine:
         self._embeddings = model.feature_embeddings.data.copy()
 
         # -- compiled kernels (weight snapshots) -------------------------
-        self._encoder = model.encoder.export_kernel(model.ctx)
+        # Encoder-side constant folding: where the first layer exposes a
+        # folded export (GCN/GAT/graph2vec — all paper architectures),
+        # the identity embeddings are baked into its affine and the
+        # (b, F, 1+e) node-input slab is never built; otherwise (SAGE)
+        # the slab path below writes the constant embedding region once
+        # per buffer, not once per chunk.
+        self._encoder_folded = bool(
+            self.embed_dim
+            and getattr(model.encoder, "can_fold_embeddings", None) is not None
+            and model.encoder.can_fold_embeddings(self._embeddings)
+        )
+        self._encoder = (
+            model.encoder.export_kernel(model.ctx, fold_embeddings=self._embeddings)
+            if self._encoder_folded
+            else model.encoder.export_kernel(model.ctx)
+        )
         self._validation_decoder = self._compile_decoder(model.validation_decoder)
         self._repair_decoder = self._compile_decoder(model.repair_decoder)
 
@@ -194,11 +216,23 @@ class InferenceEngine:
 
     def _node_inputs(self, chunk: np.ndarray, ws: Workspace) -> np.ndarray:
         """(b, F) value chunk → (b, F, 1+e) node inputs, buffer-backed."""
-        view = ws.get("node_inputs", (chunk.shape[0], self.n_features, 1 + self.embed_dim))
+        view, fresh = ws.acquire(
+            "node_inputs", (chunk.shape[0], self.n_features, 1 + self.embed_dim)
+        )
         view[:, :, 0] = chunk
-        if self.embed_dim:
+        if self.embed_dim and fresh:
+            # The embedding region is constant and the buffer layout
+            # repeats per row, so a recycled buffer (equal or larger
+            # batch seen before) already holds it — write it only when
+            # the workspace (re)allocated the slab.
             view[:, :, 1:] = self._embeddings
         return view
+
+    def _encode(self, chunk: np.ndarray, ws: Workspace) -> np.ndarray:
+        """Run the compiled encoder on a (b, F) value chunk."""
+        if self._encoder_folded:
+            return self._encoder(chunk, ws)
+        return self._encoder(self._node_inputs(chunk, ws), ws)
 
     def _check_matrix(self, matrix: np.ndarray) -> np.ndarray:
         matrix = np.asarray(matrix, dtype=np.float64)
@@ -219,7 +253,7 @@ class InferenceEngine:
         repair = np.empty_like(matrix)
         for start in range(0, matrix.shape[0], self.chunk_size):
             chunk = matrix[start : start + self.chunk_size]
-            embeddings = self._encoder(self._node_inputs(chunk, ws), ws)
+            embeddings = self._encode(chunk, ws)
             stop = start + chunk.shape[0]
             reconstruction[start:stop, :] = np.squeeze(self._validation_decoder(embeddings, ws), axis=-1)
             repair[start:stop, :] = np.squeeze(self._repair_decoder(embeddings, ws), axis=-1)
@@ -237,7 +271,7 @@ class InferenceEngine:
         out = np.empty_like(matrix)
         for start in range(0, matrix.shape[0], self.chunk_size):
             chunk = matrix[start : start + self.chunk_size]
-            embeddings = self._encoder(self._node_inputs(chunk, ws), ws)
+            embeddings = self._encode(chunk, ws)
             recon = np.squeeze(self._validation_decoder(embeddings, ws), axis=-1)
             # Fused error computation: (x̂ - x)² written straight into the
             # output slab, no intermediate full-size allocation.
@@ -253,7 +287,7 @@ class InferenceEngine:
         out = np.empty_like(matrix)
         for start in range(0, matrix.shape[0], self.chunk_size):
             chunk = matrix[start : start + self.chunk_size]
-            embeddings = self._encoder(self._node_inputs(chunk, ws), ws)
+            embeddings = self._encode(chunk, ws)
             out[start : start + chunk.shape[0], :] = np.squeeze(
                 self._repair_decoder(embeddings, ws), axis=-1
             )
@@ -287,7 +321,7 @@ class InferenceEngine:
             raise NotFittedError("engine compiled without a preprocessor; cannot validate tables")
         if table.schema != self.preprocessor.schema:
             raise SchemaError("table schema does not match the compiled pipeline")
-        return self.validate_matrix(self.preprocessor.transform(table))
+        return self.validate_matrix(self.preprocessor.compile().transform(table))
 
     def __repr__(self) -> str:
         context = "with context" if self.calibration is not None else "kernels only"

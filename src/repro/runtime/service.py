@@ -4,7 +4,10 @@ A :class:`ValidationService` fronts many fitted DQuaG pipelines — one
 per dataset/tenant — the way a model server fronts model versions:
 
 * pipelines are **registered** by name against a weight archive
-  (``DQuaG.save``) and loaded lazily on first request;
+  (``DQuaG.save``) and loaded lazily on first request — a load compiles
+  both the model kernels and the preprocessor's
+  :class:`~repro.data.plan.TransformPlan`, so the first request after a
+  (re)load already runs the vectorized scan-rate encode path;
 * loaded pipelines live in an **LRU cache** of bounded capacity, so a
   service can front hundreds of registered pipelines with a handful
   resident (reloads come straight from the archive — no clean table

@@ -175,10 +175,9 @@ def _concat_chunks(chunks: list[Chunk]) -> Chunk:
 
 def _slice_chunk(chunk: Chunk, start: int, stop: int) -> Chunk:
     if isinstance(chunk, Table):
-        return Table(
-            chunk.schema,
-            {name: chunk.column(name)[start:stop] for name in chunk.schema.names},
-        )
+        # Zero-copy row view: skips the constructor's per-value column
+        # normalization, which would copy every object column per slice.
+        return chunk.slice_rows(start, stop)
     return chunk[start:stop]
 
 
@@ -252,7 +251,9 @@ def _validate_shard(offset: int, payload: tuple[str, object], keep_cell_errors: 
     kind, data = payload
     if kind == "table":
         table = Table(validator.preprocessor.schema, data)
-        chunks: Iterable[np.ndarray] = validator.preprocessor.transform_chunks(
+        # Compiled-plan encoding into one worker-local reused buffer:
+        # each chunk is validated before the next overwrites it.
+        chunks: Iterable[np.ndarray] = validator.preprocessor.compile().transform_chunks(
             table, chunk_size
         )
     else:

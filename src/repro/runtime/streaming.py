@@ -245,7 +245,7 @@ class StreamingValidator:
         if timestamp is None and self.clock is not None:
             timestamp = float(self.clock())
         if isinstance(chunk, Table):
-            matrix = self.validator.preprocessor.transform(chunk)
+            matrix = self.validator.preprocessor.compile().transform(chunk)
         else:
             from repro.exceptions import SchemaError
 
@@ -294,13 +294,19 @@ class StreamingValidator:
         return self.fold(self.iter_partials(chunks))
 
     def validate_table(self, table: Table) -> "ValidationReport | StreamSummary":
-        """Validate a full table in ``chunk_size`` row slices."""
+        """Validate a full table in ``chunk_size`` row slices.
+
+        Chunks are encoded through the compiled
+        :class:`~repro.data.plan.TransformPlan` into one reused buffer —
+        the whole preprocessing side of the stream is allocation-free
+        (each chunk is fully consumed before the next overwrites it).
+        """
         if table.schema != self.validator.preprocessor.schema:
             from repro.exceptions import SchemaError
 
             raise SchemaError("table schema does not match the trained pipeline")
-        chunks = self.validator.preprocessor.transform_chunks(table, self.chunk_size)
-        return self.validate_stream(chunks)
+        plan = self.validator.preprocessor.compile()
+        return self.validate_stream(plan.transform_chunks(table, self.chunk_size))
 
     # -- folding -----------------------------------------------------------
     def fold(self, partials: Iterable[PartialReport]) -> StreamSummary:

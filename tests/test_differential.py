@@ -5,6 +5,9 @@ A seeded generator drives random tables through paper-style corruptions
 path, sharded execution (2 and 4 shards), and the full HTTP round-trip
 all produce **bit-identical** :class:`ValidationReport` objects — the
 invariant that makes every future refactor of the serving stack safe.
+The compiled preprocessing plan (:class:`repro.data.plan.TransformPlan`)
+is additionally pinned bit-identical to the legacy per-value
+``TablePreprocessor.transform`` on every scenario.
 
 Pool spawns are expensive, so the sharded paths share one module-scoped
 2-worker executor; shard-count parity (2 vs 4) is a planner claim, not
@@ -131,6 +134,35 @@ def assert_reports_identical(reference: ValidationReport, other: ValidationRepor
     assert other.flagged_fraction == reference.flagged_fraction, path
     assert other.is_problematic == reference.is_problematic, path
     assert other.feature_names == reference.feature_names, path
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+def test_compiled_plan_bit_identical_to_legacy_transform(index, fitted):
+    """The compiled TransformPlan must reproduce the legacy per-value
+    transform bit for bit on every corruption scenario — the invariant
+    that keeps reports, goldens, and calibrated thresholds untouched."""
+    table = make_scenario(index)
+    preprocessor = fitted.preprocessor
+    legacy = preprocessor.transform(table)
+    plan = preprocessor.compile()
+
+    compiled = plan.transform(table)
+    assert compiled.dtype == legacy.dtype
+    np.testing.assert_array_equal(compiled, legacy, err_msg="plan.transform")
+
+    # Chunked execution into one reused buffer covers transform_into.
+    streamed = np.empty_like(legacy)
+    for start in range(0, table.n_rows, CHUNK_SIZE):
+        stop = min(start + CHUNK_SIZE, table.n_rows)
+        chunk = plan.transform_into(table, streamed[start:stop], start, stop)
+        assert chunk.shape == (stop - start, len(table.schema.names))
+    np.testing.assert_array_equal(streamed, legacy, err_msg="plan.transform_into")
+
+    # The public chunk iterator (zero-copy slices, fresh outputs).
+    chunked = np.concatenate(
+        list(preprocessor.transform_chunks(table, CHUNK_SIZE)), axis=0
+    )
+    np.testing.assert_array_equal(chunked, legacy, err_msg="transform_chunks")
 
 
 @pytest.mark.parametrize("index", range(N_SCENARIOS))
