@@ -11,6 +11,18 @@ objects the HTTP gateway (:mod:`repro.serve`) consumes.
 >>> clone = from_dict(json.loads(json.dumps(payload))) # doctest: +SKIP
 """
 
+from repro.api.framing import (
+    FRAME_CONTENT_TYPE,
+    FRAME_VERSION,
+    Frame,
+    FrameFileWriter,
+    decode_frame,
+    encode_frame,
+    iter_frames,
+    open_frame_file,
+    report_from_frame,
+    report_to_frame,
+)
 from repro.api.protocol import (
     CODEC_REVISION,
     SCHEMA_VERSION,
@@ -44,4 +56,14 @@ __all__ = [
     "from_dict",
     "ValidateRequest",
     "RepairRequest",
+    "FRAME_VERSION",
+    "FRAME_CONTENT_TYPE",
+    "Frame",
+    "FrameFileWriter",
+    "encode_frame",
+    "decode_frame",
+    "iter_frames",
+    "open_frame_file",
+    "report_to_frame",
+    "report_from_frame",
 ]

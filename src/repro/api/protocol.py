@@ -87,7 +87,12 @@ SCHEMA_VERSION = 1
 #: 2 — observation timestamps on partial_report (``timestamp``) and
 #:     stream_summary (``first_timestamp``/``last_timestamp``); new
 #:     monitor_snapshot / drift_alert kinds.
-CODEC_REVISION = 2
+#: 3 — binary columnar frame codec (:mod:`repro.api.framing`,
+#:     ``application/x-repro-frame``) as a negotiated transport beside
+#:     JSON; new health fields ``wire_formats``/``frame_version``. The
+#:     frame payload itself is versioned independently by
+#:     :data:`repro.api.framing.FRAME_VERSION`.
+CODEC_REVISION = 3
 
 
 # ---------------------------------------------------------------------------

@@ -117,6 +117,35 @@ class ValidateRequest:
         return request
 
     @classmethod
+    def from_options(cls, payload: object, pipeline: str | None = None) -> "ValidateRequest":
+        """Options-only form for binary-framed requests.
+
+        The rows travel as the frame's column payloads, so ``records``
+        is absent by design; everything else (``pipeline``,
+        ``include_errors``, ``workers``) is validated exactly as in the
+        JSON tier. An envelope, when present, is gated strictly.
+        """
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"expected a JSON object, got {type(payload).__name__}")
+        if "schema_version" in payload or "kind" in payload:
+            check_envelope(payload, cls.kind)
+        request = cls(
+            records=[],
+            pipeline=payload.get("pipeline"),
+            include_errors=bool(payload.get("include_errors", False)),
+            workers=_workers_of(payload),
+        )
+        if request.pipeline is None:
+            request.pipeline = pipeline
+        return request
+
+    def to_options(self) -> dict:
+        """The enveloped options dict a framed request carries as extra."""
+        payload = self.to_dict()
+        del payload["records"]
+        return payload
+
+    @classmethod
     def from_table(cls, table: Table, **options) -> "ValidateRequest":
         return cls(records=table.to_records(), **options)
 
@@ -175,6 +204,29 @@ class RepairRequest:
         if request.pipeline is None:
             request.pipeline = pipeline
         return request
+
+    @classmethod
+    def from_options(cls, payload: object, pipeline: str | None = None) -> "RepairRequest":
+        """Options-only form for binary-framed requests (rows ride the frame)."""
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"expected a JSON object, got {type(payload).__name__}")
+        if "schema_version" in payload or "kind" in payload:
+            check_envelope(payload, cls.kind)
+        request = cls(
+            records=[],
+            pipeline=payload.get("pipeline"),
+            iterations=int(payload.get("iterations", 1)),
+            include_errors=bool(payload.get("include_errors", False)),
+        )
+        if request.pipeline is None:
+            request.pipeline = pipeline
+        return request
+
+    def to_options(self) -> dict:
+        """The enveloped options dict a framed request carries as extra."""
+        payload = self.to_dict()
+        del payload["records"]
+        return payload
 
     @classmethod
     def from_table(cls, table: Table, **options) -> "RepairRequest":

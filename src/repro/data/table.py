@@ -45,6 +45,20 @@ class Table:
         self._columns = normalized
         self.n_rows = n_rows or 0
 
+    @classmethod
+    def _wrap(cls, schema: TableSchema, columns: dict, n_rows: int) -> "Table":
+        """Adopt already-normalized columns without the constructor pass.
+
+        For internal zero-copy paths (row views, binary-frame decode,
+        memory-mapped files) where re-normalizing would copy or — for
+        lazy frame-backed columns — materialize the data.
+        """
+        table = object.__new__(cls)
+        table.schema = schema
+        table._columns = columns
+        table.n_rows = n_rows
+        return table
+
     # -- access ------------------------------------------------------------
     @property
     def n_columns(self) -> int:
@@ -88,11 +102,11 @@ class Table:
         would allocate an index array and copy every column per chunk.
         """
         start, stop, _ = slice(start, stop).indices(self.n_rows)
-        view = object.__new__(Table)
-        view.schema = self.schema
-        view._columns = {name: col[start:stop] for name, col in self._columns.items()}
-        view.n_rows = max(0, stop - start)
-        return view
+        return Table._wrap(
+            self.schema,
+            {name: col[start:stop] for name, col in self._columns.items()},
+            max(0, stop - start),
+        )
 
     def head(self, n: int) -> "Table":
         return self.slice_rows(0, max(0, n))
@@ -188,17 +202,50 @@ class Table:
             raise SchemaError(f"record fields not in schema: {unknown}")
         columns: dict[str, np.ndarray | list] = {}
         for spec in schema:
+            values = [record.get(spec.name) for record in records]
             if spec.is_numeric:
-                columns[spec.name] = np.array(
-                    [
-                        np.nan if record.get(spec.name) is None else float(record[spec.name])
-                        for record in records
-                    ],
-                    dtype=np.float64,
-                )
+                # One C-level conversion pass (None becomes NaN) instead
+                # of a per-record Python float() loop.
+                try:
+                    column = np.array(values, dtype=np.float64)
+                except (TypeError, ValueError) as exc:
+                    raise SchemaError(
+                        f"column {spec.name!r} holds a non-numeric value: {exc}"
+                    ) from None
+                if column.ndim != 1:
+                    raise SchemaError(
+                        f"column {spec.name!r} holds nested values "
+                        f"(converted shape {column.shape})"
+                    )
+                columns[spec.name] = column
             else:
-                columns[spec.name] = [record.get(spec.name) for record in records]
+                columns[spec.name] = values
         return Table(schema, columns)
+
+    # -- binary frame files (repro.api.framing) ------------------------------
+    @staticmethod
+    def from_frame_file(path, schema: TableSchema | None = None) -> "Table":
+        """Memory-map a binary columnar frame file as an out-of-core table.
+
+        Column data stays on disk behind ``mmap`` until a row window is
+        sliced, so the streaming validation path
+        (:meth:`~repro.runtime.streaming.StreamingValidator.validate_table`)
+        runs a file much larger than RAM in bounded memory. ``schema``
+        pins the expected columns; see :func:`repro.api.framing.open_frame_file`.
+        """
+        from repro.api.framing import open_frame_file
+
+        return open_frame_file(path, schema=schema)
+
+    def to_frame_file(self, path, chunk_rows: int = 65536):
+        """Spill this table to a frame file in ``chunk_rows``-row frames.
+
+        The produced file round-trips through :meth:`from_frame_file`
+        and doubles as a framed ``/validate_stream`` request body.
+        """
+        from repro.api.framing import write_frame_file
+
+        return write_frame_file(self, path, chunk_rows=chunk_rows)
 
     # -- constructors ---------------------------------------------------------
     @staticmethod
@@ -219,7 +266,10 @@ class Table:
 
 def _normalize_column(spec: ColumnSpec, values: np.ndarray | list) -> np.ndarray:
     if spec.is_numeric:
-        array = np.asarray(values, dtype=np.float64)
+        try:
+            array = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"column {spec.name!r} is not numeric: {exc}") from None
         if array.ndim != 1:
             raise SchemaError(f"column {spec.name!r} must be 1-D, got shape {array.shape}")
         return array

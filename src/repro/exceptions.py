@@ -52,10 +52,30 @@ class ProtocolError(SerializationError):
     """A wire payload failed the ``schema_version``/``kind`` gate or is malformed."""
 
 
+class FrameError(ProtocolError):
+    """A binary columnar frame is malformed, truncated, or inconsistent."""
+
+
+class FrameSizeError(FrameError):
+    """A frame declares a size beyond the caller's permitted bounds.
+
+    Distinct from :class:`FrameError` so transports can map it to
+    HTTP 413 (too large) rather than 400 (malformed)."""
+
+
 class TransientServiceError(ReproError):
     """A server-side interruption (e.g. a pipeline re-registered mid-request)
     hit an otherwise well-formed request; retrying is expected to succeed."""
 
 
 class GatewayError(ReproError):
-    """An HTTP serving request failed (client-side view of a gateway error)."""
+    """An HTTP serving request failed (client-side view of a gateway error).
+
+    ``status`` carries the HTTP status code when the failure came from a
+    gateway response (``None`` for client-side failures), letting
+    callers distinguish negotiation refusals (415) from genuine errors.
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status

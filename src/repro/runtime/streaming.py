@@ -308,6 +308,20 @@ class StreamingValidator:
         plan = self.validator.preprocessor.compile()
         return self.validate_stream(plan.transform_chunks(table, self.chunk_size))
 
+    def validate_frame_file(self, path) -> "ValidationReport | StreamSummary":
+        """Validate a binary frame file out-of-core.
+
+        The file (written by :class:`~repro.api.framing.FrameFileWriter`
+        or :meth:`Table.to_frame_file`) is memory-mapped, never loaded:
+        :func:`~repro.api.framing.open_frame_file` wraps its columns in
+        lazy mmap-backed views, and :meth:`validate_table` slices them
+        ``chunk_size`` rows at a time — so a file much larger than RAM
+        validates in O(chunk_size × features) memory, the OS paging each
+        window in and out as it is touched.
+        """
+        schema = self.validator.preprocessor.schema
+        return self.validate_table(Table.from_frame_file(path, schema=schema))
+
     # -- folding -----------------------------------------------------------
     def fold(self, partials: Iterable[PartialReport]) -> StreamSummary:
         """Fold partial reports into a :class:`StreamSummary` incrementally.

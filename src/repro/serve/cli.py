@@ -12,6 +12,15 @@ Then::
     curl -X POST http://127.0.0.1:8080/v1/pipelines/hotel/validate \
          -H 'Content-Type: application/json' \
          -d '{"records": [{"adr": 310.0, "country": "PRT", ...}]}'
+
+Bulk ingest can skip JSON entirely — the same endpoints accept the
+binary columnar frame tier (see ``repro.api.framing``)::
+
+    python -c "from repro.data import Table; ...; t.to_frame_file('slab.rprf')"
+    curl -X POST http://127.0.0.1:8080/v1/pipelines/hotel/validate \
+         -H 'Content-Type: application/x-repro-frame' \
+         -H 'Accept: application/x-repro-frame' \
+         --data-binary @slab.rprf
 """
 
 from __future__ import annotations

@@ -1,10 +1,18 @@
 """Stdlib HTTP client for the validation gateway.
 
 A thin :class:`Client` over ``http.client`` that speaks the
-:mod:`repro.api` protocol: requests go out as JSON records, responses
-come back decoded into the same objects the in-process API returns
-(:class:`ValidationReport`, :class:`RepairSummary`,
+:mod:`repro.api` protocol: requests go out as JSON records or binary
+columnar frames, responses come back decoded into the same objects the
+in-process API returns (:class:`ValidationReport`, :class:`RepairSummary`,
 :class:`StreamSummary`, :class:`ServiceStats`).
+
+Wire negotiation: with the default ``wire="auto"`` the client probes
+``/v1/healthz`` once and, when the gateway advertises
+``application/x-repro-frame``, sends :class:`~repro.data.table.Table`
+payloads as binary frames (and asks for framed responses) — falling
+back to JSON transparently for record-list payloads, older gateways,
+or a 415 refusal. ``wire="json"`` pins the compatibility tier;
+``wire="frame"`` requires frames and fails loudly when unavailable.
 
 >>> client = Client(port=8080)                       # doctest: +SKIP
 >>> report = client.validate("hotel", table)         # doctest: +SKIP
@@ -13,17 +21,19 @@ come back decoded into the same objects the in-process API returns
 
 from __future__ import annotations
 
+import gzip
 import json
-from http.client import HTTPConnection, HTTPSConnection
-from typing import Iterable
+from http.client import HTTPConnection, HTTPResponse, HTTPSConnection
+from typing import Iterable, Iterator
 from urllib.parse import quote, urlsplit
 
+from repro.api import framing
 from repro.api.protocol import check_envelope
 from repro.api.requests import RepairRequest, ValidateRequest
 from repro.core.repair import RepairSummary
 from repro.core.validator import ValidationReport
 from repro.data.table import Table
-from repro.exceptions import GatewayError
+from repro.exceptions import FrameError, GatewayError
 from repro.runtime.service import ServiceStats
 from repro.runtime.streaming import StreamSummary
 
@@ -45,24 +55,33 @@ class Client:
     #: scheme → default port, for URLs that do not spell one out
     _SCHEME_PORTS = {"http": 80, "https": 443}
 
+    _WIRE_MODES = ("auto", "json", "frame")
+
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8080,
         timeout: float = 60.0,
         scheme: str = "http",
+        wire: str = "auto",
     ) -> None:
         if scheme not in self._SCHEME_PORTS:
             raise GatewayError(
                 f"unsupported URL scheme {scheme!r}; this client speaks http and https"
             )
+        if wire not in self._WIRE_MODES:
+            raise GatewayError(f"unknown wire mode {wire!r}; use auto, json, or frame")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.scheme = scheme
+        self.wire = wire
+        # None = not probed yet; True/False = gateway capability, cached
+        # for the client's lifetime (capabilities don't change mid-run).
+        self._gateway_speaks_frames: bool | None = None
 
     @classmethod
-    def from_url(cls, url: str, timeout: float = 60.0) -> "Client":
+    def from_url(cls, url: str, timeout: float = 60.0, wire: str = "auto") -> "Client":
         """Build from a gateway URL, honoring its scheme.
 
         ``https://host`` connects over TLS on 443 (not silently over
@@ -93,7 +112,48 @@ class Client:
             port=port or cls._SCHEME_PORTS[scheme],
             timeout=timeout,
             scheme=scheme,
+            wire=wire,
         )
+
+    # -- wire negotiation --------------------------------------------------
+    def _use_frames(self, framable: bool = True) -> bool:
+        """Decide the wire tier for one call.
+
+        ``framable`` is False when the payload cannot ride a frame (bare
+        record lists carry no schema to encode against) — those calls
+        stay JSON regardless of mode, except ``wire="frame"`` which
+        refuses rather than silently downgrade.
+        """
+        if self.wire == "json":
+            return False
+        if not framable:
+            if self.wire == "frame":
+                raise GatewayError(
+                    "wire='frame' requires Table payloads (record lists carry "
+                    "no schema to encode a frame against)"
+                )
+            return False
+        if self.wire == "frame":
+            return True
+        if self._gateway_speaks_frames is None:
+            try:
+                health = self.healthz()
+            except GatewayError:
+                # Unreachable or unhealthy: let the actual call surface
+                # the real error over the compatibility tier.
+                return False
+            formats = health.get("wire_formats")
+            self._gateway_speaks_frames = isinstance(formats, list) and any(
+                framing.matches_frame_content_type(str(f)) for f in formats
+            )
+        return self._gateway_speaks_frames
+
+    def _frame_refused(self, exc: GatewayError) -> bool:
+        """A 415 means the server does not speak frames: fall back once."""
+        if self.wire == "auto" and exc.status == 415:
+            self._gateway_speaks_frames = False
+            return True
+        return False
 
     # -- endpoints ---------------------------------------------------------
     def healthz(self) -> dict:
@@ -114,7 +174,7 @@ class Client:
 
     def metrics(self) -> str:
         """The gateway's Prometheus text exposition, verbatim."""
-        return self._request_raw("GET", "/v1/metrics").decode("utf-8")
+        return self._request_raw("GET", "/v1/metrics")[0].decode("utf-8")
 
     def validate(
         self,
@@ -130,17 +190,32 @@ class Client:
         error values are populated only at flagged coordinates.
         ``workers > 1`` requests sharded execution on the gateway (capped
         by the service's shard budget; the report is identical).
+        Table payloads ride the binary frame tier when negotiated (see
+        the module docstring); record lists always go as JSON.
         """
+        path = f"/v1/pipelines/{quote(pipeline, safe='')}/validate"
+        if self._use_frames(framable=isinstance(rows, Table)):
+            request = ValidateRequest(
+                pipeline=pipeline, include_errors=include_errors, workers=workers
+            )
+            body = framing.encode_frame(table=rows, extra=request.to_options())
+            try:
+                raw, content_type = self._request_raw(
+                    "POST", path, body=body, content_type=framing.FRAME_CONTENT_TYPE,
+                    accept=framing.FRAME_CONTENT_TYPE,
+                )
+            except GatewayError as exc:
+                if not self._frame_refused(exc):
+                    raise
+            else:
+                return self._decode_report(raw, content_type)
         request = ValidateRequest(
             records=_as_records(rows),
             pipeline=pipeline,
             include_errors=include_errors,
             workers=workers,
         )
-        payload = self._request(
-            "POST", f"/v1/pipelines/{quote(pipeline, safe='')}/validate", request.to_dict()
-        )
-        return ValidationReport.from_dict(payload)
+        return ValidationReport.from_dict(self._request("POST", path, request.to_dict()))
 
     def repair(
         self,
@@ -148,20 +223,64 @@ class Client:
         rows: "Table | list[dict]",
         iterations: int = 1,
         include_errors: bool = False,
-    ) -> tuple[list[dict], RepairSummary, ValidationReport]:
-        """Repair rows remotely; returns (repaired records, summary, report)."""
+        as_table: bool = False,
+    ) -> tuple:
+        """Repair rows remotely; returns (repaired rows, summary, report).
+
+        Repaired rows come back as records by default; ``as_table=True``
+        returns a :class:`Table` instead (decoded zero-copy from the
+        frame tier when negotiated).
+        """
+        path = f"/v1/pipelines/{quote(pipeline, safe='')}/repair"
+        if self._use_frames(framable=isinstance(rows, Table)):
+            request = RepairRequest(
+                pipeline=pipeline, iterations=iterations, include_errors=include_errors
+            )
+            body = framing.encode_frame(table=rows, extra=request.to_options())
+            try:
+                raw, content_type = self._request_raw(
+                    "POST", path, body=body, content_type=framing.FRAME_CONTENT_TYPE,
+                    accept=framing.FRAME_CONTENT_TYPE,
+                )
+            except GatewayError as exc:
+                if not self._frame_refused(exc):
+                    raise
+            else:
+                if framing.matches_frame_content_type(content_type):
+                    frame = self._decode_frame_response(raw)
+                    payload = check_envelope(frame.extra, "repair_response")
+                    if frame.table is None:
+                        raise GatewayError("framed repair response carries no table")
+                    repaired = frame.table if as_table else frame.table.to_records()
+                    return (
+                        repaired,
+                        RepairSummary.from_dict(payload["repair"]),
+                        ValidationReport.from_dict(payload["report"]),
+                    )
+                raise GatewayError(
+                    f"expected a framed repair response, got {content_type!r}"
+                )
         request = RepairRequest(
             records=_as_records(rows),
             pipeline=pipeline,
             iterations=iterations,
             include_errors=include_errors,
         )
-        payload = self._request(
-            "POST", f"/v1/pipelines/{quote(pipeline, safe='')}/repair", request.to_dict()
-        )
+        payload = self._request("POST", path, request.to_dict())
         check_envelope(payload, "repair_response")
+        records = payload["records"]
+        if as_table:
+            # Rebuild against the repaired records' own field set is not
+            # possible client-side (no schema); as_table over JSON needs
+            # the caller's schema — use the input table's when given.
+            if not isinstance(rows, Table):
+                raise GatewayError(
+                    "as_table=True over the JSON tier requires a Table input "
+                    "(the client needs its schema to rebuild the result)"
+                )
+            records = Table.from_records(rows.schema, records)
         return (
-            payload["records"],
+            records,
             RepairSummary.from_dict(payload["repair"]),
             ValidationReport.from_dict(payload["report"]),
         )
@@ -169,21 +288,76 @@ class Client:
     def validate_stream(
         self,
         pipeline: str,
-        chunks: "Iterable[Table | list[dict]]",
+        chunks: "Iterable[Table | list[dict] | bytes]",
         workers: int | None = None,
     ) -> StreamSummary:
         """Stream row chunks through ``/validate_stream``.
 
-        Chunks are sent as chunked-transfer NDJSON, so neither side ever
-        holds the full stream; the gateway's per-chunk acknowledgements
-        are consumed and the final :class:`StreamSummary` returned.
-        ``workers > 1`` asks the gateway for sharded execution (the
-        summary then arrives without per-chunk acknowledgements).
-        """
+        Chunks are sent with chunked transfer encoding, so neither side
+        ever holds the full stream; the gateway's per-chunk
+        acknowledgements are consumed and the final :class:`StreamSummary`
+        returned. ``workers > 1`` asks the gateway for sharded execution
+        (the summary then arrives without per-chunk acknowledgements).
 
-        def ndjson() -> "Iterable[bytes]":
-            for chunk in chunks:
-                yield json.dumps({"records": _as_records(chunk)}).encode("utf-8") + b"\n"
+        ``bytes`` chunks are already-encoded frames, forwarded verbatim
+        on the frame tier — so :func:`repro.api.framing.iter_file_frames`
+        uploads a frame file with zero re-encoding. Table and record-list
+        chunks go as NDJSON unless ``wire="frame"`` is pinned, which
+        encodes each :class:`Table` chunk as a frame (record lists are
+        then rejected: they carry no schema to encode against).
+        """
+        # Peek one chunk to pick the wire tier; an empty stream goes out
+        # as an empty NDJSON body so the gateway's own 400 surfaces.
+        chunk_iter = iter(chunks)
+        sentinel = object()
+        first = next(chunk_iter, sentinel)
+
+        def rest() -> Iterator:
+            if first is not sentinel:
+                yield first
+            yield from chunk_iter
+
+        bytes_first = first is not sentinel and isinstance(
+            first, (bytes, bytearray, memoryview)
+        )
+        # Stream negotiation is conservative: under "auto", frames are
+        # used only for pre-encoded frame-bytes chunks (the tier is then
+        # mandatory, not preferred). Table/record chunks stay NDJSON so
+        # mixed streams keep their JSON-tier semantics; pin wire="frame"
+        # to stream Table chunks as frames.
+        if self.wire == "frame":
+            use_frames = self._use_frames(framable=True)
+        elif bytes_first:
+            use_frames = self._use_frames(framable=True)
+        else:
+            use_frames = False
+
+        if use_frames:
+            content_type = framing.FRAME_CONTENT_TYPE
+
+            def body() -> "Iterable[bytes]":
+                for chunk in rest():
+                    if isinstance(chunk, (bytes, bytearray, memoryview)):
+                        yield bytes(chunk)
+                    elif isinstance(chunk, Table):
+                        yield framing.encode_frame(table=chunk)
+                    else:
+                        raise GatewayError(
+                            "framed streams take Table or frame-bytes chunks; "
+                            f"got {type(chunk).__name__} (use wire='json' for "
+                            "record lists)"
+                        )
+        else:
+            if bytes_first:
+                raise GatewayError(
+                    "frame-bytes chunks need the frame tier, but the gateway "
+                    "does not speak it (or wire='json' is pinned)"
+                )
+            content_type = "application/x-ndjson"
+
+            def body() -> "Iterable[bytes]":
+                for chunk in rest():
+                    yield json.dumps({"records": _as_records(chunk)}).encode("utf-8") + b"\n"
 
         path = f"/v1/pipelines/{quote(pipeline, safe='')}/validate_stream"
         if workers is not None and workers > 1:
@@ -194,8 +368,8 @@ class Client:
                 connection.request(
                     "POST",
                     path,
-                    body=ndjson(),
-                    headers={"Content-Type": "application/x-ndjson"},
+                    body=body(),
+                    headers={"Content-Type": content_type},
                     encode_chunked=True,
                 )
             except (BrokenPipeError, ConnectionResetError):
@@ -218,7 +392,8 @@ class Client:
                     continue
                 if kind == "error":
                     raise GatewayError(
-                        f"gateway error {payload.get('status')}: {payload.get('error')}"
+                        f"gateway error {payload.get('status')}: {payload.get('error')}",
+                        status=payload.get("status"),
                     )
                 summary = StreamSummary.from_dict(payload)
             if summary is None:
@@ -227,6 +402,25 @@ class Client:
         finally:
             connection.close()
 
+    def validate_frame_file(
+        self, pipeline: str, path, workers: int | None = None
+    ) -> StreamSummary:
+        """Stream a frame file through ``/validate_stream`` without decoding.
+
+        Raw frames are read off disk and forwarded verbatim (see
+        :func:`repro.api.framing.iter_file_frames`), so a file larger
+        than RAM uploads in bounded memory on both ends. Requires the
+        frame tier (``wire="json"`` or an old gateway raises).
+        """
+        if not self._use_frames(framable=True):
+            raise GatewayError(
+                "validate_frame_file needs the frame tier, but the gateway "
+                "does not speak it (or wire='json' is pinned)"
+            )
+        return self.validate_stream(
+            pipeline, framing.iter_file_frames(path), workers=workers
+        )
+
     # -- plumbing ----------------------------------------------------------
     def _connect(self) -> HTTPConnection:
         if self.scheme == "https":
@@ -234,21 +428,56 @@ class Client:
         return HTTPConnection(self.host, self.port, timeout=self.timeout)
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        return json.loads(self._request_raw(method, path, payload))
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        content_type = None if body is None else "application/json"
+        return json.loads(self._request_raw(method, path, body=body, content_type=content_type)[0])
 
-    def _request_raw(self, method: str, path: str, payload: dict | None = None) -> bytes:
+    def _request_raw(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str | None = None,
+        accept: str | None = None,
+    ) -> tuple[bytes, str]:
+        """One request → (decompressed body bytes, response content type)."""
         connection = self._connect()
         try:
-            body = None if payload is None else json.dumps(payload).encode("utf-8")
-            headers = {} if body is None else {"Content-Type": "application/json"}
+            headers = {"Accept-Encoding": "gzip"}
+            if content_type is not None:
+                headers["Content-Type"] = content_type
+            if accept is not None:
+                headers["Accept"] = accept
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            raw = response.read()
+            raw = self._read_response(response)
             if response.status >= 400:
                 raise self._error_from(response.status, raw)
-            return raw
+            return raw, response.getheader("Content-Type") or ""
         finally:
             connection.close()
+
+    @staticmethod
+    def _read_response(response: HTTPResponse) -> bytes:
+        raw = response.read()
+        if (response.getheader("Content-Encoding") or "").strip().lower() == "gzip":
+            try:
+                raw = gzip.decompress(raw)
+            except (OSError, EOFError) as exc:
+                raise GatewayError(f"malformed gzip response body: {exc}") from None
+        return raw
+
+    def _decode_report(self, raw: bytes, content_type: str) -> ValidationReport:
+        if framing.matches_frame_content_type(content_type):
+            return framing.report_from_frame(self._decode_frame_response(raw))
+        return ValidationReport.from_dict(json.loads(raw))
+
+    @staticmethod
+    def _decode_frame_response(raw: bytes) -> "framing.Frame":
+        try:
+            return framing.decode_frame(raw)
+        except FrameError as exc:
+            raise GatewayError(f"malformed frame response: {exc}") from exc
 
     @staticmethod
     def _error_from(status: int, raw: bytes) -> GatewayError:
@@ -256,4 +485,4 @@ class Client:
             message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
         except (json.JSONDecodeError, AttributeError):
             message = raw.decode("utf-8", "replace")
-        return GatewayError(f"gateway error {status}: {message}")
+        return GatewayError(f"gateway error {status}: {message}", status=status)

@@ -23,6 +23,20 @@ multi-pipeline serving layer using nothing but ``http.server``:
   :class:`~repro.runtime.streaming.StreamingValidator`, so memory stays
   bounded by the chunk size regardless of stream length.
 
+Wire negotiation: every POST endpoint also speaks the binary columnar
+frame codec (:mod:`repro.api.framing`, ``application/x-repro-frame``).
+A framed *request* is selected by ``Content-Type`` — validate/repair
+take one frame (rows as columns, options in the JSON sidecar), the
+streaming endpoint takes back-to-back frames (one per chunk, exactly a
+:class:`~repro.api.framing.FrameFileWriter` file). A framed *response*
+is selected by ``Accept`` on validate (report frame) and repair
+(repaired table + summary/report sidecar); the streaming response stays
+NDJSON — acks and the summary are tiny. JSON remains the default and
+compatibility tier. Additionally, JSON responses are gzip-compressed
+when ``Accept-Encoding: gzip`` is present, and gzipped request bodies
+(``Content-Encoding: gzip``) are accepted with ``max_body_bytes``
+enforced on the *decompressed* size.
+
 Sharded execution: a ``workers`` field on the validate request (or a
 ``?workers=N`` query parameter on either POST endpoint) routes the batch
 through :meth:`ValidationService.validate_sharded` /
@@ -39,18 +53,27 @@ body — bounded by ``max_body_bytes`` — and 500 internal).
 
 from __future__ import annotations
 
+import gzip
 import json
 import re
 import threading
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator
 from urllib.parse import parse_qs, unquote, urlsplit
 
 import repro
+from repro.api import framing
 from repro.api.protocol import SCHEMA_VERSION, envelope
 from repro.api.requests import RepairRequest, ValidateRequest
 from repro.data.table import Table
-from repro.exceptions import ReproError, SchemaError, TransientServiceError, ValidationError
+from repro.exceptions import (
+    FrameSizeError,
+    ReproError,
+    SchemaError,
+    TransientServiceError,
+    ValidationError,
+)
 from repro.monitor.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.runtime.service import ValidationService
 from repro.runtime.streaming import StreamingValidator
@@ -163,36 +186,96 @@ class _Handler(BaseHTTPRequestHandler):
             raise _RequestError(400, f"'workers' must be >= 1, got {workers}")
         return workers
 
+    # -- content negotiation -----------------------------------------------
+    def _frame_request(self) -> bool:
+        """True when the request body is a binary columnar frame."""
+        return framing.matches_frame_content_type(self.headers.get("Content-Type"))
+
+    def _accepts_frame(self) -> bool:
+        """True when the client asked for a framed response via Accept."""
+        return framing.matches_frame_content_type(self.headers.get("Accept"))
+
+    def _accepts_gzip(self) -> bool:
+        header = self.headers.get("Accept-Encoding") or ""
+        for token in header.split(","):
+            name, _, params = token.partition(";")
+            if name.strip().lower() != "gzip":
+                continue
+            params = params.replace(" ", "").lower()
+            if params.startswith("q="):
+                try:
+                    return float(params[2:]) > 0.0
+                except ValueError:
+                    return True
+            return True
+        return False
+
+    def _read_frame_request(self, name: str) -> "framing.Frame":
+        """Decode a framed request body against the pipeline's schema."""
+        schema = self.gateway.service.get(name).preprocessor.schema
+        frame = framing.decode_frame(self._read_body(), schema=schema)
+        if frame.table is None:
+            raise _RequestError(400, "framed request carries no table payload")
+        if frame.table.n_rows == 0:
+            raise _RequestError(400, "framed request table must not be empty")
+        return frame
+
     # -- endpoints ---------------------------------------------------------
     def _handle_validate(self, name: str, query_workers: int | None = None) -> None:
-        request = ValidateRequest.from_payload(self._read_json(), pipeline=name)
+        if self._frame_request():
+            frame = self._read_frame_request(name)
+            request = ValidateRequest.from_options(frame.extra, pipeline=name)
+            table = frame.table
+        else:
+            request = ValidateRequest.from_payload(self._read_json(), pipeline=name)
+            table = None
         if request.pipeline != name:
             raise _RequestError(
                 400, f"request pipeline {request.pipeline!r} does not match URL {name!r}"
             )
-        table = self._build_table(name, request.records)
+        if table is None:
+            table = self._build_table(name, request.records)
         workers = request.workers if request.workers is not None else query_workers
         if workers is not None and workers > 1:
             report = self.gateway.service.validate_sharded(name, table, workers=workers)
         else:
             report = self.gateway.service.validate(name, table)
-        self._send_json(200, report.to_dict(errors="dense" if request.include_errors else "sparse"))
+        errors = "dense" if request.include_errors else "sparse"
+        if self._accepts_frame():
+            self._send_bytes(200, framing.report_to_frame(report, errors=errors))
+        else:
+            self._send_json(200, report.to_dict(errors=errors))
 
     def _handle_repair(self, name: str) -> None:
-        request = RepairRequest.from_payload(self._read_json(), pipeline=name)
+        if self._frame_request():
+            frame = self._read_frame_request(name)
+            request = RepairRequest.from_options(frame.extra, pipeline=name)
+            table = frame.table
+        else:
+            request = RepairRequest.from_payload(self._read_json(), pipeline=name)
+            table = None
         if request.pipeline != name:
             raise _RequestError(
                 400, f"request pipeline {request.pipeline!r} does not match URL {name!r}"
             )
-        table = self._build_table(name, request.records)
+        if table is None:
+            table = self._build_table(name, request.records)
         service = self.gateway.service
         report = service.validate(name, table)
         repaired, summary = service.repair(
             name, table, report=report, iterations=request.iterations
         )
+        errors = "dense" if request.include_errors else "sparse"
+        if self._accepts_frame():
+            # The repaired rows travel as binary columns; the summary and
+            # pre-repair report ride the frame's JSON sidecar.
+            extra = envelope("repair_response")
+            extra.update(repair=summary.to_dict(), report=report.to_dict(errors=errors))
+            self._send_bytes(200, framing.encode_frame(table=repaired, extra=extra))
+            return
         payload = envelope("repair_response")
         payload.update(
-            report=report.to_dict(errors="dense" if request.include_errors else "sparse"),
+            report=report.to_dict(errors=errors),
             repair=summary.to_dict(),
             records=repaired.to_records(),
         )
@@ -202,16 +285,34 @@ class _Handler(BaseHTTPRequestHandler):
         pipeline = self.gateway.service.get(name)
         schema = pipeline.preprocessor.schema
 
-        def tables() -> Iterator[Table]:
-            for line in self._iter_body_lines():
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise _RequestError(400, f"malformed NDJSON chunk: {exc}") from exc
-                records = payload.get("records") if isinstance(payload, dict) else payload
-                if not isinstance(records, list):
-                    raise _RequestError(400, "each NDJSON line must be a record list")
-                yield Table.from_records(schema, records)
+        if self._frame_request():
+            # Framed ingest: the body is a back-to-back frame sequence
+            # (exactly what FrameFileWriter produces), each frame one
+            # chunk. Frames are self-delimiting, so the splitter needs no
+            # separators; max_body_bytes bounds each frame, never the
+            # stream total.
+            def tables() -> Iterator[Table]:
+                frames = framing.iter_frames(
+                    self._iter_body_blocks(bound_total=False),
+                    max_frame_bytes=self.gateway.max_body_bytes,
+                )
+                for view in frames:
+                    frame = framing.decode_frame(view, schema=schema)
+                    if frame.table is None:
+                        raise _RequestError(400, "framed stream chunk carries no table")
+                    yield frame.table
+
+        else:
+            def tables() -> Iterator[Table]:
+                for line in self._iter_body_lines():
+                    try:
+                        payload = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise _RequestError(400, f"malformed NDJSON chunk: {exc}") from exc
+                    records = payload.get("records") if isinstance(payload, dict) else payload
+                    if not isinstance(records, list):
+                        raise _RequestError(400, "each NDJSON line must be a record list")
+                    yield Table.from_records(schema, records)
 
         # Chunks are validated incrementally (memory stays O(chunk)),
         # but nothing is *written* until the request body is fully
@@ -274,6 +375,53 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _iter_body_blocks(self, bound_total: bool) -> Iterator[bytes]:
+        encoding = (self.headers.get("Content-Encoding") or "").strip().lower()
+        if encoding in ("", "identity"):
+            yield from self._iter_transport_blocks(bound_total)
+            return
+        if encoding != "gzip":
+            raise _RequestError(
+                415, f"unsupported Content-Encoding {encoding!r}; use gzip or identity"
+            )
+        # The body limit guards what the server must *hold*, which for a
+        # compressed body is the decompressed size — a tiny gzip bomb
+        # must not expand past max_body_bytes. The transport-level total
+        # bound is therefore lifted here (per-read sizes stay checked)
+        # and re-imposed on the inflated byte count instead.
+        yield from self._iter_gunzip_blocks(
+            self._iter_transport_blocks(bound_total=False), bound_total
+        )
+
+    def _iter_gunzip_blocks(self, blocks: Iterator[bytes], bound_total: bool) -> Iterator[bytes]:
+        limit = self.gateway.max_body_bytes
+        decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)  # gzip wrapper
+        total = 0
+
+        def bounded(piece: bytes) -> bytes:
+            nonlocal total
+            total += len(piece)
+            if bound_total and total > limit:
+                raise self._body_limit_exceeded()
+            return piece
+
+        try:
+            for block in blocks:
+                data = decompressor.decompress(block, 65536)
+                while True:
+                    if data:
+                        yield bounded(data)
+                    if not decompressor.unconsumed_tail:
+                        break
+                    data = decompressor.decompress(decompressor.unconsumed_tail, 65536)
+            tail = decompressor.flush()
+        except zlib.error as exc:
+            raise _RequestError(400, f"malformed gzip request body: {exc}") from None
+        if tail:
+            yield bounded(tail)
+        if not decompressor.eof:
+            raise _RequestError(400, "truncated gzip request body")
+
+    def _iter_transport_blocks(self, bound_total: bool) -> Iterator[bytes]:
         # Declared sizes are checked *before* any buffer is allocated: a
         # hostile Content-Length (or chunk-size hex) must not make the
         # server reserve arbitrary memory on its behalf. ``bound_total``
@@ -369,6 +517,13 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        # Compress only when asked and worthwhile: tiny payloads (acks,
+        # health checks, errors) cost more in header bytes + CPU than
+        # they save. mtime=0 keeps equal payloads byte-identical.
+        if len(body) >= 256 and self._accepts_gzip():
+            body = gzip.compress(body, mtime=0)
+            self.send_header("Content-Encoding", "gzip")
+        self.send_header("Vary", "Accept-Encoding")
         self.send_header("Content-Length", str(len(body)))
         if close:
             # The request body may not have been fully consumed; a
@@ -376,6 +531,14 @@ class _Handler(BaseHTTPRequestHandler):
             # next request, so hang up after this response.
             self.send_header("Connection", "close")
             self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, status: int, body: bytes) -> None:
+        """Write a binary frame response (never compressed: already compact)."""
+        self.send_response(status)
+        self.send_header("Content-Type", framing.FRAME_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -392,6 +555,12 @@ class _Handler(BaseHTTPRequestHandler):
             # a concurrent re-registration); a retry is expected to
             # succeed, so signal retryable, not client error.
             status, message = 503, str(exc)
+        elif isinstance(exc, FrameSizeError):
+            # A frame declaring more bytes than max_body_bytes permits —
+            # the framed analogue of an oversized Content-Length. Checked
+            # before FrameError's ReproError branch so it maps to 413,
+            # not 400.
+            status, message = 413, str(exc)
         elif isinstance(exc, ReproError):
             # Covers ProtocolError (bad envelopes) and SchemaError
             # (records that don't fit the pipeline) among others — all
@@ -417,9 +586,10 @@ class ValidationGateway:
     embedded callers); ``port=0`` binds an ephemeral port.
     ``max_body_bytes`` bounds what a request may make the server buffer,
     refused with HTTP 413 before any allocation: the whole body for the
-    buffered endpoints (validate/repair), each transfer chunk and each
-    NDJSON line for the streaming endpoint — whose *total* length stays
-    unbounded by design.
+    buffered endpoints (validate/repair), each transfer chunk, NDJSON
+    line, or binary frame for the streaming endpoint — whose *total*
+    length stays unbounded by design. For gzipped bodies the bound
+    applies to the decompressed size.
     """
 
     #: default request-body ceiling: 64 MiB
@@ -459,6 +629,12 @@ class ValidationGateway:
             status="ok",
             version=repro.__version__,
             pipelines=len(self.service.registered),
+            # Capability advertisement for client-side negotiation: a
+            # client probes this once, then speaks frames only to
+            # gateways that list the frame content type (older gateways
+            # lack the field entirely → JSON fallback).
+            wire_formats=["application/json", framing.FRAME_CONTENT_TYPE],
+            frame_version=framing.FRAME_VERSION,
         )
         return payload
 

@@ -2,9 +2,11 @@
 
 A seeded generator drives random tables through paper-style corruptions
 (:mod:`repro.errors`) and asserts that the one-shot path, the streaming
-path, sharded execution (2 and 4 shards), and the full HTTP round-trip
-all produce **bit-identical** :class:`ValidationReport` objects — the
-invariant that makes every future refactor of the serving stack safe.
+path, sharded execution (2 and 4 shards), and the full HTTP round-trip —
+over both the JSON tier and the binary frame tier
+(``application/x-repro-frame``), one-shot and streamed — all produce
+**bit-identical** :class:`ValidationReport` objects — the invariant that
+makes every future refactor of the serving stack safe.
 The compiled preprocessing plan (:class:`repro.data.plan.TransformPlan`)
 is additionally pinned bit-identical to the legacy per-value
 ``TablePreprocessor.transform`` on every scenario.
@@ -114,6 +116,12 @@ def served(fitted):
     service.close()
 
 
+@pytest.fixture(scope="module")
+def frame_client(served):
+    """A client pinned to the binary frame tier, against the same gateway."""
+    return Client(port=served.port, wire="frame")
+
+
 def assert_reports_identical(reference: ValidationReport, other: ValidationReport, path: str):
     __tracebackhide__ = True
     np.testing.assert_array_equal(
@@ -186,6 +194,47 @@ def test_all_paths_bit_identical(index, fitted, parallel, served):
     # reference decodes to the same report, bit for bit.
     decoded = ValidationReport.from_dict(json.loads(json.dumps(reference.to_dict())))
     assert_reports_identical(reference, decoded, "json-round-trip")
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+def test_frame_tier_bit_identical(index, fitted, served, frame_client):
+    """HTTP over binary frames must equal the JSON tier and in-process.
+
+    One-shot: the framed request/response round-trip (typed column
+    buffers both ways) reconstructs the in-process dense report bit for
+    bit. Streamed: a frame-chunked upload folds to the exact same
+    StreamSummary dict as the NDJSON upload of the same chunks.
+    """
+    table = make_scenario(index)
+    reference = fitted.validate(table)
+
+    framed = frame_client.validate("demo", table, include_errors=True)
+    assert_reports_identical(reference, framed, "http-frame")
+
+    via_json = served.validate("demo", table, include_errors=True)
+    assert_reports_identical(via_json, framed, "http-frame-vs-json")
+
+    # The frame codec round-trip alone must also be exact.
+    from repro.api import framing
+
+    codec = framing.report_from_frame(
+        framing.decode_frame(framing.report_to_frame(reference, errors="dense"))
+    )
+    assert_reports_identical(reference, codec, "frame-round-trip")
+
+    if index % 5 == 0:  # streamed parity is slower: sample the scenarios
+        chunks = [
+            table.slice_rows(start, start + CHUNK_SIZE)
+            for start in range(0, table.n_rows, CHUNK_SIZE)
+        ]
+        over_frames = frame_client.validate_stream("demo", chunks)
+        over_ndjson = served.validate_stream("demo", chunks)
+        assert over_frames.to_dict() == over_ndjson.to_dict(), "stream frame-vs-json"
+        local = fitted.streaming_validator(chunk_size=CHUNK_SIZE).validate_table(table)
+        assert over_frames.n_flagged == local.n_flagged
+        np.testing.assert_array_equal(over_frames.flagged_rows, local.flagged_rows)
+        assert over_frames.flagged_fraction == local.flagged_fraction
+        assert over_frames.is_problematic == local.is_problematic
 
 
 def test_scenarios_cover_clean_and_problematic():
