@@ -1,0 +1,153 @@
+"""Declarative rule engine benchmarks: fused-validate overhead + parity.
+
+Acceptance bars:
+
+* ``test_rules_overhead`` — fusing an 8-rule :class:`RuleSet` into
+  ``DQuaG.validate`` costs ≤ 5% wall-clock on a categorical-heavy hotel
+  slab (rules evaluate over the encoded matrix the validate already
+  paid for; each predicate is one vectorized pass per column);
+* ``test_rules_parity`` — at every scale, the fused report's GNN fields
+  are bit-identical to the rules-off report, and the chunked/streamed
+  rule fold matches the one-shot evaluation exactly.
+
+Run with ``REPRO_SCALE=smoke`` for a CI-sized pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.datasets import HotelBookingGenerator
+from repro.experiments.reporting import ResultTable
+from repro.rules import RuleSet
+from repro.utils.timing import Timer
+
+from benchmarks.conftest import emit_result
+
+#: the advertised bar is measured at exactly this rule count
+N_RULES = 8
+
+RULES_DOC = {
+    "name": "hotel-bench-checks",
+    "rules": [
+        {"id": "adr-range", "severity": "error",
+         "predicate": {"type": "range", "column": "adr", "min": 0, "max": 1000}},
+        {"id": "lead-time-range", "severity": "warn",
+         "predicate": {"type": "range", "column": "lead_time", "min": 0, "max": 800}},
+        {"id": "adults-nonnegative", "severity": "error",
+         "predicate": {"type": "range", "column": "adults", "min": 0}},
+        {"id": "adr-present", "severity": "warn",
+         "predicate": {"type": "not_null", "column": "adr"}},
+        {"id": "meal-known", "severity": "error",
+         "predicate": {"type": "in_set", "column": "meal",
+                       "values": ["BB", "HB", "FB", "SC"]}},
+        {"id": "hotel-known", "severity": "error",
+         "predicate": {"type": "in_set", "column": "hotel",
+                       "values": ["City Hotel", "Resort Hotel"]}},
+        {"id": "adults-vs-babies", "severity": "info",
+         "predicate": {"type": "compare", "left": "adults", "op": "ge", "right": "babies"}},
+        {"id": "group-has-adults", "severity": "info",
+         "predicate": {"type": "conditional",
+                       "when": {"type": "in_set", "column": "customer_type",
+                                "values": ["Group"]},
+                       "then": {"type": "range", "column": "adults", "min": 1}}},
+    ],
+}
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        with Timer() as timer:
+            fn()
+        best = min(best, timer.elapsed)
+    return best
+
+
+@pytest.fixture(scope="module")
+def rules_setup(scale):
+    generator = HotelBookingGenerator()
+    train = generator.generate_clean(scale.train_rows, rng=1)
+    config = DQuaGConfig(hidden_dim=64, epochs=max(scale.epochs // 4, 2), seed=0)
+    pipeline = DQuaG(config).fit(train, rng=0, knowledge_edges=generator.knowledge_edges())
+    ruleset = RuleSet.from_payload(RULES_DOC)
+    assert len(ruleset) == N_RULES
+    if os.environ.get("REPRO_FULL_SCALE"):
+        n_rows = 200_000
+    elif scale.name in ("smoke", "fast"):
+        n_rows = 10_000
+    else:
+        n_rows = 50_000
+    slab = generator.generate_clean(n_rows, rng=7)
+    return pipeline, ruleset, slab
+
+
+def test_rules_overhead(rules_setup, scale):
+    """Acceptance: 8 fused rules cost ≤ 5% over a plain validate."""
+    pipeline, ruleset, slab = rules_setup
+    plan = ruleset.compile(pipeline.preprocessor)  # compile once, like serving does
+
+    def run_without():
+        return pipeline.validate(slab)
+
+    def run_with():
+        return pipeline.validate(slab, rules=plan)
+
+    run_with()  # warm buffers + the compiled plan cache once
+    bare_seconds = _best_of(run_without)
+    fused_seconds = _best_of(run_with)
+    overhead = fused_seconds / bare_seconds - 1.0
+
+    table = ResultTable(
+        f"Rules — fused validate overhead ({slab.n_rows} rows, "
+        f"{N_RULES} rules, scale={scale.name})",
+        ["path", "seconds", "rows/s"],
+    )
+    table.add_row("validate (bare)", bare_seconds, int(slab.n_rows / bare_seconds))
+    table.add_row("validate + rules", fused_seconds, int(slab.n_rows / fused_seconds))
+    table.add_note(f"rule overhead: {overhead:+.2%} (bar: <= 5%)")
+    emit_result(
+        "rules_overhead",
+        table.render(),
+        data={
+            "scale": scale.name,
+            "rows": slab.n_rows,
+            "n_rules": N_RULES,
+            "bare_seconds": bare_seconds,
+            "fused_seconds": fused_seconds,
+            "overhead": overhead,
+        },
+    )
+    if scale.name in ("smoke", "fast"):
+        # At CI sizes the 5% margin is single-digit milliseconds — noise,
+        # not signal. Same precedent as bench_monitor's overhead bar.
+        pytest.skip("overhead bar asserted at standard scale and above; numbers recorded")
+    assert overhead <= 0.05, f"rule overhead {overhead:.2%} exceeds the 5% bar"
+
+
+def test_rules_parity(rules_setup, scale):
+    """Fusion is additive and the chunked fold is exact — at every scale."""
+    pipeline, ruleset, slab = rules_setup
+    sample = slab.slice_rows(0, min(slab.n_rows, 4096))
+
+    plain = pipeline.validate(sample)
+    fused = pipeline.validate(sample, rules=ruleset)
+    assert plain.rule_report is None
+    assert fused.rule_report is not None
+    np.testing.assert_array_equal(fused.sample_errors, plain.sample_errors)
+    np.testing.assert_array_equal(fused.cell_errors, plain.cell_errors)
+    np.testing.assert_array_equal(fused.row_flags, plain.row_flags)
+    np.testing.assert_array_equal(fused.cell_flags, plain.cell_flags)
+    assert fused.threshold == plain.threshold
+    assert fused.is_problematic == plain.is_problematic
+
+    streamed = pipeline.streaming_validator(
+        chunk_size=512, keep_cell_errors=True, rules=ruleset
+    ).validate_table(sample)
+    assert streamed.rule_report is not None
+    assert streamed.rule_report.to_dict() == fused.rule_report.to_dict()
+    np.testing.assert_array_equal(streamed.cell_flags, fused.cell_flags)

@@ -583,6 +583,11 @@ def report_to_frame(report, errors: str = "sparse") -> bytes:
         is_problematic=bool(report.is_problematic),
         errors=errors,
     )
+    if report.rule_report is not None:
+        # Additive, mirroring report_to_dict: the key is *omitted* (not
+        # null) when rules are off, so rules-off frames stay byte-
+        # identical to pre-rules encoders.
+        extra["rule_report"] = report.rule_report.to_dict()
     arrays = {
         "row_flags": np.asarray(report.row_flags, dtype=bool),
         "cell_flags": np.asarray(report.cell_flags, dtype=bool),
@@ -623,6 +628,12 @@ def report_from_frame(frame: Frame):
         raise FrameError(f"report frame is missing array {exc.args[0]!r}") from None
     except (ValueError, IndexError) as exc:
         raise FrameError(f"report frame arrays are inconsistent: {exc}") from None
+    rule_payload = payload.get("rule_report")
+    rule_report = None
+    if rule_payload is not None:
+        from repro.rules import RuleReport
+
+        rule_report = RuleReport.from_dict(rule_payload)
     return ValidationReport(
         sample_errors=sample_errors,
         cell_errors=cell_errors,
@@ -632,6 +643,7 @@ def report_from_frame(frame: Frame):
         flagged_fraction=float(payload["flagged_fraction"]),
         is_problematic=bool(payload["is_problematic"]),
         feature_names=list(payload["feature_names"]),
+        rule_report=rule_report,
     )
 
 

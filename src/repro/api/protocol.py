@@ -35,6 +35,7 @@ from repro.core.validator import ValidationReport
 from repro.exceptions import ProtocolError
 from repro.experiments.reporting import ResultTable
 from repro.monitor.monitor import DriftAlert, MonitorSnapshot
+from repro.rules import RulePartial, RuleReport, RuleSet
 from repro.runtime.service import ServiceStats
 from repro.runtime.streaming import PartialReport, StreamSummary
 
@@ -70,6 +71,10 @@ __all__ = [
     "monitor_snapshot_from_dict",
     "result_table_to_dict",
     "result_table_from_dict",
+    "rule_set_to_dict",
+    "rule_set_from_dict",
+    "rule_report_to_dict",
+    "rule_report_from_dict",
     "to_dict",
     "from_dict",
 ]
@@ -92,7 +97,12 @@ SCHEMA_VERSION = 1
 #:     JSON; new health fields ``wire_formats``/``frame_version``. The
 #:     frame payload itself is versioned independently by
 #:     :data:`repro.api.framing.FRAME_VERSION`.
-CODEC_REVISION = 3
+#: 4 — declarative rule engine (:mod:`repro.rules`): new ``rule_set``
+#:     and ``rule_report`` kinds; optional ``rule_report`` on
+#:     validation_report / stream_summary and ``rule_partial`` on
+#:     partial_report. The new keys are *omitted* (not null) when rules
+#:     are off, so rules-off payloads stay byte-identical to revision 3.
+CODEC_REVISION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -215,6 +225,8 @@ def report_to_dict(report: ValidationReport, errors: str = "dense") -> dict:
         rows, cols = np.nonzero(report.cell_flags)
         payload["sample_errors"] = {"values": np.asarray(report.sample_errors)[flagged].tolist()}
         payload["cell_errors"] = {"values": np.asarray(report.cell_errors)[rows, cols].tolist()}
+    if report.rule_report is not None:  # omitted (not null) when rules are off
+        payload["rule_report"] = report.rule_report.to_dict()
     return payload
 
 
@@ -234,6 +246,7 @@ def report_from_dict(payload: dict) -> ValidationReport:
         if mode == "sparse":
             sample_errors[np.flatnonzero(row_flags)] = payload["sample_errors"]["values"]
             cell_errors[np.nonzero(cell_flags)] = payload["cell_errors"]["values"]
+    rule_payload = payload.get("rule_report")  # absent before codec revision 4
     return ValidationReport(
         sample_errors=sample_errors,
         cell_errors=cell_errors,
@@ -243,6 +256,7 @@ def report_from_dict(payload: dict) -> ValidationReport:
         flagged_fraction=float(payload["flagged_fraction"]),
         is_problematic=bool(payload["is_problematic"]),
         feature_names=list(payload["feature_names"]),
+        rule_report=None if rule_payload is None else rule_report_from_dict(rule_payload),
     )
 
 
@@ -330,12 +344,15 @@ def partial_report_to_dict(partial: PartialReport) -> dict:
         cell_flags=None if partial.cell_flags is None else encode_mask(partial.cell_flags),
         timestamp=None if partial.timestamp is None else float(partial.timestamp),
     )
+    if partial.rule_partial is not None:  # omitted (not null) when rules are off
+        payload["rule_partial"] = partial.rule_partial.to_payload()
     return payload
 
 
 def partial_report_from_dict(payload: dict) -> PartialReport:
     check_envelope(payload, "partial_report")
     timestamp = payload.get("timestamp")  # absent in codec revision 1
+    rule_payload = payload.get("rule_partial")  # absent before codec revision 4
     return PartialReport(
         offset=int(payload["offset"]),
         n_rows=int(payload["n_rows"]),
@@ -350,6 +367,7 @@ def partial_report_from_dict(payload: dict) -> PartialReport:
             None if payload["cell_flags"] is None else decode_mask(payload["cell_flags"])
         ),
         timestamp=None if timestamp is None else float(timestamp),
+        rule_partial=None if rule_payload is None else RulePartial.from_payload(rule_payload),
     )
 
 
@@ -375,6 +393,8 @@ def stream_summary_to_dict(summary: StreamSummary) -> dict:
             None if summary.last_timestamp is None else float(summary.last_timestamp)
         ),
     )
+    if summary.rule_report is not None:  # omitted (not null) when rules are off
+        payload["rule_report"] = summary.rule_report.to_dict()
     return payload
 
 
@@ -382,6 +402,7 @@ def stream_summary_from_dict(payload: dict) -> StreamSummary:
     check_envelope(payload, "stream_summary")
     first_ts = payload.get("first_timestamp")  # absent in codec revision 1
     last_ts = payload.get("last_timestamp")
+    rule_payload = payload.get("rule_report")  # absent before codec revision 4
     return StreamSummary(
         n_rows=int(payload["n_rows"]),
         n_chunks=int(payload["n_chunks"]),
@@ -395,6 +416,7 @@ def stream_summary_from_dict(payload: dict) -> StreamSummary:
         max_sample_error=float(payload["max_sample_error"]),
         first_timestamp=None if first_ts is None else float(first_ts),
         last_timestamp=None if last_ts is None else float(last_ts),
+        rule_report=None if rule_payload is None else rule_report_from_dict(rule_payload),
     )
 
 
@@ -587,6 +609,25 @@ def result_table_from_dict(payload: dict) -> ResultTable:
 
 
 # ---------------------------------------------------------------------------
+# RuleSet / RuleReport (repro.rules) — codec revision 4
+# ---------------------------------------------------------------------------
+def rule_set_to_dict(ruleset: RuleSet) -> dict:
+    return ruleset.to_dict()
+
+
+def rule_set_from_dict(payload: dict) -> RuleSet:
+    return RuleSet.from_dict(payload)
+
+
+def rule_report_to_dict(report: RuleReport) -> dict:
+    return report.to_dict()
+
+
+def rule_report_from_dict(payload: dict) -> RuleReport:
+    return RuleReport.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
 # generic dispatch
 # ---------------------------------------------------------------------------
 _BY_TYPE = {
@@ -600,6 +641,8 @@ _BY_TYPE = {
     DriftAlert: drift_alert_to_dict,
     MonitorSnapshot: monitor_snapshot_to_dict,
     ResultTable: result_table_to_dict,
+    RuleSet: rule_set_to_dict,
+    RuleReport: rule_report_to_dict,
 }
 
 _BY_KIND = {
@@ -613,6 +656,8 @@ _BY_KIND = {
     "drift_alert": drift_alert_from_dict,
     "monitor_snapshot": monitor_snapshot_from_dict,
     "result_table": result_table_from_dict,
+    "rule_set": rule_set_from_dict,
+    "rule_report": rule_report_from_dict,
 }
 
 

@@ -17,6 +17,7 @@ from repro.baselines.deequ import (
 from repro.baselines.tfdv import TFDVValidator
 from repro.baselines.adqv import ADQVValidator, batch_statistics_vector
 from repro.baselines.gate import GateValidator, partition_summary
+from repro.baselines.rules import RuleSetValidator
 
 __all__ = [
     "BaselineValidator",
@@ -34,4 +35,5 @@ __all__ = [
     "batch_statistics_vector",
     "GateValidator",
     "partition_summary",
+    "RuleSetValidator",
 ]

@@ -1,0 +1,108 @@
+"""Declarative rules as a standalone baseline validator.
+
+Expert-authored constraint systems (Deequ's expert mode, Great
+Expectations) judge batches with hand-written checks and no learned
+model. :class:`RuleSetValidator` puts the :mod:`repro.rules` engine on
+the shared :class:`~repro.baselines.base.BaselineValidator` interface
+so a bare rule set can run inside the same evaluation harness as DQuaG
+and the paper's baselines — and so experiments can measure exactly what
+the declarative half of a fused run contributes on its own.
+
+``fit`` only fits the preprocessor (rules need the encoder's
+vocabularies and scaling ranges, not a model); ``validate_batch``
+evaluates the compiled :class:`~repro.rules.RulePlan` over the encoded
+batch and flags rows with violations at or above ``min_severity``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineValidator, BatchVerdict
+from repro.data.preprocess import TablePreprocessor
+from repro.data.table import Table
+from repro.exceptions import NotFittedError, SchemaError
+from repro.rules import SEVERITIES, SEVERITY_CODES, resolve_ruleset
+
+__all__ = ["RuleSetValidator"]
+
+
+class RuleSetValidator(BaselineValidator):
+    """Judge batches with a declarative rule set alone (no GNN).
+
+    >>> validator = RuleSetValidator(ruleset)           # doctest: +SKIP
+    >>> validator.fit(clean_table)                      # doctest: +SKIP
+    >>> verdict = validator.validate_batch(batch)       # doctest: +SKIP
+
+    ``problem_fraction`` is the batch-level decision threshold: the
+    batch is problematic when more than that fraction of its rows carry
+    a violation at or above ``min_severity``.
+    """
+
+    name = "rules"
+    supports_row_flags = True
+
+    def __init__(
+        self,
+        rules,
+        problem_fraction: float = 0.05,
+        min_severity: str = "warn",
+        future_categories: dict[str, list[str]] | None = None,
+    ) -> None:
+        self.ruleset = resolve_ruleset(rules)
+        if self.ruleset is None:
+            raise ValueError("RuleSetValidator requires a rule set")
+        if not 0.0 <= problem_fraction <= 1.0:
+            raise ValueError(f"problem_fraction must be in [0, 1], got {problem_fraction}")
+        if min_severity not in SEVERITIES:
+            raise ValueError(f"min_severity must be one of {SEVERITIES}, got {min_severity!r}")
+        self.problem_fraction = problem_fraction
+        self.min_severity = min_severity
+        self._future_categories = future_categories
+        self.preprocessor: TablePreprocessor | None = None
+        self._plan = None
+
+    def fit(self, clean: Table, rng=None) -> "RuleSetValidator":
+        """Fit the encoder on clean data and compile the rule plan.
+
+        Compilation is eager so an incompatible rule set (unknown
+        column, unfitted category, …) fails here, not on a later batch.
+        """
+        self.preprocessor = TablePreprocessor(clean.schema).fit(
+            clean, future_categories=self._future_categories
+        )
+        self._plan = self.ruleset.compile(self.preprocessor)
+        return self
+
+    def validate_batch(self, batch: Table) -> BatchVerdict:
+        if self._plan is None or self.preprocessor is None:
+            raise NotFittedError("RuleSetValidator used before fit()")
+        if batch.schema != self.preprocessor.schema:
+            raise SchemaError("batch schema does not match the fitted rule validator")
+        report = self.rule_report(batch)
+        threshold = SEVERITY_CODES[self.min_severity]
+        flagged = np.unique(report.cell_rows[report.cell_severity >= threshold])
+        fraction = float(len(flagged)) / batch.n_rows if batch.n_rows else 0.0
+        return BatchVerdict(
+            is_problematic=fraction > self.problem_fraction,
+            flagged_rows=flagged,
+            score=fraction,
+            details={
+                "by_severity": report.by_severity(),
+                "rules": [outcome.to_dict() for outcome in report.outcomes],
+            },
+        )
+
+    def rule_report(self, batch: Table):
+        """The full :class:`~repro.rules.RuleReport` for one batch."""
+        if self._plan is None or self.preprocessor is None:
+            raise NotFittedError("RuleSetValidator used before fit()")
+        from repro.rules import fold_rule_partials
+
+        matrix = self.preprocessor.compile().transform(batch)
+        partial = self._plan.evaluate(matrix)
+        return fold_rule_partials(
+            [(0, batch.n_rows, partial)],
+            self.ruleset,
+            list(self.preprocessor.schema.names),
+        )

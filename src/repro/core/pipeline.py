@@ -185,7 +185,9 @@ class DQuaG(BaselineValidator):
         return self
 
     # -- phase 2 --------------------------------------------------------------
-    def validate(self, table: Table, workers: int | None = None) -> ValidationReport:
+    def validate(
+        self, table: Table, workers: int | None = None, rules=None
+    ) -> ValidationReport:
         """Full validation report for an unseen table (engine-compiled path).
 
         With ``workers > 1`` the table is split into chunk-aligned row
@@ -193,26 +195,44 @@ class DQuaG(BaselineValidator):
         :mod:`repro.runtime.sharding`); the merged report is bit-identical
         to the single-process path. The pool is cached per worker count —
         release with :meth:`close_parallel` when done.
+
+        ``rules`` attaches a declarative rule set (any form accepted by
+        :func:`repro.rules.resolve_rules`): the encoded matrix is also
+        evaluated against the compiled :class:`~repro.rules.RulePlan` and
+        the outcome fused into ``report.rule_report`` — the GNN-derived
+        fields are never altered, so a rules-off run stays bit-identical.
         """
+        validator = self._require_validator()
+        rule_plan = None
+        if rules is not None:
+            from repro.rules import resolve_rules
+
+            rule_plan = resolve_rules(rules, validator.preprocessor)
         # Empty tables fall through: their one-shot report is
         # well-defined while a zero-shard plan is not.
         if workers is not None and workers > 1 and table.n_rows > 0:
             from repro.exceptions import TransientServiceError
 
-            if table.schema != self._require_validator().preprocessor.schema:
+            if table.schema != validator.preprocessor.schema:
                 raise SchemaError("table schema does not match the trained pipeline")
+            ruleset = None if rule_plan is None else rule_plan.ruleset
             try:
                 return self.parallel_validator(workers).validate_table(
-                    table, shards=workers, keep_cell_errors=True
+                    table, shards=workers, keep_cell_errors=True, rules=ruleset
                 )
             except TransientServiceError:
                 # A concurrent wider validate() closed our pool between
                 # lookup and submission; the cache now holds the wider
                 # pool, so one retry lands on it.
                 return self.parallel_validator(workers).validate_table(
-                    table, shards=workers, keep_cell_errors=True
+                    table, shards=workers, keep_cell_errors=True, rules=ruleset
                 )
-        return self._require_validator().validate(table)
+        if rule_plan is not None:
+            from repro.rules import apply_rules
+
+            matrix, report = validator.validate_with_matrix(table)
+            return apply_rules(report, matrix, rule_plan)
+        return validator.validate(table)
 
     def validate_batch(self, batch: Table) -> BatchVerdict:
         """Batch verdict on the shared baseline interface.
@@ -282,11 +302,14 @@ class DQuaG(BaselineValidator):
         keep_cell_errors: bool = False,
         monitor=None,
         clock=None,
+        rules=None,
     ):
         """Bounded-memory chunked validator over this fitted pipeline.
 
         ``monitor`` attaches a :class:`~repro.monitor.monitor.DriftMonitor`
-        (see :meth:`monitor`) that observes every validated chunk.
+        (see :meth:`monitor`) that observes every validated chunk;
+        ``rules`` attaches a declarative rule set evaluated per chunk
+        (see :class:`~repro.runtime.streaming.StreamingValidator`).
         """
         from repro.runtime.streaming import StreamingValidator
 
@@ -296,6 +319,7 @@ class DQuaG(BaselineValidator):
             keep_cell_errors=keep_cell_errors,
             monitor=monitor,
             clock=clock,
+            rules=rules,
         )
 
     # -- drift monitoring --------------------------------------------------

@@ -40,6 +40,11 @@ class ValidationReport:
         the cells the repair phase will modify.
     flagged_fraction / is_problematic:
         the batch-level decision (R_error vs the 5%·n rule).
+    rule_report:
+        optional fused :class:`~repro.rules.RuleReport` when the
+        validate ran with a declarative rule set attached. Purely
+        additive: the GNN-derived fields above are never altered by
+        rule evaluation, so a rules-off run stays bit-identical.
     """
 
     sample_errors: np.ndarray
@@ -50,6 +55,7 @@ class ValidationReport:
     flagged_fraction: float
     is_problematic: bool
     feature_names: list[str] = field(default_factory=list)
+    rule_report: "object | None" = None
 
     @property
     def flagged_rows(self) -> np.ndarray:
@@ -64,12 +70,53 @@ class ValidationReport:
         """Names of problematic features of one row."""
         return [name for j, name in enumerate(self.feature_names) if self.cell_flags[row, j]]
 
+    # -- rule fusion (repro.rules) -----------------------------------------
+    @property
+    def combined_cell_flags(self) -> np.ndarray:
+        """Model cell flags OR rule-violation cells (copy when fused)."""
+        if self.rule_report is None:
+            return self.cell_flags
+        return self.cell_flags | self.rule_report.cell_mask()
+
+    def cell_provenance(self, row: int, col: int) -> str | None:
+        """Who flagged one cell: ``'model'``, ``'rule'``, ``'both'``, or None."""
+        model = bool(self.cell_flags[row, col])
+        rule = (
+            self.rule_report is not None
+            and bool(
+                ((self.rule_report.cell_rows == row) & (self.rule_report.cell_cols == col)).any()
+            )
+        )
+        if model and rule:
+            return "both"
+        if model:
+            return "model"
+        if rule:
+            return "rule"
+        return None
+
+    def provenance_counts(self) -> dict:
+        """Flagged-cell counts by provenance (model / rule / both)."""
+        model = self.cell_flags
+        if self.rule_report is None:
+            return {"model": int(model.sum()), "rule": 0, "both": 0}
+        rule = self.rule_report.cell_mask()
+        both = int((model & rule).sum())
+        return {
+            "model": int(model.sum()) - both,
+            "rule": int(rule.sum()) - both,
+            "both": both,
+        }
+
     def summary(self) -> str:
         verdict = "PROBLEMATIC" if self.is_problematic else "OK"
-        return (
+        text = (
             f"{verdict}: {self.n_flagged}/{len(self.sample_errors)} rows flagged "
             f"({self.flagged_fraction:.2%}), threshold={self.threshold:.5f}"
         )
+        if self.rule_report is not None:
+            text += f"; {self.rule_report.summary()}"
+        return text
 
     # -- wire protocol (repro.api) ----------------------------------------
     def to_dict(self, errors: str = "dense") -> dict:

@@ -40,6 +40,17 @@ class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
 
 
+class RuleConfigError(ConfigurationError):
+    """A declarative rule set is malformed or incompatible with a pipeline.
+
+    Raised while parsing rule JSON (unknown predicate, bad severity,
+    duplicate id) or while compiling a :class:`~repro.rules.RuleSet`
+    against a preprocessor (unknown column, kind mismatch). Distinct
+    from :class:`ConfigurationError` so transports can map it to
+    HTTP 422 (unprocessable configuration) rather than 400, and so
+    clients never retry it as transient."""
+
+
 class SerializationError(ReproError):
     """Model or state (de)serialization failed."""
 

@@ -1,0 +1,321 @@
+"""Declarative rule predicates — the JSON spec vocabulary of ``repro.rules``.
+
+A predicate is the testable half of a :class:`~repro.rules.Rule`: a small
+frozen description parsed from JSON and validated *structurally* here
+(required keys, operator names, regex syntax, bound ordering). Column
+existence and kind compatibility are checked later, at
+``RuleSet.compile(preprocessor)`` time, when a fitted schema is
+available. Every parse failure raises
+:class:`~repro.exceptions.RuleConfigError` naming the JSON path of the
+offending key, so gateway clients get actionable 422 messages.
+
+Predicate types and their scopes:
+
+===============  ======  ====================================================
+type             scope   meaning
+===============  ======  ====================================================
+``range``        column  numeric value within ``[min, max]`` (either bound
+                         optional, at least one required)
+``not_null``     column  value present (not missing)
+``in_set``       column  categorical value among ``values`` (every listed
+                         value must be a fitted category)
+``regex``        column  categorical value fully matches ``pattern``
+``unique``       table   no duplicate values within the column
+``compare``      row     cross-column numeric comparison ``left <op> right``
+``conditional``  row     ``then`` must hold on rows where ``when`` holds
+===============  ======  ====================================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import RuleConfigError
+
+__all__ = [
+    "COMPARE_OPS",
+    "PREDICATE_TYPES",
+    "ComparePredicate",
+    "ConditionalPredicate",
+    "InSetPredicate",
+    "NotNullPredicate",
+    "RangePredicate",
+    "RegexPredicate",
+    "UniquePredicate",
+    "parse_predicate",
+]
+
+#: Comparison operators accepted by ``compare`` predicates.
+COMPARE_OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """Numeric value within ``[minimum, maximum]`` (raw units)."""
+
+    column: str
+    minimum: float | None = None
+    maximum: float | None = None
+
+    type = "range"
+    scope = "column"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def to_spec(self) -> dict:
+        spec: dict = {"type": self.type, "column": self.column}
+        if self.minimum is not None:
+            spec["min"] = self.minimum
+        if self.maximum is not None:
+            spec["max"] = self.maximum
+        return spec
+
+
+@dataclass(frozen=True)
+class NotNullPredicate:
+    """Value present: missing cells violate."""
+
+    column: str
+
+    type = "not_null"
+    scope = "column"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def to_spec(self) -> dict:
+        return {"type": self.type, "column": self.column}
+
+
+@dataclass(frozen=True)
+class InSetPredicate:
+    """Categorical value among an allowed set of fitted categories."""
+
+    column: str
+    values: tuple[str, ...]
+
+    type = "in_set"
+    scope = "column"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def to_spec(self) -> dict:
+        return {"type": self.type, "column": self.column, "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class RegexPredicate:
+    """Categorical value fully matches ``pattern`` (``re.fullmatch``)."""
+
+    column: str
+    pattern: str
+
+    type = "regex"
+    scope = "column"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def to_spec(self) -> dict:
+        return {"type": self.type, "column": self.column, "pattern": self.pattern}
+
+
+@dataclass(frozen=True)
+class UniquePredicate:
+    """No duplicate values within the column (table scope)."""
+
+    column: str
+
+    type = "unique"
+    scope = "table"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def to_spec(self) -> dict:
+        return {"type": self.type, "column": self.column}
+
+
+@dataclass(frozen=True)
+class ComparePredicate:
+    """Cross-column numeric comparison ``left <op> right`` (raw units)."""
+
+    left: str
+    op: str
+    right: str
+
+    type = "compare"
+    scope = "row"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.left, self.right)
+
+    def to_spec(self) -> dict:
+        return {"type": self.type, "left": self.left, "op": self.op, "right": self.right}
+
+
+@dataclass(frozen=True)
+class ConditionalPredicate:
+    """``then`` must hold wherever ``when`` holds (material implication).
+
+    ``when``/``then`` are row-local predicates; ``unique`` and nested
+    ``conditional`` are rejected at parse time (they are not row-local,
+    so the implication would not be chunk-mergeable).
+    """
+
+    when: object
+    then: object
+
+    type = "conditional"
+    scope = "row"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.then.columns
+
+    def to_spec(self) -> dict:
+        return {"type": self.type, "when": self.when.to_spec(), "then": self.then.to_spec()}
+
+
+def _check_keys(spec: dict, where: str, required: tuple, optional: tuple = ()) -> None:
+    allowed = {"type", *required, *optional}
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise RuleConfigError(
+            f"{where}: unknown key(s) {unknown} for predicate type {spec['type']!r} "
+            f"(allowed: {sorted(allowed)})"
+        )
+    for key in required:
+        if key not in spec:
+            raise RuleConfigError(
+                f"{where}: predicate type {spec['type']!r} requires key {key!r}"
+            )
+
+
+def _column(spec: dict, key: str, where: str) -> str:
+    value = spec[key]
+    if not isinstance(value, str) or not value:
+        raise RuleConfigError(f"{where}.{key}: column name must be a non-empty string")
+    return value
+
+
+def _number(spec: dict, key: str, where: str) -> float:
+    value = spec[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RuleConfigError(f"{where}.{key}: expected a number, got {value!r}")
+    return float(value)
+
+
+def _parse_range(spec: dict, where: str) -> RangePredicate:
+    _check_keys(spec, where, required=("column",), optional=("min", "max"))
+    column = _column(spec, "column", where)
+    minimum = _number(spec, "min", where) if "min" in spec else None
+    maximum = _number(spec, "max", where) if "max" in spec else None
+    if minimum is None and maximum is None:
+        raise RuleConfigError(f"{where}: range predicate needs 'min' and/or 'max'")
+    if minimum is not None and maximum is not None and minimum > maximum:
+        raise RuleConfigError(f"{where}: range min {minimum} exceeds max {maximum}")
+    return RangePredicate(column, minimum, maximum)
+
+
+def _parse_not_null(spec: dict, where: str) -> NotNullPredicate:
+    _check_keys(spec, where, required=("column",))
+    return NotNullPredicate(_column(spec, "column", where))
+
+
+def _parse_in_set(spec: dict, where: str) -> InSetPredicate:
+    _check_keys(spec, where, required=("column", "values"))
+    column = _column(spec, "column", where)
+    values = spec["values"]
+    if not isinstance(values, (list, tuple)) or not values:
+        raise RuleConfigError(f"{where}.values: expected a non-empty list of strings")
+    for value in values:
+        if not isinstance(value, str):
+            raise RuleConfigError(f"{where}.values: expected strings, got {value!r}")
+    if len(set(values)) != len(values):
+        raise RuleConfigError(f"{where}.values: duplicate values are not allowed")
+    return InSetPredicate(column, tuple(values))
+
+
+def _parse_regex(spec: dict, where: str) -> RegexPredicate:
+    _check_keys(spec, where, required=("column", "pattern"))
+    column = _column(spec, "column", where)
+    pattern = spec["pattern"]
+    if not isinstance(pattern, str):
+        raise RuleConfigError(f"{where}.pattern: expected a string, got {pattern!r}")
+    try:
+        re.compile(pattern)
+    except re.error as exc:
+        raise RuleConfigError(f"{where}.pattern: invalid regex {pattern!r}: {exc}") from exc
+    return RegexPredicate(column, pattern)
+
+
+def _parse_unique(spec: dict, where: str) -> UniquePredicate:
+    _check_keys(spec, where, required=("column",))
+    return UniquePredicate(_column(spec, "column", where))
+
+
+def _parse_compare(spec: dict, where: str) -> ComparePredicate:
+    _check_keys(spec, where, required=("left", "op", "right"))
+    left = _column(spec, "left", where)
+    right = _column(spec, "right", where)
+    op = spec["op"]
+    if op not in COMPARE_OPS:
+        raise RuleConfigError(
+            f"{where}.op: unknown operator {op!r} (known: {', '.join(COMPARE_OPS)})"
+        )
+    if left == right:
+        raise RuleConfigError(f"{where}: compare predicate needs two distinct columns")
+    return ComparePredicate(left, op, right)
+
+
+def _parse_conditional(spec: dict, where: str) -> ConditionalPredicate:
+    _check_keys(spec, where, required=("when", "then"))
+    when = parse_predicate(spec["when"], where=f"{where}.when", nested=True)
+    then = parse_predicate(spec["then"], where=f"{where}.then", nested=True)
+    return ConditionalPredicate(when, then)
+
+
+_PARSERS = {
+    "range": _parse_range,
+    "not_null": _parse_not_null,
+    "in_set": _parse_in_set,
+    "regex": _parse_regex,
+    "unique": _parse_unique,
+    "compare": _parse_compare,
+    "conditional": _parse_conditional,
+}
+
+#: Every recognized predicate type, in documentation order.
+PREDICATE_TYPES = tuple(_PARSERS)
+
+
+def parse_predicate(spec, where: str = "predicate", nested: bool = False):
+    """Parse and structurally validate one predicate spec.
+
+    ``nested`` marks specs inside a ``conditional``, where only
+    row-local predicate types are legal.
+    """
+    if not isinstance(spec, dict):
+        raise RuleConfigError(f"{where}: must be an object, got {type(spec).__name__}")
+    kind = spec.get("type")
+    parser = _PARSERS.get(kind)
+    if parser is None:
+        raise RuleConfigError(
+            f"{where}.type: unknown predicate type {kind!r} "
+            f"(known: {', '.join(_PARSERS)})"
+        )
+    if nested and kind in ("unique", "conditional"):
+        raise RuleConfigError(
+            f"{where}.type: {kind!r} predicates cannot nest inside 'conditional'"
+        )
+    return parser(spec, where)

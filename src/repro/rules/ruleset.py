@@ -1,0 +1,253 @@
+"""Versioned, JSON-configured rule sets.
+
+:class:`RuleSet` is the declarative half of :mod:`repro.rules`: an
+ordered collection of :class:`Rule` objects parsed from a versioned
+JSON document and validated eagerly at load (duplicate ids, severity
+tiers, predicate structure). It stays pure data until
+:meth:`RuleSet.compile` binds it to a fitted preprocessor and produces
+a :class:`~repro.rules.plan.RulePlan` of vectorized evaluators — the
+same load-then-compile split ``TablePreprocessor``/``TransformPlan``
+uses for encoders, with the same caching contract (recompiling against
+the same preprocessor object is free).
+
+Document shape (``rule_schema_version`` 1)::
+
+    {
+      "schema_version": 1, "kind": "rule_set",      # wire envelope
+      "rule_schema_version": 1,
+      "name": "hotel-checks",                        # optional
+      "revision": 3,                                 # caller-managed, default 1
+      "rules": [
+        {"id": "adr-range", "severity": "error",
+         "predicate": {"type": "range", "column": "adr", "min": 0, "max": 1000}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.exceptions import RuleConfigError
+from repro.rules.predicates import parse_predicate
+
+__all__ = ["RULE_SCHEMA_VERSION", "SEVERITIES", "SEVERITY_CODES", "Rule", "RuleSet"]
+
+#: Version of the rule *document* layout (independent of the wire
+#: envelope's ``schema_version``): bump on renames/retypes of rule keys.
+RULE_SCHEMA_VERSION = 1
+
+#: Severity tiers, mildest first. Index = wire code.
+SEVERITIES = ("info", "warn", "error")
+SEVERITY_CODES = {name: code for code, name in enumerate(SEVERITIES)}
+
+_RULE_KEYS = {"id", "severity", "scope", "predicate"}
+
+
+class Rule:
+    """One named, severity-tiered predicate."""
+
+    __slots__ = ("id", "predicate", "severity")
+
+    def __init__(self, id: str, predicate, severity: str = "error") -> None:
+        if not isinstance(id, str) or not id:
+            raise RuleConfigError(f"rule id must be a non-empty string, got {id!r}")
+        if severity not in SEVERITIES:
+            raise RuleConfigError(
+                f"rule {id!r}: unknown severity {severity!r} "
+                f"(known: {', '.join(SEVERITIES)})"
+            )
+        self.id = id
+        self.predicate = predicate
+        self.severity = severity
+
+    @property
+    def scope(self) -> str:
+        """Evaluation scope, derived from the predicate type."""
+        return self.predicate.scope
+
+    @property
+    def severity_code(self) -> int:
+        return SEVERITY_CODES[self.severity]
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "severity": self.severity,
+            "scope": self.scope,
+            "predicate": self.predicate.to_spec(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload, where: str = "rule") -> "Rule":
+        if not isinstance(payload, dict):
+            raise RuleConfigError(f"{where}: must be an object, got {type(payload).__name__}")
+        unknown = sorted(set(payload) - _RULE_KEYS)
+        if unknown:
+            raise RuleConfigError(f"{where}: unknown key(s) {unknown} (allowed: {sorted(_RULE_KEYS)})")
+        if "id" not in payload:
+            raise RuleConfigError(f"{where}: missing required key 'id'")
+        if "predicate" not in payload:
+            raise RuleConfigError(f"{where}: missing required key 'predicate'")
+        rule_id = payload["id"]
+        label = f"{where}({rule_id!r})" if isinstance(rule_id, str) and rule_id else where
+        predicate = parse_predicate(payload["predicate"], where=f"{label}.predicate")
+        rule = cls(rule_id, predicate, payload.get("severity", "error"))
+        declared_scope = payload.get("scope")
+        if declared_scope is not None and declared_scope != rule.scope:
+            raise RuleConfigError(
+                f"{label}: declared scope {declared_scope!r} conflicts with "
+                f"predicate type {predicate.type!r} (which is {rule.scope!r}-scoped)"
+            )
+        return rule
+
+    def __repr__(self) -> str:
+        return f"Rule(id={self.id!r}, severity={self.severity!r}, type={self.predicate.type!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Rule) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash((self.id, self.severity, self.predicate))
+
+
+class RuleSet:
+    """An ordered, validated collection of rules.
+
+    Rule order is preserved (it is the wire order and the evaluation
+    order), ids are unique, and the set is immutable after
+    construction. ``compile(preprocessor)`` caches its plan per
+    preprocessor object, so repeated validates pay compilation once.
+    """
+
+    __slots__ = ("rules", "name", "revision", "_compiled")
+
+    def __init__(self, rules, name: str | None = None, revision: int = 1) -> None:
+        rules = tuple(rules)
+        for rule in rules:
+            if not isinstance(rule, Rule):
+                raise RuleConfigError(f"RuleSet expects Rule objects, got {type(rule).__name__}")
+        seen: set[str] = set()
+        for rule in rules:
+            if rule.id in seen:
+                raise RuleConfigError(f"duplicate rule id {rule.id!r}")
+            seen.add(rule.id)
+        if name is not None and (not isinstance(name, str) or not name):
+            raise RuleConfigError(f"rule set name must be a non-empty string, got {name!r}")
+        if isinstance(revision, bool) or not isinstance(revision, int) or revision < 1:
+            raise RuleConfigError(f"rule set revision must be a positive integer, got {revision!r}")
+        self.rules = rules
+        self.name = name
+        self.revision = revision
+        self._compiled: tuple | None = None
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RuleSet) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the canonical wire form (cache/identity key)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def rule(self, rule_id: str) -> Rule:
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+    def to_dict(self) -> dict:
+        from repro.api.protocol import envelope
+
+        payload = envelope("rule_set")
+        payload["rule_schema_version"] = RULE_SCHEMA_VERSION
+        if self.name is not None:
+            payload["name"] = self.name
+        payload["revision"] = self.revision
+        payload["rules"] = [rule.to_dict() for rule in self.rules]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RuleSet":
+        """Decode a fully enveloped ``rule_set`` payload."""
+        from repro.api.protocol import check_envelope
+
+        check_envelope(payload, "rule_set")
+        return cls._from_body(payload)
+
+    @classmethod
+    def from_payload(cls, payload) -> "RuleSet":
+        """Lenient decode: a RuleSet passes through; dicts may be bare
+        (``{"rules": [...]}``) or carry the wire envelope."""
+        if isinstance(payload, RuleSet):
+            return payload
+        if not isinstance(payload, dict):
+            raise RuleConfigError(
+                f"rule set must be an object, got {type(payload).__name__}"
+            )
+        if "schema_version" in payload or "kind" in payload:
+            return cls.from_dict(payload)
+        return cls._from_body(payload)
+
+    @classmethod
+    def _from_body(cls, payload: dict) -> "RuleSet":
+        allowed = {"schema_version", "kind", "rule_schema_version", "name", "revision", "rules"}
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise RuleConfigError(f"rule set: unknown key(s) {unknown}")
+        declared = payload.get("rule_schema_version", RULE_SCHEMA_VERSION)
+        if declared != RULE_SCHEMA_VERSION:
+            raise RuleConfigError(
+                f"unsupported rule_schema_version {declared!r} "
+                f"(this build reads {RULE_SCHEMA_VERSION})"
+            )
+        rules = payload.get("rules")
+        if not isinstance(rules, list):
+            raise RuleConfigError("rule set: 'rules' must be a list")
+        parsed = [Rule.from_dict(rule, where=f"rules[{i}]") for i, rule in enumerate(rules)]
+        return cls(parsed, name=payload.get("name"), revision=payload.get("revision", 1))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuleSet":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RuleConfigError(f"rule set is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_file(cls, path) -> "RuleSet":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise RuleConfigError(f"cannot read rule file {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    def compile(self, preprocessor):
+        """Bind to a fitted preprocessor, producing a vectorized
+        :class:`~repro.rules.plan.RulePlan` (cached per preprocessor)."""
+        from repro.rules.plan import RulePlan
+
+        cached = self._compiled
+        if cached is not None and cached[0] is preprocessor:
+            return cached[1]
+        plan = RulePlan(self, preprocessor)
+        self._compiled = (preprocessor, plan)
+        return plan
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"RuleSet(rules={len(self.rules)},{label} revision={self.revision})"

@@ -151,6 +151,13 @@ class ValidationService:
         #: can never be resurrected (it survives plain LRU eviction,
         #: which does not change the weights)
         self._monitors: dict[str, tuple[int, "DriftMonitor"]] = {}
+        #: per-pipeline declarative rule sets (see set_rules). Rule sets
+        #: are *configuration*, not derived from the weights, so they
+        #: persist across re-register()/re-add(); only their compiled
+        #: plans are generation-tagged (the encoder state they were
+        #: compiled against changes with the weights).
+        self._rules: dict[str, "object"] = {}
+        self._rule_plans: dict[str, tuple[int, "object"]] = {}
         self._closed = False
 
     # -- registration ------------------------------------------------------
@@ -279,11 +286,17 @@ class ValidationService:
         """Validate one batch on the named pipeline (synchronous).
 
         The batch is preprocessed exactly once: the same matrix feeds
-        the validator and the drift monitor, so monitoring adds a
-        histogram pass, not a second transform.
+        the validator, the rule plan (when :meth:`set_rules` attached
+        one), and the drift monitor — rules add vectorized comparisons
+        over the already-encoded matrix, not a second transform.
         """
         validator = self.get(name)._require_validator()
         matrix, report = validator.validate_with_matrix(table)
+        plan = self.rule_plan_for(name)
+        if plan is not None:
+            from repro.rules import apply_rules
+
+            report = apply_rules(report, matrix, plan)
         self.count_validation(name, table.n_rows)
         self._observe_matrix(name, matrix, report)
         return report
@@ -310,10 +323,14 @@ class ValidationService:
             if granted:
                 self._release_shard_workers(granted)
             return self.validate(name, table)
+        # Resolved before dispatch so a rule set incompatible with the
+        # current weights fails the request instead of a worker.
+        rule_plan = self.rule_plan_for(name)
+        ruleset = None if rule_plan is None else rule_plan.ruleset
         try:
             try:
                 report = self._parallel_for(name).validate_table(
-                    table, shards=granted, keep_cell_errors=True
+                    table, shards=granted, keep_cell_errors=True, rules=ruleset
                 )
             except TransientServiceError:
                 # A concurrent re-register()/add()/eviction closed the
@@ -322,7 +339,7 @@ class ValidationService:
                 # current registration. Deterministic failures (schema
                 # errors, broken workers) are not retried.
                 report = self._parallel_for(name).validate_table(
-                    table, shards=granted, keep_cell_errors=True
+                    table, shards=granted, keep_cell_errors=True, rules=ruleset
                 )
         finally:
             self._release_shard_workers(granted)
@@ -349,18 +366,22 @@ class ValidationService:
         from repro.runtime.streaming import StreamingValidator
 
         monitor = self.monitor_for(name)
+        rule_plan = self.rule_plan_for(name)
         requested = self.shard_workers if workers is None else int(workers)
         granted = self._acquire_shard_workers(requested)
         if granted < 2:
             summary = StreamingValidator(
-                self.get(name)._require_validator(), monitor=monitor
+                self.get(name)._require_validator(), monitor=monitor, rules=rule_plan
             ).validate_stream(chunks)
         else:
             if monitor is not None:
                 chunks = self._observed_chunks(monitor, chunks)
             try:
                 summary = self._parallel_for(name).validate_stream(
-                    chunks, keep_cell_errors=False, max_parallel=granted
+                    chunks,
+                    keep_cell_errors=False,
+                    max_parallel=granted,
+                    rules=None if rule_plan is None else rule_plan.ruleset,
                 )
             except TransientServiceError as exc:
                 # Unlike the table path, the chunk iterator is partially
@@ -457,6 +478,88 @@ class ValidationService:
             counters = self._counter(name)
             counters["validations"] += validations
             counters["rows_validated"] += n_rows
+
+    # -- declarative rules -------------------------------------------------
+    def set_rules(self, name: str, rules) -> None:
+        """Attach a declarative rule set to pipeline ``name``.
+
+        ``rules`` is anything :func:`repro.rules.resolve_ruleset`
+        accepts (a :class:`~repro.rules.RuleSet`, a wire payload dict, a
+        JSON file path). The set is compiled eagerly against the
+        pipeline's fitted preprocessor, so incompatible rules (unknown
+        column, unfitted category, …) raise
+        :class:`~repro.exceptions.RuleConfigError` *here* — at
+        registration time — never on a later validate. Every subsequent
+        validate/stream/sharded request on ``name`` then fuses rule
+        verdicts into its report until :meth:`clear_rules`.
+
+        Rule sets survive pipeline re-registration (they are
+        configuration, not weights); the compiled plan is rebuilt
+        against the new encoder state on the next request.
+        """
+        from repro.rules import resolve_ruleset
+
+        ruleset = resolve_ruleset(rules)
+        if ruleset is None:
+            raise ReproError("set_rules requires a rule set; use clear_rules to remove one")
+        pipeline = self.get(name)
+        with self._lock:
+            generation = self._generations.get(name, 0)
+        plan = ruleset.compile(pipeline._require_validator().preprocessor)
+        with self._lock:
+            self._rules[name] = ruleset
+            if self._generations.get(name, 0) == generation:
+                self._rule_plans[name] = (generation, plan)
+            else:
+                self._rule_plans.pop(name, None)
+
+    def get_rules(self, name: str):
+        """The rule set attached to ``name`` (``None`` when rules are off)."""
+        with self._lock:
+            return self._rules.get(name)
+
+    def clear_rules(self, name: str) -> bool:
+        """Detach the rule set of ``name``; True when one was attached."""
+        with self._lock:
+            self._rule_plans.pop(name, None)
+            return self._rules.pop(name, None) is not None
+
+    def rule_plan_for(self, name: str):
+        """The compiled rule plan for ``name`` (``None`` when rules are off).
+
+        Cached against the pipeline generation, mirroring
+        :meth:`monitor_for`: a re-``register()``/re-``add()`` discards
+        the plan compiled against the old encoder state and recompiles
+        the (persisted) rule set against the current one. Recompilation
+        against new weights can fail — e.g. a category the new encoder
+        was not fitted with — and that :class:`RuleConfigError`
+        deliberately surfaces on the request rather than silently
+        validating without rules.
+        """
+        while True:
+            with self._lock:
+                ruleset = self._rules.get(name)
+                if ruleset is None:
+                    return None
+                generation = self._generations.get(name, 0)
+                cached = self._rule_plans.get(name)
+                if cached is not None and cached[0] == generation:
+                    return cached[1]
+            # Load + compile happen outside the registry lock.
+            pipeline = self.get(name)
+            plan = ruleset.compile(pipeline._require_validator().preprocessor)
+            with self._lock:
+                if self._generations.get(name, 0) != generation:
+                    continue
+                if self._rules.get(name) is not ruleset:
+                    # set_rules()/clear_rules() raced the compile; loop to
+                    # resolve against the current rule set.
+                    continue
+                cached = self._rule_plans.get(name)
+                if cached is not None and cached[0] == generation:
+                    return cached[1]
+                self._rule_plans[name] = (generation, plan)
+                return plan
 
     # -- drift monitoring --------------------------------------------------
     def monitor_for(self, name: str) -> "DriftMonitor | None":

@@ -233,20 +233,50 @@ def _worker_init(archive: str, chunk_size: int) -> None:
     _WORKER["chunk_size"] = int(chunk_size)
 
 
-def _validate_shard(offset: int, payload: tuple[str, object], keep_cell_errors: bool) -> list[dict]:
+def _worker_rule_plan(rules_payload: dict | None):
+    """Compile a wire-shipped rule set against the worker's pipeline.
+
+    Compiled plans are cached per rule-set fingerprint, so repeated
+    shards of the same request (and repeated requests under the same
+    registered rules) pay compilation once per process.
+    """
+    if rules_payload is None:
+        return None
+    from repro.rules import RuleSet
+
+    ruleset = RuleSet.from_payload(rules_payload)
+    cache: dict = _WORKER.setdefault("rule_plans", {})  # type: ignore[assignment]
+    plan = cache.get(ruleset.fingerprint)
+    if plan is None:
+        plan = ruleset.compile(_WORKER["validator"].preprocessor)
+        cache[ruleset.fingerprint] = plan
+    return plan
+
+
+def _validate_shard(
+    offset: int,
+    payload: tuple[str, object],
+    keep_cell_errors: bool,
+    rules_payload: dict | None = None,
+) -> list[dict]:
     """Validate one shard; return wire-encoded partial reports.
 
     The shard is processed in ``chunk_size`` sub-chunks (one
     :class:`PartialReport` each, offsets globalized), so worker memory
     stays bounded and the global chunk partition matches the
-    single-process streaming path exactly.
+    single-process streaming path exactly. ``rules_payload`` (a
+    :class:`~repro.rules.RuleSet` wire dict) attaches per-chunk rule
+    evaluation; the chunk-local rule outputs ride each partial back.
     """
     from repro.runtime.streaming import StreamingValidator
 
     validator = _WORKER["validator"]
     chunk_size: int = _WORKER["chunk_size"]  # type: ignore[assignment]
     streaming = StreamingValidator(
-        validator, chunk_size=chunk_size, keep_cell_errors=keep_cell_errors
+        validator,
+        chunk_size=chunk_size,
+        keep_cell_errors=keep_cell_errors,
+        rules=_worker_rule_plan(rules_payload),
     )
     kind, data = payload
     if kind == "table":
@@ -364,19 +394,25 @@ class ParallelValidator:
         table: Table,
         shards: int | None = None,
         keep_cell_errors: bool | None = None,
+        rules=None,
     ) -> "ValidationReport | StreamSummary":
         """Validate a full table across the worker pool.
 
         ``shards`` defaults to the worker count; any value yields the
         same result bit-for-bit — boundaries stay chunk-aligned.
+        ``rules`` attaches a declarative rule set (any form accepted by
+        :func:`repro.rules.resolve_ruleset`): each worker compiles it
+        against its own pipeline copy (cached per fingerprint) and the
+        folded ``rule_report`` is bit-identical to one-shot evaluation.
         """
         if table.n_rows == 0:
             raise ValidationError(EMPTY_STREAM_MESSAGE)
         self._check_schema(table)
+        ruleset = self._resolve_rules(rules)
         keep = self.keep_cell_errors if keep_cell_errors is None else keep_cell_errors
         pool = self._ensure_pool()
         futures = [
-            self._submit(pool, shard.offset, shard_table, keep)
+            self._submit(pool, shard.offset, shard_table, keep, ruleset)
             for shard, shard_table in self.planner.split_table(table, shards or self.workers)
         ]
         partials = [
@@ -384,13 +420,14 @@ class ParallelValidator:
             for future in futures
             for payload in future.result()
         ]
-        return self._finish(partials, keep)
+        return self._finish(partials, keep, ruleset)
 
     def validate_stream(
         self,
         chunks: Iterable[Chunk],
         keep_cell_errors: bool | None = None,
         max_parallel: int | None = None,
+        rules=None,
     ) -> "ValidationReport | StreamSummary":
         """Validate a chunk stream, dispatching shard-sized groups as they fill.
 
@@ -398,8 +435,9 @@ class ParallelValidator:
         flight, so parent memory stays bounded by the shard size
         regardless of stream length; a smaller cap also bounds how many
         workers the stream can occupy at once (used by the service's
-        budgeted grants).
+        budgeted grants). ``rules`` behaves as in :meth:`validate_table`.
         """
+        ruleset = self._resolve_rules(rules)
         keep = self.keep_cell_errors if keep_cell_errors is None else keep_cell_errors
         in_flight = max(1, max_parallel) if max_parallel else 2 * self.workers
         pool = self._ensure_pool()
@@ -412,10 +450,18 @@ class ParallelValidator:
         for shard, payload in self.planner.iter_stream_shards(chunks, self.chunks_per_shard):
             while len(pending) >= in_flight:
                 drain(pending.popleft())
-            pending.append(self._submit(pool, shard.offset, payload, keep))
+            pending.append(self._submit(pool, shard.offset, payload, keep, ruleset))
         while pending:
             drain(pending.popleft())
-        return self._finish(partials, keep)
+        return self._finish(partials, keep, ruleset)
+
+    @staticmethod
+    def _resolve_rules(rules):
+        if rules is None:
+            return None
+        from repro.rules import resolve_ruleset
+
+        return resolve_ruleset(rules)
 
     def _check_schema(self, table: Table) -> None:
         # Workers rebuild shard Tables under the *trained* schema, which
@@ -426,14 +472,15 @@ class ParallelValidator:
 
             raise SchemaError("table schema does not match the trained pipeline")
 
-    def _submit(self, pool, offset: int, chunk: Chunk, keep: bool):
+    def _submit(self, pool, offset: int, chunk: Chunk, keep: bool, ruleset=None):
         if isinstance(chunk, Table):
             self._check_schema(chunk)
             payload = ("table", {name: chunk.column(name) for name in chunk.schema.names})
         else:
             payload = ("matrix", np.ascontiguousarray(chunk, dtype=np.float64))
+        rules_payload = None if ruleset is None else ruleset.to_dict()
         try:
-            return pool.submit(_validate_shard, offset, payload, keep)
+            return pool.submit(_validate_shard, offset, payload, keep, rules_payload)
         except RuntimeError as exc:
             from concurrent.futures.process import BrokenProcessPool
 
@@ -447,7 +494,7 @@ class ParallelValidator:
             ) from exc
 
     def _finish(
-        self, partials: list[PartialReport], keep: bool
+        self, partials: list[PartialReport], keep: bool, ruleset=None
     ) -> "ValidationReport | StreamSummary":
         if not partials:
             raise ValidationError(EMPTY_STREAM_MESSAGE)
@@ -458,12 +505,14 @@ class ParallelValidator:
                 threshold=self._merge.threshold,
                 rule=self._merge.rule,
                 feature_names=self._merge.feature_names,
+                rules=ruleset,
             )
         return fold_partials(
             partials,
             threshold=self._merge.threshold,
             rule=self._merge.rule,
             feature_names=self._merge.feature_names,
+            rules=ruleset,
         )
 
     # -- lifecycle ---------------------------------------------------------

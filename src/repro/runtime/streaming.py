@@ -64,6 +64,10 @@ class PartialReport:
     #: wire so drift monitors can window by time, and folds into
     #: :attr:`StreamSummary.first_timestamp`/``last_timestamp``.
     timestamp: float | None = None
+    #: chunk-local :class:`~repro.rules.RulePartial` when the stream runs
+    #: with a declarative rule plan attached; ``None`` (and omitted on
+    #: the wire) otherwise. Folds into the summary/report ``rule_report``.
+    rule_partial: "object | None" = None
 
     @property
     def n_flagged(self) -> int:
@@ -112,11 +116,14 @@ class PartialReport:
         threshold: float,
         rule,
         feature_names: list[str] | None = None,
+        rules=None,
     ) -> ValidationReport:
         """Fold dense partials into one :class:`ValidationReport`.
 
         Requires every partial to have retained its dense cell errors;
         use :class:`StreamSummary` folding for bounded-memory streams.
+        ``rules`` (a :class:`~repro.rules.RuleSet`) additionally folds
+        the partials' rule outputs into ``report.rule_report``.
         """
         if not partials:
             raise ValidationError(EMPTY_STREAM_MESSAGE)
@@ -128,6 +135,15 @@ class PartialReport:
             )
         row_flags = np.concatenate([p.row_flags for p in ordered])
         flagged_fraction = float(row_flags.mean()) if row_flags.size else 0.0
+        rule_report = None
+        if rules is not None:
+            from repro.rules import fold_rule_partials
+
+            rule_report = fold_rule_partials(
+                [(p.offset, p.n_rows, p.rule_partial) for p in ordered],
+                rules,
+                list(feature_names or []),
+            )
         return ValidationReport(
             sample_errors=np.concatenate([p.sample_errors for p in ordered]),
             cell_errors=np.concatenate([p.cell_errors for p in ordered], axis=0),
@@ -137,6 +153,7 @@ class PartialReport:
             flagged_fraction=flagged_fraction,
             is_problematic=rule.is_problematic(flagged_fraction),
             feature_names=list(feature_names or []),
+            rule_report=rule_report,
         )
 
 
@@ -162,14 +179,20 @@ class StreamSummary:
     #: :class:`PartialReport` (``None`` when no chunk carried a timestamp)
     first_timestamp: float | None = None
     last_timestamp: float | None = None
+    #: fused :class:`~repro.rules.RuleReport` when the stream ran with a
+    #: declarative rule set attached (additive; ``None`` otherwise)
+    rule_report: "object | None" = None
 
     def summary(self) -> str:
         verdict = "PROBLEMATIC" if self.is_problematic else "OK"
-        return (
+        text = (
             f"{verdict}: {self.n_flagged}/{self.n_rows} rows flagged "
             f"({self.flagged_fraction:.2%}) across {self.n_chunks} chunks, "
             f"threshold={self.threshold:.5f}"
         )
+        if self.rule_report is not None:
+            text += f"; {self.rule_report.summary()}"
+        return text
 
     # -- wire protocol (repro.api) ----------------------------------------
     def to_dict(self) -> dict:
@@ -201,6 +224,12 @@ class StreamingValidator:
     ``clock`` stamps each :class:`PartialReport` with an observation
     timestamp (injectable for tests); the default ``None`` leaves
     partials unstamped so streamed results stay fully deterministic.
+
+    ``rules`` attaches a declarative rule set (any form accepted by
+    :func:`repro.rules.resolve_rules`): each chunk is additionally
+    evaluated against the compiled :class:`~repro.rules.RulePlan` and the
+    per-chunk rule outputs fold into ``rule_report`` on the final
+    report/summary — bit-identical to one-shot rule evaluation.
     """
 
     def __init__(
@@ -210,6 +239,7 @@ class StreamingValidator:
         keep_cell_errors: bool = False,
         monitor=None,
         clock=None,
+        rules=None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -218,6 +248,12 @@ class StreamingValidator:
         self.keep_cell_errors = keep_cell_errors
         self.monitor = monitor
         self.clock = clock
+        if rules is None:
+            self.rule_plan = None
+        else:
+            from repro.rules import resolve_rules
+
+            self.rule_plan = resolve_rules(rules, validator.preprocessor)
 
     @classmethod
     def from_pipeline(
@@ -227,6 +263,7 @@ class StreamingValidator:
         keep_cell_errors: bool = False,
         monitor=None,
         clock=None,
+        rules=None,
     ):
         """Build from a fitted :class:`~repro.core.pipeline.DQuaG`."""
         return cls(
@@ -235,6 +272,7 @@ class StreamingValidator:
             keep_cell_errors=keep_cell_errors,
             monitor=monitor,
             clock=clock,
+            rules=rules,
         )
 
     # -- chunk-level API ---------------------------------------------------
@@ -260,6 +298,10 @@ class StreamingValidator:
         partial = PartialReport.from_report(
             report, offset, self.keep_cell_errors, timestamp=timestamp
         )
+        if self.rule_plan is not None:
+            # The rule partial copies what it keeps, so evaluating on a
+            # reused transform buffer (validate_table) is safe.
+            partial.rule_partial = self.rule_plan.evaluate(matrix)
         if self.monitor is not None:
             try:
                 self.monitor.observe_partial(partial, matrix=matrix)
@@ -290,6 +332,7 @@ class StreamingValidator:
                 threshold=self.validator.calibration.threshold,
                 rule=self.validator.rule,
                 feature_names=list(self.validator.preprocessor.schema.names),
+                rules=None if self.rule_plan is None else self.rule_plan.ruleset,
             )
         return self.fold(self.iter_partials(chunks))
 
@@ -334,6 +377,7 @@ class StreamingValidator:
             threshold=self.validator.calibration.threshold,
             rule=self.validator.rule,
             feature_names=list(self.validator.preprocessor.schema.names),
+            rules=None if self.rule_plan is None else self.rule_plan.ruleset,
         )
 
 
@@ -342,12 +386,15 @@ def fold_partials(
     threshold: float,
     rule,
     feature_names: list[str],
+    rules=None,
 ) -> StreamSummary:
     """Fold partial reports into a :class:`StreamSummary` incrementally.
 
     Standalone so mergers that have no live validator — e.g. the sharded
     executor folding worker outputs against archive metadata — apply the
     exact same accumulation as :meth:`StreamingValidator.fold`.
+    ``rules`` (a :class:`~repro.rules.RuleSet`) additionally folds the
+    partials' chunk-local rule outputs into ``summary.rule_report``.
     """
     names = list(feature_names)
     n_rows = 0
@@ -359,6 +406,7 @@ def fold_partials(
     error_max = 0.0
     first_ts: float | None = None
     last_ts: float | None = None
+    rule_parts: "list[tuple[int, int, object]] | None" = None if rules is None else []
     for partial in partials:
         n_rows += partial.n_rows
         n_chunks += 1
@@ -375,8 +423,15 @@ def fold_partials(
             ts = float(partial.timestamp)
             first_ts = ts if first_ts is None else min(first_ts, ts)
             last_ts = ts if last_ts is None else max(last_ts, ts)
+        if rule_parts is not None:
+            rule_parts.append((partial.offset, partial.n_rows, partial.rule_partial))
     if n_rows == 0:
         raise ValidationError(EMPTY_STREAM_MESSAGE)
+    rule_report = None
+    if rules is not None:
+        from repro.rules import fold_rule_partials
+
+        rule_report = fold_rule_partials(rule_parts, rules, names)
     flagged_fraction = n_flagged / n_rows
     return StreamSummary(
         n_rows=n_rows,
@@ -391,4 +446,5 @@ def fold_partials(
         max_sample_error=error_max,
         first_timestamp=first_ts,
         last_timestamp=last_ts,
+        rule_report=rule_report,
     )

@@ -5,6 +5,8 @@ Examples::
     repro-serve --pipeline hotel=models/hotel.npz --port 8080
     repro-serve --demo --port 8080          # fit a tiny synthetic pipeline
     python -m repro.serve --demo            # same, without installation
+    repro-serve --demo --rules checks.json  # attach declarative rules
+    repro-serve --pipeline hotel=m.npz --rules hotel=checks.json
 
 Then::
 
@@ -92,6 +94,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fit a small synthetic pipeline and serve it as 'demo'",
     )
+    parser.add_argument(
+        "--rules",
+        action="append",
+        default=[],
+        metavar="[NAME=]FILE",
+        help="attach a declarative rule-set JSON file to pipeline NAME "
+        "(repeatable); a bare FILE applies to every served pipeline",
+    )
     parser.add_argument("--capacity", type=int, default=8, help="LRU capacity for archive-backed pipelines")
     parser.add_argument("--workers", type=int, default=None, help="validation thread-pool size")
     parser.add_argument(
@@ -140,6 +150,23 @@ def main(argv: list[str] | None = None) -> int:
             service.add("demo", fit_demo_pipeline())
         if not service.registered:
             parser.error("nothing to serve: pass --pipeline NAME=ARCHIVE and/or --demo")
+
+        # Rules are attached after every pipeline is registered so a bare
+        # FILE can fan out to all of them; set_rules compiles eagerly, so
+        # an incompatible rule file fails startup rather than requests.
+        for spec in args.rules:
+            name, separator, rule_file = spec.partition("=")
+            if separator and (not name or not rule_file):
+                parser.error(f"--rules expects [NAME=]FILE, got {spec!r}")
+            targets = [name] if separator else service.registered
+            if separator and name not in service.registered:
+                parser.error(
+                    f"--rules names unknown pipeline {name!r}; "
+                    f"registered: {service.registered}"
+                )
+            for target in targets:
+                service.set_rules(target, rule_file if separator else spec)
+                print(f"attached rules {rule_file if separator else spec} -> {target}", flush=True)
 
         if args.max_body_mb is not None and args.max_body_mb <= 0:
             parser.error(f"--max-body-mb must be positive, got {args.max_body_mb}")

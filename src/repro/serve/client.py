@@ -192,6 +192,11 @@ class Client:
         by the service's shard budget; the report is identical).
         Table payloads ride the binary frame tier when negotiated (see
         the module docstring); record lists always go as JSON.
+
+        A 503 (the gateway's *retryable* signal: a shard pool closed by
+        a concurrent re-registration) is retried exactly once; every
+        4xx — including 422 rule-configuration rejections — is
+        deterministic and surfaces immediately.
         """
         path = f"/v1/pipelines/{quote(pipeline, safe='')}/validate"
         if self._use_frames(framable=isinstance(rows, Table)):
@@ -200,9 +205,11 @@ class Client:
             )
             body = framing.encode_frame(table=rows, extra=request.to_options())
             try:
-                raw, content_type = self._request_raw(
-                    "POST", path, body=body, content_type=framing.FRAME_CONTENT_TYPE,
-                    accept=framing.FRAME_CONTENT_TYPE,
+                raw, content_type = self._retry_once_on_503(
+                    lambda: self._request_raw(
+                        "POST", path, body=body, content_type=framing.FRAME_CONTENT_TYPE,
+                        accept=framing.FRAME_CONTENT_TYPE,
+                    )
                 )
             except GatewayError as exc:
                 if not self._frame_refused(exc):
@@ -215,7 +222,69 @@ class Client:
             include_errors=include_errors,
             workers=workers,
         )
-        return ValidationReport.from_dict(self._request("POST", path, request.to_dict()))
+        payload = self._retry_once_on_503(
+            lambda: self._request("POST", path, request.to_dict())
+        )
+        return ValidationReport.from_dict(payload)
+
+    @staticmethod
+    def _retry_once_on_503(call):
+        """Run ``call``, retrying exactly once on HTTP 503.
+
+        503 is the gateway's only transient status (TransientServiceError:
+        a shard pool torn down by a concurrent re-registration; the retry
+        lands on the fresh pool). Anything else — notably 422 rule-config
+        rejections and all other 4xx — is deterministic: retrying would
+        just repeat the failure, so it propagates unchanged.
+        """
+        try:
+            return call()
+        except GatewayError as exc:
+            if exc.status != 503:
+                raise
+            return call()
+
+    # -- declarative rules -------------------------------------------------
+    def set_rules(self, pipeline: str, rules) -> "RuleSet":
+        """Attach a declarative rule set to a pipeline on the gateway.
+
+        ``rules`` is a :class:`~repro.rules.RuleSet`, a rule-set payload
+        dict, or a path to a JSON rule file. The gateway compiles it
+        eagerly against the pipeline — incompatible sets come back as
+        HTTP 422 (:class:`GatewayError` with ``status == 422``), which
+        is deterministic and never retried. Returns the canonical stored
+        form.
+        """
+        from repro.rules import RuleSet, resolve_ruleset
+
+        ruleset = resolve_ruleset(rules)
+        if ruleset is None:
+            raise GatewayError("set_rules requires a rule set; use delete_rules to remove one")
+        payload = self._request(
+            "PUT", f"/v1/pipelines/{quote(pipeline, safe='')}/rules", ruleset.to_dict()
+        )
+        return RuleSet.from_dict(payload)
+
+    def get_rules(self, pipeline: str) -> "RuleSet | None":
+        """The rule set attached to a pipeline (``None`` when rules are off)."""
+        from repro.rules import RuleSet
+
+        try:
+            payload = self._request(
+                "GET", f"/v1/pipelines/{quote(pipeline, safe='')}/rules"
+            )
+        except GatewayError as exc:
+            if exc.status == 404 and "no rule set attached" in str(exc):
+                return None
+            raise
+        return RuleSet.from_dict(payload)
+
+    def delete_rules(self, pipeline: str) -> bool:
+        """Detach a pipeline's rule set; True when one was attached."""
+        payload = self._request(
+            "DELETE", f"/v1/pipelines/{quote(pipeline, safe='')}/rules"
+        )
+        return bool(check_envelope(payload, "rules_deleted").get("deleted"))
 
     def repair(
         self,

@@ -21,7 +21,13 @@ multi-pipeline serving layer using nothing but ``http.server``:
   response out: one acknowledgement line per processed chunk, then the
   final :class:`StreamSummary` envelope. Rides
   :class:`~repro.runtime.streaming.StreamingValidator`, so memory stays
-  bounded by the chunk size regardless of stream length.
+  bounded by the chunk size regardless of stream length;
+* ``PUT/GET/DELETE /v1/pipelines/{name}/rules`` — attach, fetch, or
+  detach a declarative :class:`~repro.rules.RuleSet`. Attached rules
+  are compiled eagerly (malformed or pipeline-incompatible sets are
+  refused with HTTP 422, never retried by clients) and every validate
+  path — JSON, framed, streamed, sharded — then fuses rule verdicts
+  into its reports.
 
 Wire negotiation: every POST endpoint also speaks the binary columnar
 frame codec (:mod:`repro.api.framing`, ``application/x-repro-frame``).
@@ -70,6 +76,7 @@ from repro.data.table import Table
 from repro.exceptions import (
     FrameSizeError,
     ReproError,
+    RuleConfigError,
     SchemaError,
     TransientServiceError,
     ValidationError,
@@ -85,6 +92,7 @@ logger = get_logger("serve.gateway")
 
 _ROUTE = re.compile(r"^/v1/pipelines/(?P<name>[^/]+)/(?P<action>validate|repair|validate_stream)$")
 _MONITOR_ROUTE = re.compile(r"^/v1/pipelines/(?P<name>[^/]+)/monitor$")
+_RULES_ROUTE = re.compile(r"^/v1/pipelines/(?P<name>[^/]+)/rules$")
 
 
 class _RequestError(Exception):
@@ -136,8 +144,54 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_text(200, self.gateway.metrics_text(), PROMETHEUS_CONTENT_TYPE)
             elif (match := _MONITOR_ROUTE.match(path)) is not None:
                 self._handle_monitor(unquote(match["name"]))
+            elif (match := _RULES_ROUTE.match(path)) is not None:
+                self._handle_get_rules(unquote(match["name"]))
             else:
                 raise _RequestError(404, f"no such route: GET {path}")
+        except Exception as exc:
+            self._send_failure(exc)
+
+    def _require_pipeline(self, name: str) -> None:
+        if name not in self.gateway.service.registered:
+            raise _RequestError(404, f"unknown pipeline {name!r}")
+
+    def _handle_get_rules(self, name: str) -> None:
+        self._require_pipeline(name)
+        ruleset = self.gateway.service.get_rules(name)
+        if ruleset is None:
+            raise _RequestError(404, f"no rule set attached to pipeline {name!r}")
+        self._send_json(200, ruleset.to_dict())
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            path = urlsplit(self.path).path
+            match = _RULES_ROUTE.match(path)
+            if match is None:
+                raise _RequestError(404, f"no such route: PUT {path}")
+            name = unquote(match["name"])
+            self._require_pipeline(name)
+            payload = self._read_json()
+            if not isinstance(payload, dict):
+                raise _RequestError(400, "rule set body must be a JSON object")
+            self.gateway.service.set_rules(name, payload)
+            # Echo the canonical stored form (envelope + defaults filled
+            # in), so clients see exactly what later validates will use.
+            self._send_json(200, self.gateway.service.get_rules(name).to_dict())
+        except Exception as exc:
+            self._send_failure(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            path = urlsplit(self.path).path
+            match = _RULES_ROUTE.match(path)
+            if match is None:
+                raise _RequestError(404, f"no such route: DELETE {path}")
+            name = unquote(match["name"])
+            self._require_pipeline(name)
+            deleted = self.gateway.service.clear_rules(name)
+            payload = envelope("rules_deleted")
+            payload.update(pipeline=name, deleted=deleted)
+            self._send_json(200, payload)
         except Exception as exc:
             self._send_failure(exc)
 
@@ -334,7 +388,9 @@ class _Handler(BaseHTTPRequestHandler):
                 raise _RequestError(400, str(exc)) from exc
         else:
             validator = StreamingValidator.from_pipeline(
-                pipeline, monitor=self.gateway.service.monitor_for(name)
+                pipeline,
+                monitor=self.gateway.service.monitor_for(name),
+                rules=self.gateway.service.rule_plan_for(name),
             )
 
             def acknowledged():
@@ -561,6 +617,13 @@ class _Handler(BaseHTTPRequestHandler):
             # before FrameError's ReproError branch so it maps to 413,
             # not 400.
             status, message = 413, str(exc)
+        elif isinstance(exc, RuleConfigError):
+            # Well-formed JSON describing an unusable rule set (unknown
+            # predicate/column, unfitted category, severity conflict, …):
+            # semantically unprocessable, not malformed — 422, checked
+            # before the ReproError → 400 branch. Clients must never
+            # retry it as transient.
+            status, message = 422, str(exc)
         elif isinstance(exc, ReproError):
             # Covers ProtocolError (bad envelopes) and SchemaError
             # (records that don't fit the pipeline) among others — all

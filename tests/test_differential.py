@@ -237,6 +237,113 @@ def test_frame_tier_bit_identical(index, fitted, served, frame_client):
         assert over_frames.is_problematic == local.is_problematic
 
 
+#: declarative rules for the scenario schema — every predicate scope is
+#: represented, including a table-scoped ``unique`` whose fold defers
+#: per-chunk values (the hardest case for shard/stream parity)
+RULES_DOC = {
+    "name": "differential-checks",
+    "rules": [
+        {"id": "x-range", "severity": "error",
+         "predicate": {"type": "range", "column": "x", "min": 0.0, "max": 1.0}},
+        {"id": "y-range", "severity": "warn",
+         "predicate": {"type": "range", "column": "y", "min": -0.5, "max": 2.5}},
+        {"id": "z-present", "severity": "warn",
+         "predicate": {"type": "not_null", "column": "z"}},
+        {"id": "c-known", "severity": "error",
+         "predicate": {"type": "in_set", "column": "c", "values": ["lo", "hi"]}},
+        {"id": "y-above-x", "severity": "info",
+         "predicate": {"type": "compare", "left": "y", "op": "ge", "right": "x"}},
+        {"id": "hi-band", "severity": "info",
+         "predicate": {"type": "conditional",
+                       "when": {"type": "in_set", "column": "c", "values": ["hi"]},
+                       "then": {"type": "range", "column": "x", "min": 0.25}}},
+        {"id": "x-unique", "severity": "info",
+         "predicate": {"type": "unique", "column": "x"}},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def demo_rules():
+    from repro.rules import RuleSet
+
+    return RuleSet.from_payload(RULES_DOC)
+
+
+@pytest.fixture(scope="module")
+def served_rules(fitted, demo_rules):
+    """A second gateway with rules attached, so the rules-off gateway
+    fixtures above keep exercising the unchanged legacy behavior."""
+    service = ValidationService(capacity=2, shard_workers=0)
+    service.add("demo", fitted)
+    service.set_rules("demo", demo_rules)
+    with ValidationGateway(service, port=0) as gateway:
+        yield Client(port=gateway.port)
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def frame_rules_client(served_rules):
+    return Client(port=served_rules.port, wire="frame")
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+def test_rules_on_all_paths_bit_identical(
+    index, fitted, parallel, demo_rules, served_rules, frame_rules_client
+):
+    """With rules on, every path must agree bit for bit — on the GNN
+    fields (which must match the rules-off output exactly: fusion is
+    additive) *and* on the fused rule report."""
+    table = make_scenario(index)
+    plain = fitted.validate(table)
+    assert plain.rule_report is None  # rules-off output is untouched
+    fused = fitted.validate(table, rules=demo_rules)
+    assert_reports_identical(plain, fused, "rules-on-gnn-fields")
+    assert fused.rule_report is not None
+    reference = fused.rule_report.to_dict()
+
+    streamed = fitted.streaming_validator(
+        chunk_size=CHUNK_SIZE, keep_cell_errors=True, rules=demo_rules
+    ).validate_table(table)
+    assert_reports_identical(fused, streamed, "rules-streaming")
+    assert streamed.rule_report.to_dict() == reference, "rules-streaming"
+
+    for shards in (2, 4):
+        sharded = parallel.validate_table(
+            table, shards=shards, keep_cell_errors=True, rules=demo_rules
+        )
+        assert_reports_identical(fused, sharded, f"rules-sharded[{shards}]")
+        assert sharded.rule_report.to_dict() == reference, f"rules-sharded[{shards}]"
+
+    remote = served_rules.validate("demo", table, include_errors=True)
+    assert_reports_identical(fused, remote, "rules-http-json")
+    assert remote.rule_report.to_dict() == reference, "rules-http-json"
+
+    framed = frame_rules_client.validate("demo", table, include_errors=True)
+    assert_reports_identical(fused, framed, "rules-http-frame")
+    assert framed.rule_report.to_dict() == reference, "rules-http-frame"
+
+    # JSON round-trip of the fused report is exact, rule report included.
+    decoded = ValidationReport.from_dict(json.loads(json.dumps(fused.to_dict())))
+    assert_reports_identical(fused, decoded, "rules-json-round-trip")
+    assert decoded.rule_report.to_dict() == reference, "rules-json-round-trip"
+
+    if index % 5 == 0:  # streamed-upload parity is slower: sample scenarios
+        chunks = [
+            table.slice_rows(start, start + CHUNK_SIZE)
+            for start in range(0, table.n_rows, CHUNK_SIZE)
+        ]
+        over_json = served_rules.validate_stream("demo", chunks)
+        over_frames = frame_rules_client.validate_stream("demo", chunks)
+        local = fitted.streaming_validator(
+            chunk_size=CHUNK_SIZE, rules=demo_rules
+        ).validate_table(table)
+        assert local.rule_report is not None
+        assert over_json.to_dict() == over_frames.to_dict(), "rules-stream frame-vs-json"
+        assert over_json.rule_report.to_dict() == local.rule_report.to_dict()
+        assert over_json.rule_report.to_dict() == reference
+
+
 def test_scenarios_cover_clean_and_problematic():
     """The seeded scenario mix must exercise both verdict branches."""
     tables = [make_scenario(i) for i in range(N_SCENARIOS)]

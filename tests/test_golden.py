@@ -34,6 +34,7 @@ from repro.core.validator import ValidationReport
 from repro.experiments.reporting import ResultTable
 from repro.monitor import ColumnDrift, DriftAlert, MonitorSnapshot
 from repro.runtime.service import ServiceStats
+from repro.rules import RuleOutcome, RuleReport, RuleSet
 from repro.runtime.streaming import PartialReport, StreamSummary
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -134,6 +135,47 @@ def sample_drift_alert() -> DriftAlert:
     )
 
 
+def sample_ruleset() -> RuleSet:
+    return RuleSet.from_payload(
+        {
+            "name": "golden-checks",
+            "revision": 3,
+            "rules": [
+                {"id": "a-range", "severity": "error",
+                 "predicate": {"type": "range", "column": "a", "min": 0, "max": 10}},
+                {"id": "b-known", "severity": "warn",
+                 "predicate": {"type": "in_set", "column": "b", "values": ["lo", "hi"]}},
+                {"id": "a-unique", "severity": "info",
+                 "predicate": {"type": "unique", "column": "a"}},
+            ],
+        }
+    )
+
+
+def sample_rule_report() -> RuleReport:
+    return RuleReport(
+        n_rows=4,
+        feature_names=["a", "b"],
+        cell_rows=np.array([1, 1, 3], dtype=np.int64),
+        cell_cols=np.array([0, 1, 0], dtype=np.int64),
+        cell_severity=np.array([2, 1, 0], dtype=np.int64),
+        outcomes=[
+            RuleOutcome(rule_id="a-range", scope="column", severity="error",
+                        columns=("a",), n_cells=1, n_rows=1),
+            RuleOutcome(rule_id="b-known", scope="column", severity="warn",
+                        columns=("b",), n_cells=1, n_rows=1),
+            RuleOutcome(rule_id="a-unique", scope="table", severity="info",
+                        columns=("a",), n_cells=1, n_rows=1),
+        ],
+    )
+
+
+def sample_fused_report() -> ValidationReport:
+    report = sample_report()
+    report.rule_report = sample_rule_report()
+    return report
+
+
 def build_cases() -> dict:
     """name → (payload, decode-then-reencode fn or None)."""
     report = sample_report()
@@ -149,6 +191,19 @@ def build_cases() -> dict:
         "validation_report_none": (
             protocol.report_to_dict(report, errors="none"),
             lambda p: protocol.report_to_dict(protocol.report_from_dict(p), errors="none"),
+        ),
+        "validation_report_rules": (
+            # fused form: the GNN payload plus the additive rule_report key
+            protocol.report_to_dict(sample_fused_report(), errors="dense"),
+            lambda p: protocol.report_to_dict(protocol.report_from_dict(p), errors="dense"),
+        ),
+        "rule_set": (
+            protocol.rule_set_to_dict(sample_ruleset()),
+            lambda p: protocol.rule_set_to_dict(protocol.rule_set_from_dict(p)),
+        ),
+        "rule_report": (
+            protocol.rule_report_to_dict(sample_rule_report()),
+            lambda p: protocol.rule_report_to_dict(protocol.rule_report_from_dict(p)),
         ),
         "verdict_summary": (protocol.summary_dict(report), None),
         "batch_verdict": (
