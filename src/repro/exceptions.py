@@ -79,14 +79,35 @@ class TransientServiceError(ReproError):
     hit an otherwise well-formed request; retrying is expected to succeed."""
 
 
+class AdmissionError(ReproError):
+    """The request scheduler's bounded queue refused a request.
+
+    Backpressure, not failure: the pipeline's queue is at its configured
+    depth and accepting more work would only grow latency unboundedly.
+    Transports map this to HTTP 429 with a ``Retry-After`` header built
+    from :attr:`retry_after` (seconds); retrying after that delay is
+    expected to succeed once the queue drains."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class GatewayError(ReproError):
     """An HTTP serving request failed (client-side view of a gateway error).
 
     ``status`` carries the HTTP status code when the failure came from a
     gateway response (``None`` for client-side failures), letting
     callers distinguish negotiation refusals (415) from genuine errors.
+
+    ``retry_after`` carries the parsed ``Retry-After`` header (seconds)
+    when the gateway sent one — populated on 429 admission rejections so
+    the client's bounded-backoff retry can honor the server's hint.
     """
 
-    def __init__(self, message: str, status: int | None = None) -> None:
+    def __init__(
+        self, message: str, status: int | None = None, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after

@@ -47,13 +47,17 @@ class _Writer:
         return "\n".join(self.lines) + "\n"
 
 
-def render_prometheus(stats, snapshots: dict) -> str:
+def render_prometheus(stats, snapshots: dict, scheduler=None) -> str:
     """Render service stats + monitor snapshots as Prometheus text.
 
     ``stats`` is a :class:`ServiceStats`; ``snapshots`` maps pipeline
     name → :class:`MonitorSnapshot` for every pipeline that currently
     has a live monitor (pipelines without one simply have no
-    ``repro_monitor_*`` series).
+    ``repro_monitor_*`` series). ``scheduler`` is an optional
+    :class:`~repro.serve.scheduler.SchedulerStats` snapshot; gateways
+    running a micro-batching scheduler pass it so scrapes additionally
+    chart queue depth, batch fill ratio, the coalesced-batch size
+    histogram, and admission rejects (``repro_scheduler_*`` series).
     """
     writer = _Writer()
     writer.sample(
@@ -141,4 +145,65 @@ def render_prometheus(stats, snapshots: dict) -> str:
                 "Whether the column's drift scores exceed their thresholds.",
                 "gauge", pipeline=name, column=column.name,
             )
+    if scheduler is not None:
+        _render_scheduler(writer, scheduler)
     return writer.render()
+
+
+def _render_scheduler(writer: _Writer, sched) -> None:
+    """Append the micro-batching scheduler's series (SchedulerStats)."""
+    writer.sample(
+        "repro_scheduler_queue_depth", sched.queue_depth,
+        "Requests queued in the micro-batching scheduler, all pipelines.", "gauge",
+    )
+    for name, depth in sorted(sched.queue_depths.items()):
+        writer.sample(
+            "repro_scheduler_pipeline_queue_depth", depth,
+            "Requests queued in the micro-batching scheduler, per pipeline.",
+            "gauge", pipeline=name,
+        )
+    writer.sample(
+        "repro_scheduler_in_flight_batches", sched.in_flight,
+        "Coalesced batches currently executing on the slab pool.", "gauge",
+    )
+    writer.sample(
+        "repro_scheduler_requests_submitted_total", sched.submitted,
+        "Requests admitted by the scheduler since start.", "counter",
+    )
+    writer.sample(
+        "repro_scheduler_requests_rejected_total", sched.rejected,
+        "Requests refused by admission control (HTTP 429) since start.", "counter",
+    )
+    writer.sample(
+        "repro_scheduler_requests_completed_total", sched.completed,
+        "Requests resolved successfully since start.", "counter",
+    )
+    writer.sample(
+        "repro_scheduler_requests_failed_total", sched.failed,
+        "Requests resolved with an error since start.", "counter",
+    )
+    writer.sample(
+        "repro_scheduler_rows_dispatched_total", sched.rows,
+        "Rows dispatched in coalesced slabs since start.", "counter",
+    )
+    writer.sample(
+        "repro_scheduler_batch_fill_ratio", sched.fill_ratio,
+        "Mean slab occupancy: rows dispatched / (batches x max_batch_rows).", "gauge",
+    )
+    # Prometheus-convention histogram: cumulative buckets + _count/_sum.
+    hist_help = "Coalesced requests per dispatched batch."
+    for bound, count in sorted(sched.batch_size_hist.items()):
+        writer.sample(
+            "repro_scheduler_batch_size_bucket", count, hist_help, "histogram",
+            le=str(bound),
+        )
+    writer.sample(
+        "repro_scheduler_batch_size_bucket", sched.batches, hist_help, "histogram",
+        le="+Inf",
+    )
+    writer.sample(
+        "repro_scheduler_batch_size_count", sched.batches, hist_help, "histogram",
+    )
+    writer.sample(
+        "repro_scheduler_batch_size_sum", sched.completed_or_failed, hist_help, "histogram",
+    )

@@ -158,6 +158,10 @@ class ValidationService:
         #: compiled against changes with the weights).
         self._rules: dict[str, "object"] = {}
         self._rule_plans: dict[str, tuple[int, "object"]] = {}
+        #: optional micro-batching scheduler (see attach_scheduler):
+        #: when set, submit()/submit_many() coalesce through it instead
+        #: of dispatching one engine call per request on the thread pool
+        self._scheduler = None
         self._closed = False
 
     # -- registration ------------------------------------------------------
@@ -616,6 +620,17 @@ class ValidationService:
             live = {name: entry[1] for name, entry in self._monitors.items()}
         return {name: monitor.snapshot() for name, monitor in sorted(live.items())}
 
+    def observe_validation(self, name: str, matrix, report: ValidationReport) -> None:
+        """Fold one externally-validated batch into the drift monitor.
+
+        For dispatchers that drive the validator directly on an
+        already-preprocessed matrix (the micro-batching scheduler's fused
+        slabs): the monitor sees the same rows and flags it would have
+        seen per-request, in one histogram pass. Advisory, like every
+        monitor update — failures are logged, never raised.
+        """
+        self._observe_matrix(name, matrix, report)
+
     def _observe_matrix(self, name: str, matrix, report: ValidationReport) -> None:
         """Fold one already-preprocessed batch into the drift monitor.
 
@@ -674,14 +689,40 @@ class ValidationService:
             self._counter(name)["repairs"] += 1
         return repaired, summary
 
+    def attach_scheduler(self, scheduler) -> None:
+        """Route :meth:`submit`/:meth:`submit_many` through a scheduler.
+
+        ``scheduler`` is a :class:`~repro.serve.scheduler.RequestScheduler`
+        (duck-typed: anything with ``submit(name, table) -> Future``).
+        Attached, same-pipeline requests coalesce into fused engine slabs
+        under the scheduler's latency budget; per-request results are
+        bit-identical either way. ``None`` detaches and restores the
+        one-engine-call-per-request thread-pool dispatch. The scheduler's
+        lifecycle stays with its creator (the gateway or the caller) —
+        :meth:`close` does not close it.
+        """
+        self._scheduler = scheduler
+
     def submit(self, name: str, table: Table) -> "Future[ValidationReport]":
-        """Queue one batch for validation on the thread pool."""
+        """Queue one batch for validation (scheduler or thread pool).
+
+        With a scheduler attached (:meth:`attach_scheduler`) the request
+        joins its pipeline's micro-batch queue; otherwise it dispatches
+        as its own engine call on the thread pool.
+        """
+        if self._scheduler is not None:
+            return self._scheduler.submit(name, table)
         return self._pool.submit(self.validate, name, table)
 
     def submit_many(
         self, requests: Iterable[tuple[str, Table]]
     ) -> "list[Future[ValidationReport]]":
-        """Queue many (pipeline, batch) pairs; returns one future each."""
+        """Queue many (pipeline, batch) pairs; returns one future each.
+
+        With a scheduler attached, same-pipeline requests in (and across)
+        one call coalesce into fused slabs — the futures still resolve to
+        per-request reports, bit-identical to unscheduled dispatch.
+        """
         return [self.submit(name, table) for name, table in requests]
 
     def validate_many(self, requests: Iterable[tuple[str, Table]]) -> list[ValidationReport]:
@@ -731,6 +772,20 @@ class ValidationService:
         """Aggregate + per-pipeline stats as one wire-encodable object."""
         with self._lock:
             return ServiceStats(pipelines=self.pipeline_stats(), **self.stats())
+
+    def close_parallel(self) -> None:
+        """Close every cached shard pool without closing the service.
+
+        Used by gateway shutdown: once the socket stops taking requests
+        there is no traffic to shard, so the per-pipeline worker
+        processes are released. The service stays usable — a later
+        sharded request simply rebuilds its pool on demand.
+        """
+        with self._lock:
+            validators = list(self._parallel.values())
+            self._parallel.clear()
+        for parallel in validators:
+            parallel.close()
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

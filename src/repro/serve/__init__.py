@@ -1,8 +1,16 @@
-"""HTTP serving layer: a stdlib gateway over :class:`ValidationService`.
+"""HTTP serving layer: stdlib gateways over :class:`ValidationService`.
 
-* :class:`ValidationGateway` — ``http.server.ThreadingHTTPServer`` front
-  with versioned JSON endpoints under ``/v1`` (health, pipeline stats,
-  validate, repair, chunked validate_stream);
+* :class:`AsyncGateway` — ``asyncio`` event-loop front (the default in
+  ``repro-serve``): one loop parses HTTP, a
+  :class:`RequestScheduler` coalesces concurrent small validate
+  requests into fused engine slabs under a latency budget, with
+  bounded-queue admission control (429 + ``Retry-After``);
+* :class:`ValidationGateway` — ``http.server.ThreadingHTTPServer``
+  front with the same versioned ``/v1`` endpoints (health, pipeline
+  stats, metrics, validate, repair, chunked validate_stream, rules);
+  kept behind ``repro-serve --threaded`` for one release;
+* :class:`RequestScheduler` — the dynamic micro-batching scheduler
+  both transports (and ``ValidationService.submit``) can ride;
 * :class:`Client` — stdlib ``http.client`` counterpart that decodes
   responses back into the in-process result objects;
 * :mod:`repro.serve.cli` — the ``repro-serve`` console entry point
@@ -11,5 +19,7 @@
 
 from repro.serve.client import Client
 from repro.serve.gateway import ValidationGateway
+from repro.serve.scheduler import RequestScheduler
+from repro.serve.transport import AsyncGateway
 
-__all__ = ["Client", "ValidationGateway"]
+__all__ = ["AsyncGateway", "Client", "RequestScheduler", "ValidationGateway"]

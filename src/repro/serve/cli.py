@@ -7,6 +7,18 @@ Examples::
     python -m repro.serve --demo            # same, without installation
     repro-serve --demo --rules checks.json  # attach declarative rules
     repro-serve --pipeline hotel=m.npz --rules hotel=checks.json
+    repro-serve --demo --batch-window-ms 5 --max-batch-rows 16384
+    repro-serve --demo --threaded           # previous thread-per-connection server
+
+The default server is the :class:`~repro.serve.transport.AsyncGateway`:
+an asyncio event loop fronting a dynamic micro-batching
+:class:`~repro.serve.scheduler.RequestScheduler` that coalesces
+concurrent small validate requests into fused engine slabs
+(``--batch-window-ms`` / ``--max-batch-rows``) with bounded-queue
+admission control (``--max-queue-depth`` → HTTP 429 + ``Retry-After``)
+and per-pipeline QoS weights (``--qos-weight``). ``--threaded`` keeps
+the previous thread-per-connection ``ValidationGateway`` for one
+release.
 
 Then::
 
@@ -33,6 +45,7 @@ import sys
 from repro.exceptions import ReproError
 from repro.runtime.service import ValidationService
 from repro.serve.gateway import ValidationGateway
+from repro.serve.transport import AsyncGateway
 from repro.utils.logging import configure_demo_logging
 
 __all__ = ["main", "fit_demo_pipeline", "DEMO_RECORD"]
@@ -125,6 +138,47 @@ def main(argv: list[str] | None = None) -> int:
         help="request-body size limit in MiB; oversized requests get HTTP 413 "
         "(default: 64)",
     )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve on the asyncio gateway with micro-batching (the default)",
+    )
+    mode.add_argument(
+        "--threaded",
+        action="store_true",
+        help="serve on the previous thread-per-connection gateway "
+        "(no request coalescing; kept for one release)",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching latency budget: how long a validate request may "
+        "wait for co-batchable traffic (default: 2.0; async gateway only)",
+    )
+    parser.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=8192,
+        help="row ceiling per fused engine slab (default: 8192)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        help="admission bound in pending requests per pipeline; beyond it "
+        "requests get HTTP 429 + Retry-After (default: 1024)",
+    )
+    parser.add_argument(
+        "--qos-weight",
+        action="append",
+        default=[],
+        metavar="NAME=WEIGHT",
+        help="QoS weight for a pipeline's scheduler queue (repeatable; "
+        "unlisted pipelines weigh 1.0)",
+    )
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
     args = parser.parse_args(argv)
 
@@ -173,10 +227,39 @@ def main(argv: list[str] | None = None) -> int:
         max_body_bytes = (
             None if args.max_body_mb is None else int(args.max_body_mb * 1024 * 1024)
         )
-        gateway = ValidationGateway(
-            service, host=args.host, port=args.port, max_body_bytes=max_body_bytes
-        )
-        print(f"serving {service.registered} on {gateway.url}", flush=True)
+        qos_weights: dict[str, float] = {}
+        for spec in args.qos_weight:
+            name, separator, weight = spec.partition("=")
+            if not separator or not name:
+                parser.error(f"--qos-weight expects NAME=WEIGHT, got {spec!r}")
+            try:
+                qos_weights[name] = float(weight)
+            except ValueError:
+                parser.error(f"--qos-weight weight must be a number, got {spec!r}")
+        if args.batch_window_ms < 0:
+            parser.error(f"--batch-window-ms must be >= 0, got {args.batch_window_ms}")
+        if args.max_batch_rows < 1:
+            parser.error(f"--max-batch-rows must be positive, got {args.max_batch_rows}")
+        if args.max_queue_depth < 1:
+            parser.error(f"--max-queue-depth must be positive, got {args.max_queue_depth}")
+        if args.threaded:
+            gateway = ValidationGateway(
+                service, host=args.host, port=args.port, max_body_bytes=max_body_bytes
+            )
+            mode_label = "threaded"
+        else:
+            gateway = AsyncGateway(
+                service,
+                host=args.host,
+                port=args.port,
+                max_body_bytes=max_body_bytes,
+                batch_window_ms=args.batch_window_ms,
+                max_batch_rows=args.max_batch_rows,
+                max_queue_depth=args.max_queue_depth,
+                qos_weights=qos_weights or None,
+            )
+            mode_label = "async"
+        print(f"serving {service.registered} on {gateway.url} ({mode_label})", flush=True)
         try:
             gateway.serve_forever()
         except KeyboardInterrupt:

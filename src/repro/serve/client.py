@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import time
 from http.client import HTTPConnection, HTTPResponse, HTTPSConnection
 from typing import Iterable, Iterator
 from urllib.parse import quote, urlsplit
@@ -227,22 +228,34 @@ class Client:
         )
         return ValidationReport.from_dict(payload)
 
-    @staticmethod
-    def _retry_once_on_503(call):
-        """Run ``call``, retrying exactly once on HTTP 503.
+    #: ceiling on how long a 429's Retry-After hint may stall the client
+    RETRY_AFTER_CAP = 5.0
 
-        503 is the gateway's only transient status (TransientServiceError:
-        a shard pool torn down by a concurrent re-registration; the retry
-        lands on the fresh pool). Anything else — notably 422 rule-config
-        rejections and all other 4xx — is deterministic: retrying would
-        just repeat the failure, so it propagates unchanged.
+    @classmethod
+    def _retry_once_on_503(cls, call):
+        """Run ``call``, retrying exactly once on a transient status.
+
+        503 is the gateway's shard-pool race signal (TransientServiceError:
+        a pool torn down by a concurrent re-registration; the retry lands
+        on the fresh pool) and is retried immediately. 429 is the
+        scheduler's admission backpressure; the client honors the
+        gateway's ``Retry-After`` hint — bounded by
+        :attr:`RETRY_AFTER_CAP` so a hostile or confused server cannot
+        stall the caller — then retries exactly once. Anything else —
+        notably 422 rule-config rejections and all other 4xx — is
+        deterministic: retrying would just repeat the failure, so it
+        propagates unchanged.
         """
         try:
             return call()
         except GatewayError as exc:
-            if exc.status != 503:
-                raise
-            return call()
+            if exc.status == 503:
+                return call()
+            if exc.status == 429:
+                delay = 1.0 if exc.retry_after is None else exc.retry_after
+                time.sleep(min(max(delay, 0.0), cls.RETRY_AFTER_CAP))
+                return call()
+            raise
 
     # -- declarative rules -------------------------------------------------
     def set_rules(self, pipeline: str, rules) -> "RuleSet":
@@ -449,7 +462,9 @@ class Client:
                 pass
             response = connection.getresponse()
             if response.status >= 400:
-                raise self._error_from(response.status, response.read())
+                raise self._error_from(
+                    response.status, response.read(), response.getheader("Retry-After")
+                )
             summary: StreamSummary | None = None
             for raw in response:
                 line = raw.strip()
@@ -521,7 +536,9 @@ class Client:
             response = connection.getresponse()
             raw = self._read_response(response)
             if response.status >= 400:
-                raise self._error_from(response.status, raw)
+                raise self._error_from(
+                    response.status, raw, response.getheader("Retry-After")
+                )
             return raw, response.getheader("Content-Type") or ""
         finally:
             connection.close()
@@ -549,9 +566,22 @@ class Client:
             raise GatewayError(f"malformed frame response: {exc}") from exc
 
     @staticmethod
-    def _error_from(status: int, raw: bytes) -> GatewayError:
+    def _error_from(
+        status: int, raw: bytes, retry_after_header: str | None = None
+    ) -> GatewayError:
         try:
             message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
         except (json.JSONDecodeError, AttributeError):
             message = raw.decode("utf-8", "replace")
-        return GatewayError(f"gateway error {status}: {message}", status=status)
+        retry_after = None
+        if retry_after_header is not None:
+            # Only the delta-seconds form is parsed (what our gateways
+            # send); an HTTP-date or garbage header degrades to None and
+            # the retry guard falls back to its 1s default.
+            try:
+                retry_after = max(float(retry_after_header.strip()), 0.0)
+            except ValueError:
+                pass
+        return GatewayError(
+            f"gateway error {status}: {message}", status=status, retry_after=retry_after
+        )

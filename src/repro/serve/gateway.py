@@ -52,17 +52,25 @@ in-process path.
 
 Every request is handled on its own thread (``ThreadingHTTPServer``);
 the NumPy kernels underneath release the GIL, so concurrent batches
-overlap. Errors come back as ``{"kind": "error", ...}`` envelopes with
-conventional status codes (400 malformed, 404 unknown, 413 oversized
-body — bounded by ``max_body_bytes`` — and 500 internal).
+overlap. When a :class:`~repro.serve.scheduler.RequestScheduler` is
+attached, non-sharded validate requests additionally coalesce into
+fused engine slabs (429 + ``Retry-After`` under backpressure). For a
+thread-free transport over the same routes see
+:class:`~repro.serve.transport.AsyncGateway`. Errors come back as
+``{"kind": "error", ...}`` envelopes with conventional status codes
+(400 malformed, 404 unknown, 413 oversized body — bounded by
+``max_body_bytes`` — 429 admission, and 500 internal). ``close()``
+drains in-flight handlers before the socket and shard pools go away.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import math
 import re
 import threading
+import time
 import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator
@@ -74,6 +82,7 @@ from repro.api.protocol import SCHEMA_VERSION, envelope
 from repro.api.requests import RepairRequest, ValidateRequest
 from repro.data.table import Table
 from repro.exceptions import (
+    AdmissionError,
     FrameSizeError,
     ReproError,
     RuleConfigError,
@@ -109,13 +118,128 @@ def _error_payload(status: int, message: str) -> dict:
     return payload
 
 
+def parse_query_workers(query: str) -> int | None:
+    """Parse a ``?workers=N`` query parameter (shared by both transports)."""
+    values = parse_qs(query).get("workers")
+    if not values:
+        return None
+    try:
+        workers = int(values[-1])
+    except ValueError:
+        raise _RequestError(400, f"'workers' must be an integer, got {values[-1]!r}") from None
+    if workers < 1:
+        raise _RequestError(400, f"'workers' must be >= 1, got {workers}")
+    return workers
+
+
+def accepts_gzip(header: str | None) -> bool:
+    """True when an ``Accept-Encoding`` header admits gzip (q>0)."""
+    for token in (header or "").split(","):
+        name, _, params = token.partition(";")
+        if name.strip().lower() != "gzip":
+            continue
+        params = params.replace(" ", "").lower()
+        if params.startswith("q="):
+            try:
+                return float(params[2:]) > 0.0
+            except ValueError:
+                return True
+        return True
+    return False
+
+
+def health_payload(service: "ValidationService") -> dict:
+    """The ``/v1/healthz`` envelope (shared by both transports)."""
+    payload = envelope("health")
+    payload.update(
+        status="ok",
+        version=repro.__version__,
+        pipelines=len(service.registered),
+        # Capability advertisement for client-side negotiation: a
+        # client probes this once, then speaks frames only to
+        # gateways that list the frame content type (older gateways
+        # lack the field entirely → JSON fallback).
+        wire_formats=["application/json", framing.FRAME_CONTENT_TYPE],
+        frame_version=framing.FRAME_VERSION,
+    )
+    return payload
+
+
+def failure_status(exc: Exception) -> tuple[int, str, float | None]:
+    """Map an exception to ``(HTTP status, message, Retry-After seconds)``.
+
+    Shared by the threaded and asyncio transports so both speak the same
+    error contract. ``Retry-After`` is ``None`` except for admission
+    rejections (429 backpressure). A 500 means the transport should also
+    log the traceback (the only non-client-caused branch).
+    """
+    if isinstance(exc, _RequestError):
+        return exc.status, str(exc), None
+    if isinstance(exc, AdmissionError):
+        # The scheduler's bounded queue refused the request: pure
+        # backpressure. 429 + Retry-After tells a well-behaved client
+        # when the queue is expected to have drained.
+        return 429, str(exc), max(exc.retry_after, 0.0)
+    if isinstance(exc, TransientServiceError):
+        # Well-formed request hit a server-side race (pool closed by
+        # a concurrent re-registration); a retry is expected to
+        # succeed, so signal retryable, not client error.
+        return 503, str(exc), None
+    if isinstance(exc, FrameSizeError):
+        # A frame declaring more bytes than max_body_bytes permits —
+        # the framed analogue of an oversized Content-Length. Checked
+        # before FrameError's ReproError branch so it maps to 413,
+        # not 400.
+        return 413, str(exc), None
+    if isinstance(exc, RuleConfigError):
+        # Well-formed JSON describing an unusable rule set (unknown
+        # predicate/column, unfitted category, severity conflict, …):
+        # semantically unprocessable, not malformed — 422, checked
+        # before the ReproError → 400 branch. Clients must never
+        # retry it as transient.
+        return 422, str(exc), None
+    if isinstance(exc, ReproError):
+        # Covers ProtocolError (bad envelopes) and SchemaError
+        # (records that don't fit the pipeline) among others — all
+        # client-caused.
+        return 400, str(exc), None
+    return 500, f"internal error: {exc}", None
+
+
 class _GatewayServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
     def __init__(self, address, handler, gateway: "ValidationGateway") -> None:
         self.gateway = gateway
+        # Handler threads are daemons, which socketserver deliberately
+        # does not track or join — so a bare server_close() can race
+        # still-running handlers. Count them ourselves and let close()
+        # drain before the socket goes away.
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         super().__init__(address, handler)
+
+    def process_request_thread(self, request, client_address) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def drain(self, timeout: float) -> bool:
+        """Wait for in-flight handler threads; True when all finished."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -229,16 +353,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     @staticmethod
     def _query_workers(query: str) -> int | None:
-        values = parse_qs(query).get("workers")
-        if not values:
-            return None
-        try:
-            workers = int(values[-1])
-        except ValueError:
-            raise _RequestError(400, f"'workers' must be an integer, got {values[-1]!r}") from None
-        if workers < 1:
-            raise _RequestError(400, f"'workers' must be >= 1, got {workers}")
-        return workers
+        return parse_query_workers(query)
 
     # -- content negotiation -----------------------------------------------
     def _frame_request(self) -> bool:
@@ -250,19 +365,7 @@ class _Handler(BaseHTTPRequestHandler):
         return framing.matches_frame_content_type(self.headers.get("Accept"))
 
     def _accepts_gzip(self) -> bool:
-        header = self.headers.get("Accept-Encoding") or ""
-        for token in header.split(","):
-            name, _, params = token.partition(";")
-            if name.strip().lower() != "gzip":
-                continue
-            params = params.replace(" ", "").lower()
-            if params.startswith("q="):
-                try:
-                    return float(params[2:]) > 0.0
-                except ValueError:
-                    return True
-            return True
-        return False
+        return accepts_gzip(self.headers.get("Accept-Encoding"))
 
     def _read_frame_request(self, name: str) -> "framing.Frame":
         """Decode a framed request body against the pipeline's schema."""
@@ -292,6 +395,13 @@ class _Handler(BaseHTTPRequestHandler):
         workers = request.workers if request.workers is not None else query_workers
         if workers is not None and workers > 1:
             report = self.gateway.service.validate_sharded(name, table, workers=workers)
+        elif self.gateway.scheduler is not None:
+            # Micro-batching: the request joins its pipeline's queue and
+            # may be fused with concurrent small requests into one engine
+            # slab; the future resolves to this request's own report,
+            # bit-identical to the direct path. A full queue raises
+            # AdmissionError → 429 + Retry-After.
+            report = self.gateway.scheduler.submit(name, table).result()
         else:
             report = self.gateway.service.validate(name, table)
         errors = "dense" if request.include_errors else "sparse"
@@ -569,10 +679,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
-    def _send_json(self, status: int, payload: dict, close: bool = False) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        close: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        if retry_after is not None:
+            # Whole seconds, rounded up: Retry-After does not speak
+            # fractions, and "0" would invite an immediate hammer.
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         # Compress only when asked and worthwhile: tiny payloads (acks,
         # health checks, errors) cost more in header bytes + CPU than
         # they save. mtime=0 keeps equal payloads byte-identical.
@@ -604,36 +724,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.flush()
 
     def _send_failure(self, exc: Exception) -> None:
-        if isinstance(exc, _RequestError):
-            status, message = exc.status, str(exc)
-        elif isinstance(exc, TransientServiceError):
-            # Well-formed request hit a server-side race (pool closed by
-            # a concurrent re-registration); a retry is expected to
-            # succeed, so signal retryable, not client error.
-            status, message = 503, str(exc)
-        elif isinstance(exc, FrameSizeError):
-            # A frame declaring more bytes than max_body_bytes permits —
-            # the framed analogue of an oversized Content-Length. Checked
-            # before FrameError's ReproError branch so it maps to 413,
-            # not 400.
-            status, message = 413, str(exc)
-        elif isinstance(exc, RuleConfigError):
-            # Well-formed JSON describing an unusable rule set (unknown
-            # predicate/column, unfitted category, severity conflict, …):
-            # semantically unprocessable, not malformed — 422, checked
-            # before the ReproError → 400 branch. Clients must never
-            # retry it as transient.
-            status, message = 422, str(exc)
-        elif isinstance(exc, ReproError):
-            # Covers ProtocolError (bad envelopes) and SchemaError
-            # (records that don't fit the pipeline) among others — all
-            # client-caused.
-            status, message = 400, str(exc)
-        else:
+        status, message, retry_after = failure_status(exc)
+        if status == 500:
             logger.exception("internal error serving %s", self.path)
-            status, message = 500, f"internal error: {exc}"
         try:
-            self._send_json(status, _error_payload(status, message), close=True)
+            self._send_json(
+                status, _error_payload(status, message), close=True, retry_after=retry_after
+            )
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass
 
@@ -658,12 +755,16 @@ class ValidationGateway:
     #: default request-body ceiling: 64 MiB
     DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
+    #: how long close() waits for in-flight handler threads
+    DEFAULT_DRAIN_TIMEOUT = 10.0
+
     def __init__(
         self,
         service: ValidationService,
         host: str = "127.0.0.1",
         port: int = 8080,
         max_body_bytes: int | None = None,
+        scheduler=None,
     ) -> None:
         self.service = service
         self.max_body_bytes = (
@@ -671,8 +772,17 @@ class ValidationGateway:
         )
         if self.max_body_bytes < 1:
             raise ValueError(f"max_body_bytes must be positive, got {max_body_bytes}")
+        #: optional micro-batching scheduler
+        #: (:class:`~repro.serve.scheduler.RequestScheduler`): when given,
+        #: non-sharded validate requests coalesce through it instead of
+        #: running one engine call per handler thread. Lifecycle stays
+        #: with the caller (close() drains but does not close it) —
+        #: matching :class:`~repro.serve.transport.AsyncGateway`, which
+        #: owns one by default.
+        self.scheduler = scheduler
         self._server = _GatewayServer((host, port), _Handler, gateway=self)
         self._thread: threading.Thread | None = None
+        self._serving = False
 
     @property
     def host(self) -> str:
@@ -687,43 +797,61 @@ class ValidationGateway:
         return f"http://{self.host}:{self.port}"
 
     def healthz(self) -> dict:
-        payload = envelope("health")
-        payload.update(
-            status="ok",
-            version=repro.__version__,
-            pipelines=len(self.service.registered),
-            # Capability advertisement for client-side negotiation: a
-            # client probes this once, then speaks frames only to
-            # gateways that list the frame content type (older gateways
-            # lack the field entirely → JSON fallback).
-            wire_formats=["application/json", framing.FRAME_CONTENT_TYPE],
-            frame_version=framing.FRAME_VERSION,
-        )
-        return payload
+        return health_payload(self.service)
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of service stats + drift monitors."""
+        scheduler_stats = (
+            self.scheduler.stats_snapshot() if self.scheduler is not None else None
+        )
         return render_prometheus(
-            self.service.stats_snapshot(), self.service.monitor_snapshots()
+            self.service.stats_snapshot(),
+            self.service.monitor_snapshots(),
+            scheduler=scheduler_stats,
         )
 
     # -- lifecycle ---------------------------------------------------------
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted."""
         logger.info("serving on %s (schema_version %d)", self.url, SCHEMA_VERSION)
+        self._serving = True
         self._server.serve_forever()
 
     def start(self) -> "ValidationGateway":
         """Serve from a background daemon thread."""
         if self._thread is None:
+            self._serving = True
             self._thread = threading.Thread(
                 target=self._server.serve_forever, name="repro-serve", daemon=True
             )
             self._thread.start()
         return self
 
-    def close(self) -> None:
-        self._server.shutdown()
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, release pools.
+
+        Ordering matters: the accept loop stops first (no new work), then
+        in-flight handler threads get ``drain_timeout`` seconds to finish
+        writing their responses, and only then do the shard pools and the
+        listening socket go away — so an active request never sees its
+        pool or socket yanked mid-flight. An externally supplied
+        scheduler is *not* closed here (its owner decides when); handlers
+        blocked on scheduler futures count as in-flight and are drained
+        like any other.
+        """
+        timeout = self.DEFAULT_DRAIN_TIMEOUT if drain_timeout is None else float(drain_timeout)
+        if self._serving:
+            # shutdown() blocks until serve_forever's loop acknowledges;
+            # calling it when the loop never ran would wait forever.
+            self._server.shutdown()
+            self._serving = False
+        if not self._server.drain(timeout):
+            logger.warning(
+                "gateway close: %d request(s) still in flight after %.1fs drain",
+                self._server._inflight,
+                timeout,
+            )
+        self.service.close_parallel()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

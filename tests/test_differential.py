@@ -33,7 +33,7 @@ from repro.errors import (
     StringTypoInjector,
 )
 from repro.runtime import ParallelValidator, ValidationService
-from repro.serve import Client, ValidationGateway
+from repro.serve import AsyncGateway, Client, ValidationGateway
 
 N_SCENARIOS = 20
 
@@ -351,6 +351,61 @@ def test_scenarios_cover_clean_and_problematic():
     assert missing, "no scenario injected missing values"
     sizes = {t.n_rows for t in tables}
     assert len(sizes) > 5, "scenario sizes are not diverse"
+
+
+@pytest.fixture(scope="module")
+def async_served(fitted):
+    """The asyncio gateway with an aggressive coalescing window: the
+    concurrent sub-requests below must fuse into shared slabs."""
+    service = ValidationService(capacity=2, shard_workers=0)
+    service.add("demo", fitted)
+    with AsyncGateway(service, port=0, batch_window_ms=20.0) as gateway:
+        yield gateway, Client(port=gateway.port)
+    service.close()
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+def test_coalesced_verdicts_bit_identical_to_per_request(index, fitted, async_served):
+    """Micro-batching must be invisible: each of four concurrently
+    submitted sub-requests — two over JSON, two over frames — decodes to
+    the exact report the in-process pipeline returns for that sub-table
+    alone, even though the scheduler may have fused them into one slab
+    (and the verdict, being a per-request fraction, would smear if the
+    split were sloppy)."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    gateway, client = async_served
+    frame_client = Client(port=gateway.port, wire="frame")
+    table = make_scenario(index)
+    quarter = max(1, table.n_rows // 4)
+    parts = [
+        table.slice_rows(start, min(start + quarter, table.n_rows))
+        for start in range(0, table.n_rows, quarter)
+    ]
+    references = [fitted.validate(part) for part in parts]
+    clients = [client if i % 2 == 0 else frame_client for i in range(len(parts))]
+    with ThreadPoolExecutor(max_workers=len(parts)) as pool:
+        remotes = list(
+            pool.map(
+                lambda pair: pair[0].validate("demo", pair[1], include_errors=True),
+                zip(clients, parts),
+            )
+        )
+    for i, (reference, remote) in enumerate(zip(references, remotes)):
+        tier = "json" if i % 2 == 0 else "frame"
+        assert_reports_identical(reference, remote, f"coalesced[{i}:{tier}]")
+
+
+def test_coalescing_actually_occurred(async_served):
+    """Meta-check: across the scenario sweep above, at least some
+    concurrent sub-requests must have shared a fused slab — otherwise
+    the parity claim is vacuous."""
+    gateway, _ = async_served
+    stats = gateway.scheduler.stats_snapshot()
+    if stats.completed < 8:
+        pytest.skip("scenario sweep did not run in this selection")
+    assert stats.batches < stats.completed
+    assert stats.mean_batch_size > 1.0
 
 
 def test_streamed_summary_agrees_with_report(fitted):
