@@ -9,17 +9,34 @@
   front with the same versioned ``/v1`` endpoints (health, pipeline
   stats, metrics, validate, repair, chunked validate_stream, rules);
   kept behind ``repro-serve --threaded`` for one release;
+* :class:`RouterGateway` + :class:`GatewayFleet` — the multi-node tier
+  (``repro-serve --replicas N``): a router process consistent-hashes
+  pipelines across N spawned worker replicas, scatters large streams
+  with the exact ``fold_partials`` merge, health-checks the fleet, and
+  aggregates ``/v1/metrics`` with a ``replica`` label;
 * :class:`RequestScheduler` — the dynamic micro-batching scheduler
   both transports (and ``ValidationService.submit``) can ride;
 * :class:`Client` — stdlib ``http.client`` counterpart that decodes
-  responses back into the in-process result objects;
+  responses back into the in-process result objects (one pooled
+  keep-alive connection per thread, ``close()``/context-manager);
 * :mod:`repro.serve.cli` — the ``repro-serve`` console entry point
   (also ``python -m repro.serve``).
 """
 
 from repro.serve.client import Client
+from repro.serve.fleet import GatewayFleet, WorkerHandle
 from repro.serve.gateway import ValidationGateway
+from repro.serve.router import RouterGateway, RouterTarget
 from repro.serve.scheduler import RequestScheduler
 from repro.serve.transport import AsyncGateway
 
-__all__ = ["AsyncGateway", "Client", "RequestScheduler", "ValidationGateway"]
+__all__ = [
+    "AsyncGateway",
+    "Client",
+    "GatewayFleet",
+    "RequestScheduler",
+    "RouterGateway",
+    "RouterTarget",
+    "ValidationGateway",
+    "WorkerHandle",
+]

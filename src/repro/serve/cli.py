@@ -9,6 +9,7 @@ Examples::
     repro-serve --pipeline hotel=m.npz --rules hotel=checks.json
     repro-serve --demo --batch-window-ms 5 --max-batch-rows 16384
     repro-serve --demo --threaded           # previous thread-per-connection server
+    repro-serve --demo --replicas 2         # router tier over 2 worker replicas
 
 The default server is the :class:`~repro.serve.transport.AsyncGateway`:
 an asyncio event loop fronting a dynamic micro-batching
@@ -18,7 +19,11 @@ concurrent small validate requests into fused engine slabs
 admission control (``--max-queue-depth`` → HTTP 429 + ``Retry-After``)
 and per-pipeline QoS weights (``--qos-weight``). ``--threaded`` keeps
 the previous thread-per-connection ``ValidationGateway`` for one
-release.
+release. ``--replicas N`` switches to router mode: N ``AsyncGateway``
+worker processes are spawned and warmed from the weight archives
+(:class:`~repro.serve.fleet.GatewayFleet`) and a
+:class:`~repro.serve.router.RouterGateway` on ``--port`` fronts them —
+same protocol, same client, fleet-wide capacity.
 
 Then::
 
@@ -138,6 +143,15 @@ def main(argv: list[str] | None = None) -> int:
         help="request-body size limit in MiB; oversized requests get HTTP 413 "
         "(default: 64)",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="router mode: spawn N async worker replicas from the weight "
+        "archives and front them with a consistent-hash router on --port "
+        "(requires the async gateway)",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--async",
@@ -187,6 +201,34 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.monitor_window is not None and args.monitor_window < 0:
         parser.error(f"--monitor-window must be >= 0, got {args.monitor_window}")
+    if args.max_body_mb is not None and args.max_body_mb <= 0:
+        parser.error(f"--max-body-mb must be positive, got {args.max_body_mb}")
+    max_body_bytes = (
+        None if args.max_body_mb is None else int(args.max_body_mb * 1024 * 1024)
+    )
+    qos_weights: dict[str, float] = {}
+    for spec in args.qos_weight:
+        name, separator, weight = spec.partition("=")
+        if not separator or not name:
+            parser.error(f"--qos-weight expects NAME=WEIGHT, got {spec!r}")
+        try:
+            qos_weights[name] = float(weight)
+        except ValueError:
+            parser.error(f"--qos-weight weight must be a number, got {spec!r}")
+    if args.batch_window_ms < 0:
+        parser.error(f"--batch-window-ms must be >= 0, got {args.batch_window_ms}")
+    if args.max_batch_rows < 1:
+        parser.error(f"--max-batch-rows must be positive, got {args.max_batch_rows}")
+    if args.max_queue_depth < 1:
+        parser.error(f"--max-queue-depth must be positive, got {args.max_queue_depth}")
+
+    if args.replicas is not None:
+        if args.replicas < 1:
+            parser.error(f"--replicas must be positive, got {args.replicas}")
+        if args.threaded:
+            parser.error("--replicas requires the async gateway (drop --threaded)")
+        return _serve_fleet(args, parser, max_body_bytes, qos_weights)
+
     service = ValidationService(
         capacity=args.capacity,
         max_workers=args.workers,
@@ -222,26 +264,6 @@ def main(argv: list[str] | None = None) -> int:
                 service.set_rules(target, rule_file if separator else spec)
                 print(f"attached rules {rule_file if separator else spec} -> {target}", flush=True)
 
-        if args.max_body_mb is not None and args.max_body_mb <= 0:
-            parser.error(f"--max-body-mb must be positive, got {args.max_body_mb}")
-        max_body_bytes = (
-            None if args.max_body_mb is None else int(args.max_body_mb * 1024 * 1024)
-        )
-        qos_weights: dict[str, float] = {}
-        for spec in args.qos_weight:
-            name, separator, weight = spec.partition("=")
-            if not separator or not name:
-                parser.error(f"--qos-weight expects NAME=WEIGHT, got {spec!r}")
-            try:
-                qos_weights[name] = float(weight)
-            except ValueError:
-                parser.error(f"--qos-weight weight must be a number, got {spec!r}")
-        if args.batch_window_ms < 0:
-            parser.error(f"--batch-window-ms must be >= 0, got {args.batch_window_ms}")
-        if args.max_batch_rows < 1:
-            parser.error(f"--max-batch-rows must be positive, got {args.max_batch_rows}")
-        if args.max_queue_depth < 1:
-            parser.error(f"--max-queue-depth must be positive, got {args.max_queue_depth}")
         if args.threaded:
             gateway = ValidationGateway(
                 service, host=args.host, port=args.port, max_body_bytes=max_body_bytes
@@ -272,6 +294,97 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     finally:
         service.close()
+
+
+def _serve_fleet(args, parser, max_body_bytes, qos_weights) -> int:
+    """``--replicas N``: spawn a worker fleet and front it with a router."""
+    import os
+    import tempfile
+
+    from repro.serve.fleet import GatewayFleet
+    from repro.serve.router import RouterGateway
+
+    archives: dict[str, str] = {}
+    for spec in args.pipeline:
+        name, separator, archive = spec.partition("=")
+        if not separator or not name or not archive:
+            parser.error(f"--pipeline expects NAME=ARCHIVE, got {spec!r}")
+        archives[name] = archive
+
+    demo_archive: str | None = None
+    try:
+        if args.demo:
+            # Workers rebuild pipelines from archives (nothing live
+            # crosses the spawn boundary), so the demo fit is saved to a
+            # temp archive every replica — and the router's merge
+            # context — loads from.
+            print("fitting demo pipeline...", flush=True)
+            handle, demo_archive = tempfile.mkstemp(prefix="repro-fleet-demo-", suffix=".npz")
+            os.close(handle)
+            fit_demo_pipeline().save(demo_archive)
+            archives["demo"] = demo_archive
+        if not archives:
+            parser.error("nothing to serve: pass --pipeline NAME=ARCHIVE and/or --demo")
+
+        rules: dict[str, str] = {}
+        for spec in args.rules:
+            name, separator, rule_file = spec.partition("=")
+            if separator and (not name or not rule_file):
+                parser.error(f"--rules expects [NAME=]FILE, got {spec!r}")
+            if separator and name not in archives:
+                parser.error(
+                    f"--rules names unknown pipeline {name!r}; "
+                    f"registered: {sorted(archives)}"
+                )
+            for target in ([name] if separator else sorted(archives)):
+                rules[target] = rule_file if separator else spec
+
+        fleet = GatewayFleet(
+            archives,
+            replicas=args.replicas,
+            host=args.host,
+            rules=rules or None,
+            capacity=args.capacity,
+            workers=args.workers,
+            shard_workers=args.shard_workers,
+            monitor_window=32 if args.monitor_window is None else args.monitor_window,
+            max_body_bytes=max_body_bytes,
+            batch_window_ms=args.batch_window_ms,
+            max_batch_rows=args.max_batch_rows,
+            max_queue_depth=args.max_queue_depth,
+            qos_weights=qos_weights or None,
+        )
+        print(f"spawning {args.replicas} worker replica(s)...", flush=True)
+        with fleet:
+            router = RouterGateway(
+                fleet.targets(),
+                host=args.host,
+                port=args.port,
+                max_body_bytes=max_body_bytes,
+                archives=archives,
+            )
+            workers = ", ".join(f"{w.name}@{w.host}:{w.port}" for w in fleet.targets())
+            print(
+                f"serving {sorted(archives)} on {router.url} "
+                f"(router over {workers})",
+                flush=True,
+            )
+            try:
+                router.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                router.close()
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if demo_archive is not None:
+            try:
+                os.unlink(demo_archive)
+            except OSError:
+                pass
 
 
 if __name__ == "__main__":

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import gzip
 import json
+import threading
 import time
-from http.client import HTTPConnection, HTTPResponse, HTTPSConnection
+from http.client import BadStatusLine, HTTPConnection, HTTPResponse, HTTPSConnection
 from typing import Iterable, Iterator
 from urllib.parse import quote, urlsplit
 
@@ -48,9 +49,18 @@ def _as_records(rows: "Table | list[dict]") -> list[dict]:
 class Client:
     """Talks to a :class:`~repro.serve.gateway.ValidationGateway`.
 
-    One connection per request keeps the client immune to server-side
-    ``Connection: close`` on error responses; the gateway's thread pool
-    makes per-request connections cheap at this scale.
+    Connections are pooled: each calling thread keeps one persistent
+    keep-alive connection (both gateways speak HTTP/1.1), so request
+    latency is not dominated by TCP handshakes under load. A stale
+    pooled socket — the server closed an idle keep-alive between
+    requests — is detected (``BadStatusLine`` / connection reset before
+    any response bytes arrive) and retried exactly once on a fresh
+    connection; since no response ever started, the resend cannot
+    double-execute a request, and status-level retries stay with the
+    503/429 guard in :meth:`_retry_once_on_503`. Responses the server
+    tags ``Connection: close`` (error envelopes) drop the socket instead
+    of pooling it. :meth:`close` releases every pooled socket; the
+    client is also a context manager.
     """
 
     #: scheme → default port, for URLs that do not spell one out
@@ -80,6 +90,35 @@ class Client:
         # None = not probed yet; True/False = gateway capability, cached
         # for the client's lifetime (capabilities don't change mid-run).
         self._gateway_speaks_frames: bool | None = None
+        # Per-thread parked keep-alive connection (a Client may be used
+        # from several threads at once; sharing one socket would
+        # interleave their requests), plus a registry of every live
+        # connection so close() can release them all.
+        self._local = threading.local()
+        self._conns: "set[HTTPConnection]" = set()
+        self._conns_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Release every pooled connection (all threads').
+
+        Not a terminal state: a later request simply opens a fresh
+        connection. Context-manager exit calls this.
+        """
+        with self._conns_lock:
+            connections, self._conns = self._conns, set()
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        # Drop every thread's parked reference in one move.
+        self._local = threading.local()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @classmethod
     def from_url(cls, url: str, timeout: float = 60.0, wire: str = "auto") -> "Client":
@@ -444,6 +483,10 @@ class Client:
         path = f"/v1/pipelines/{quote(pipeline, safe='')}/validate_stream"
         if workers is not None and workers > 1:
             path += f"?workers={int(workers)}"
+        # Streams always open a dedicated connection: the chunked body is
+        # a one-shot generator, so a stale pooled socket could not be
+        # retried transparently. On clean completion the (fully drained)
+        # connection is parked for this thread's next request.
         connection = self._connect()
         try:
             try:
@@ -482,9 +525,18 @@ class Client:
                 summary = StreamSummary.from_dict(payload)
             if summary is None:
                 raise GatewayError("stream response ended without a summary")
-            return summary
-        finally:
-            connection.close()
+            # Line iteration stops at EOF without marking the response
+            # closed; an explicit drain does, so the connection is truly
+            # reusable when parked.
+            response.read()
+        except BaseException:
+            self._discard(connection)
+            raise
+        if response.will_close or not response.isclosed():
+            self._discard(connection)
+        else:
+            self._park(connection)
+        return summary
 
     def validate_frame_file(
         self, pipeline: str, path, workers: int | None = None
@@ -506,10 +558,49 @@ class Client:
         )
 
     # -- plumbing ----------------------------------------------------------
+    #: socket failures that mean a pooled keep-alive went stale under us
+    #: (RemoteDisconnected subclasses both BadStatusLine and
+    #: ConnectionResetError, so it is covered twice over)
+    _STALE_SOCKET_ERRORS = (
+        BadStatusLine,
+        ConnectionResetError,
+        BrokenPipeError,
+        ConnectionAbortedError,
+    )
+
     def _connect(self) -> HTTPConnection:
         if self.scheme == "https":
-            return HTTPSConnection(self.host, self.port, timeout=self.timeout)
-        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+            connection = HTTPSConnection(self.host, self.port, timeout=self.timeout)
+        else:
+            connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        with self._conns_lock:
+            self._conns.add(connection)
+        return connection
+
+    def _acquire(self) -> "tuple[HTTPConnection, bool]":
+        """This thread's parked connection (reused=True) or a fresh one."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            self._local.connection = None
+            return connection, True
+        return self._connect(), False
+
+    def _park(self, connection: HTTPConnection) -> None:
+        """Keep a healthy connection for this thread's next request."""
+        parked = getattr(self._local, "connection", None)
+        if parked is not None and parked is not connection:
+            self._discard(parked)
+        self._local.connection = connection
+
+    def _discard(self, connection: HTTPConnection) -> None:
+        if getattr(self._local, "connection", None) is connection:
+            self._local.connection = None
+        with self._conns_lock:
+            self._conns.discard(connection)
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -524,24 +615,47 @@ class Client:
         content_type: str | None = None,
         accept: str | None = None,
     ) -> tuple[bytes, str]:
-        """One request → (decompressed body bytes, response content type)."""
-        connection = self._connect()
+        """One request → (decompressed body bytes, response content type).
+
+        Rides the calling thread's pooled connection. A stale socket is
+        retried once on a fresh connection *only* when the failed
+        attempt reused a pooled socket and died before any response
+        bytes — the server demonstrably never answered, so the resend
+        cannot double-execute even a non-idempotent body. A fresh
+        connection failing, or any failure after the status line,
+        propagates unchanged.
+        """
+        headers = {"Accept-Encoding": "gzip"}
+        if content_type is not None:
+            headers["Content-Type"] = content_type
+        if accept is not None:
+            headers["Accept"] = accept
+        for attempt in (0, 1):
+            connection, reused = self._acquire()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                break
+            except self._STALE_SOCKET_ERRORS:
+                self._discard(connection)
+                if not reused or attempt:
+                    raise
         try:
-            headers = {"Accept-Encoding": "gzip"}
-            if content_type is not None:
-                headers["Content-Type"] = content_type
-            if accept is not None:
-                headers["Accept"] = accept
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
             raw = self._read_response(response)
-            if response.status >= 400:
-                raise self._error_from(
-                    response.status, raw, response.getheader("Retry-After")
-                )
-            return raw, response.getheader("Content-Type") or ""
-        finally:
-            connection.close()
+        except BaseException:
+            self._discard(connection)
+            raise
+        if response.will_close:
+            # The server is hanging up after this response (our gateways
+            # do on every error envelope) — don't pool a dead socket.
+            self._discard(connection)
+        else:
+            self._park(connection)
+        if response.status >= 400:
+            raise self._error_from(
+                response.status, raw, response.getheader("Retry-After")
+            )
+        return raw, response.getheader("Content-Type") or ""
 
     @staticmethod
     def _read_response(response: HTTPResponse) -> bytes:

@@ -69,6 +69,7 @@ import gzip
 import json
 import math
 import re
+import socket
 import threading
 import time
 import zlib
@@ -132,6 +133,29 @@ def parse_query_workers(query: str) -> int | None:
     return workers
 
 
+def parse_query_flag(query: str, name: str) -> bool:
+    """Parse a boolean query parameter (``?name=1``/``true``; absent = False)."""
+    values = parse_qs(query).get(name)
+    if not values:
+        return False
+    value = values[-1].strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off", ""):
+        return False
+    raise _RequestError(400, f"{name!r} must be a boolean flag, got {values[-1]!r}")
+
+
+def format_retry_after(seconds: float) -> str:
+    """RFC 9110 delta-seconds: whole seconds, rounded up, never ``0``.
+
+    Retry-After does not speak fractions, and ``0`` would invite an
+    immediate hammer — both transports (and the router) send hints
+    through this one formatter.
+    """
+    return str(max(1, math.ceil(seconds)))
+
+
 def accepts_gzip(header: str | None) -> bool:
     """True when an ``Accept-Encoding`` header admits gzip (q>0)."""
     for token in (header or "").split(","):
@@ -148,11 +172,17 @@ def accepts_gzip(header: str | None) -> bool:
     return False
 
 
-def health_payload(service: "ValidationService") -> dict:
-    """The ``/v1/healthz`` envelope (shared by both transports)."""
+def health_payload(service: "ValidationService", draining: bool = False) -> dict:
+    """The ``/v1/healthz`` envelope (shared by both transports).
+
+    ``draining=True`` reports ``status: "draining"`` — the gateway has
+    begun :meth:`close` and is finishing in-flight work. Transports pair
+    it with HTTP 503 so load balancers and the router stop sending new
+    traffic before the socket actually goes away.
+    """
     payload = envelope("health")
     payload.update(
-        status="ok",
+        status="draining" if draining else "ok",
         version=repro.__version__,
         pipelines=len(service.registered),
         # Capability advertisement for client-side negotiation: a
@@ -214,24 +244,36 @@ class _GatewayServer(ThreadingHTTPServer):
         self.gateway = gateway
         # Handler threads are daemons, which socketserver deliberately
         # does not track or join — so a bare server_close() can race
-        # still-running handlers. Count them ourselves and let close()
-        # drain before the socket goes away.
+        # still-running handlers. Count in-flight *requests* (a pooled
+        # keep-alive connection parked between requests is idle, not in
+        # flight — it must not stall close()'s drain) and track open
+        # connection sockets so close() can hang up the idle ones.
         self._inflight = 0
         self._inflight_cv = threading.Condition()
+        self._connections: set = set()
         super().__init__(address, handler)
 
     def process_request_thread(self, request, client_address) -> None:
         with self._inflight_cv:
-            self._inflight += 1
+            self._connections.add(request)
         try:
             super().process_request_thread(request, client_address)
         finally:
             with self._inflight_cv:
-                self._inflight -= 1
+                self._connections.discard(request)
                 self._inflight_cv.notify_all()
 
+    def request_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify_all()
+
     def drain(self, timeout: float) -> bool:
-        """Wait for in-flight handler threads; True when all finished."""
+        """Wait for in-flight requests; True when all finished."""
         deadline = time.monotonic() + timeout
         with self._inflight_cv:
             while self._inflight > 0:
@@ -240,6 +282,19 @@ class _GatewayServer(ThreadingHTTPServer):
                     return False
                 self._inflight_cv.wait(remaining)
         return True
+
+    def close_idle_connections(self) -> None:
+        """Hang up every tracked connection (called after drain: anything
+        left is a keep-alive peer waiting for its next request). The
+        socket shutdown pops their blocked reads with EOF, so handler
+        threads exit instead of lingering on dead clients."""
+        with self._inflight_cv:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -256,12 +311,54 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
         logger.info("%s %s", self.address_string(), format % args)
 
+    def handle_one_request(self) -> None:
+        """Stdlib request loop body, with in-flight accounting.
+
+        The blocking wait for a request line happens *outside* the
+        server's in-flight count: a pooled keep-alive client parked
+        between requests is idle, and close()'s drain must not wait on
+        it. Only once bytes arrive does the request count (and block a
+        drain) until its response is written.
+        """
+        from http import HTTPStatus
+
+        try:
+            self.raw_requestline = self.rfile.readline(65537)
+            if len(self.raw_requestline) > 65536:
+                self.requestline = ""
+                self.request_version = ""
+                self.command = ""
+                self.send_error(HTTPStatus.REQUEST_URI_TOO_LONG)
+                return
+            if not self.raw_requestline:
+                self.close_connection = True
+                return
+            self.server.request_started()
+            try:
+                if not self.parse_request():
+                    return  # parse_request already sent the error
+                method = getattr(self, "do_" + self.command, None)
+                if method is None:
+                    self.send_error(
+                        HTTPStatus.NOT_IMPLEMENTED,
+                        "Unsupported method (%r)" % self.command,
+                    )
+                    return
+                method()
+                self.wfile.flush()
+            finally:
+                self.server.request_finished()
+        except TimeoutError as exc:
+            self.log_error("Request timed out: %r", exc)
+            self.close_connection = True
+
     # -- dispatch ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         try:
             path = urlsplit(self.path).path
             if path == "/v1/healthz":
-                self._send_json(200, self.gateway.healthz())
+                payload = self.gateway.healthz()
+                self._send_json(200 if payload["status"] == "ok" else 503, payload)
             elif path == "/v1/pipelines":
                 self._send_json(200, self.gateway.service.stats_snapshot().to_dict())
             elif path == "/v1/metrics":
@@ -347,7 +444,9 @@ class _Handler(BaseHTTPRequestHandler):
             elif action == "repair":
                 self._handle_repair(name)
             else:
-                self._handle_validate_stream(name, query_workers)
+                self._handle_validate_stream(
+                    name, query_workers, parse_query_flag(parts.query, "partials")
+                )
         except Exception as exc:
             self._send_failure(exc)
 
@@ -445,9 +544,18 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._send_json(200, payload)
 
-    def _handle_validate_stream(self, name: str, query_workers: int | None = None) -> None:
+    def _handle_validate_stream(
+        self,
+        name: str,
+        query_workers: int | None = None,
+        emit_partials: bool = False,
+    ) -> None:
         pipeline = self.gateway.service.get(name)
         schema = pipeline.preprocessor.schema
+        if emit_partials and query_workers is not None and query_workers > 1:
+            # Sharded execution re-cuts the chunk partition, so its
+            # partials would not line up with the caller's chunks.
+            raise _RequestError(400, "'partials' cannot be combined with 'workers'")
 
         if self._frame_request():
             # Framed ingest: the body is a back-to-back frame sequence
@@ -505,13 +613,20 @@ class _Handler(BaseHTTPRequestHandler):
 
             def acknowledged():
                 for partial in validator.iter_partials(tables()):
-                    ack = envelope("stream_chunk")
-                    ack.update(
-                        offset=int(partial.offset),
-                        n_rows=int(partial.n_rows),
-                        n_flagged=int(partial.n_flagged),
-                    )
-                    acks.append(ack)
+                    if emit_partials:
+                        # ``?partials=1`` (the router's scatter path):
+                        # each ack line is the full wire-encoded partial
+                        # report, so a merger with no live validator can
+                        # fold them exactly.
+                        acks.append(partial.to_dict())
+                    else:
+                        ack = envelope("stream_chunk")
+                        ack.update(
+                            offset=int(partial.offset),
+                            n_rows=int(partial.n_rows),
+                            n_flagged=int(partial.n_flagged),
+                        )
+                        acks.append(ack)
                     yield partial
 
             try:
@@ -690,9 +805,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         if retry_after is not None:
-            # Whole seconds, rounded up: Retry-After does not speak
-            # fractions, and "0" would invite an immediate hammer.
-            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
+            self.send_header("Retry-After", format_retry_after(retry_after))
         # Compress only when asked and worthwhile: tiny payloads (acks,
         # health checks, errors) cost more in header bytes + CPU than
         # they save. mtime=0 keeps equal payloads byte-identical.
@@ -783,6 +896,7 @@ class ValidationGateway:
         self._server = _GatewayServer((host, port), _Handler, gateway=self)
         self._thread: threading.Thread | None = None
         self._serving = False
+        self._draining = False
 
     @property
     def host(self) -> str:
@@ -797,7 +911,7 @@ class ValidationGateway:
         return f"http://{self.host}:{self.port}"
 
     def healthz(self) -> dict:
-        return health_payload(self.service)
+        return health_payload(self.service, draining=self._draining)
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of service stats + drift monitors."""
@@ -840,6 +954,11 @@ class ValidationGateway:
         like any other.
         """
         timeout = self.DEFAULT_DRAIN_TIMEOUT if drain_timeout is None else float(drain_timeout)
+        # Health checks flip to 503 "draining" before anything stops:
+        # connections served during the drain window (keep-alive peers,
+        # the router's health prober) see the state change and stop
+        # routing new work here.
+        self._draining = True
         if self._serving:
             # shutdown() blocks until serve_forever's loop acknowledges;
             # calling it when the loop never ran would wait forever.
@@ -851,6 +970,9 @@ class ValidationGateway:
                 self._server._inflight,
                 timeout,
             )
+        # Anything still connected is an idle keep-alive peer; hang up
+        # so their handler threads exit instead of outliving the server.
+        self._server.close_idle_connections()
         self.service.close_parallel()
         self._server.server_close()
         if self._thread is not None:

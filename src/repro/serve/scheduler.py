@@ -279,10 +279,13 @@ class RequestScheduler:
 
     def _retry_after_locked(self) -> float:
         # A conservative drain hint: every queued slab's worth of rows
-        # costs at least one window. Clients round this up to whole
-        # seconds for the Retry-After header.
+        # costs at least one window, and batches already dispatched to
+        # slab threads occupy workers ahead of the queue — a retry
+        # cannot land before they finish, so in-flight slabs count
+        # toward the estimate too. Transports round this up to RFC
+        # whole seconds for the Retry-After header.
         backlog = sum(len(q) for q in self._queues.values())
-        slabs = max(1, backlog // max(1, self.max_queue_depth // 4))
+        slabs = max(1, backlog // max(1, self.max_queue_depth // 4)) + self._in_flight
         return max(self.batch_window, 0.05) * slabs
 
     # -- dispatch loop -----------------------------------------------------

@@ -46,7 +46,6 @@ from __future__ import annotations
 import asyncio
 import gzip
 import json
-import math
 import os
 import queue
 import threading
@@ -71,7 +70,9 @@ from repro.serve.gateway import (
     _error_payload,
     accepts_gzip,
     failure_status,
+    format_retry_after,
     health_payload,
+    parse_query_flag,
     parse_query_workers,
 )
 from repro.serve.scheduler import RequestScheduler
@@ -295,6 +296,7 @@ class AsyncGateway:
         self._active = 0
         self._conn_tasks: "set[asyncio.Task]" = set()
         self._closed = False
+        self._draining = False
         self._drain_timeout = self.DEFAULT_DRAIN_TIMEOUT
 
     # -- lifecycle ---------------------------------------------------------
@@ -370,6 +372,10 @@ class AsyncGateway:
         if self._closed:
             return
         self._closed = True
+        # Health checks answer 503 "draining" from here on: keep-alive
+        # connections still served during the drain window tell their
+        # router/load balancer to take this worker out of rotation.
+        self._draining = True
         self._drain_timeout = (
             self.DEFAULT_DRAIN_TIMEOUT if drain_timeout is None else float(drain_timeout)
         )
@@ -395,7 +401,7 @@ class AsyncGateway:
 
     # -- service facade ----------------------------------------------------
     def healthz(self) -> dict:
-        return health_payload(self.service)
+        return health_payload(self.service, draining=self._draining)
 
     def metrics_text(self) -> str:
         """Prometheus text: service stats, drift monitors, scheduler gauges."""
@@ -501,7 +507,10 @@ class AsyncGateway:
         method, path = request.method, request.path
         if method == "GET":
             if path == "/v1/healthz":
-                await self._send_json(writer, request, 200, self.healthz())
+                payload = self.healthz()
+                await self._send_json(
+                    writer, request, 200 if payload["status"] == "ok" else 503, payload
+                )
             elif path == "/v1/pipelines":
                 await self._send_json(
                     writer, request, 200, self.service.stats_snapshot().to_dict()
@@ -553,7 +562,10 @@ class AsyncGateway:
             elif action == "repair":
                 await self._handle_repair(writer, request, body, name)
             else:
-                await self._handle_validate_stream(writer, request, body, name, workers)
+                await self._handle_validate_stream(
+                    writer, request, body, name, workers,
+                    parse_query_flag(request.query, "partials"),
+                )
         else:
             raise _RequestError(405, f"method {method} not supported")
 
@@ -736,12 +748,16 @@ class AsyncGateway:
 
     async def _handle_validate_stream(
         self, writer, request: _Request, body: _BodyReader, name: str,
-        query_workers: int | None,
+        query_workers: int | None, emit_partials: bool = False,
     ) -> None:
         pipeline = self.service.get(name)
         schema = pipeline.preprocessor.schema
         framed = self._frame_request(request)
         acks: "list[dict]" = []
+        if emit_partials and query_workers is not None and query_workers > 1:
+            # Sharded execution re-cuts the chunk partition, so its
+            # partials would not line up with the caller's chunks.
+            raise _RequestError(400, "'partials' cannot be combined with 'workers'")
 
         if query_workers is not None and query_workers > 1:
             summary = await self._stream_sharded(body, schema, framed, name, query_workers)
@@ -756,13 +772,19 @@ class AsyncGateway:
             async for table in self._iter_stream_tables(body, schema, framed):
                 partial = await self._run(validator.validate_chunk, table, offset)
                 offset += partial.n_rows
-                ack = envelope("stream_chunk")
-                ack.update(
-                    offset=int(partial.offset),
-                    n_rows=int(partial.n_rows),
-                    n_flagged=int(partial.n_flagged),
-                )
-                acks.append(ack)
+                if emit_partials:
+                    # ``?partials=1`` (the router's scatter path): each
+                    # ack line is the full wire-encoded partial report,
+                    # so a merger with no live validator can fold them.
+                    acks.append(partial.to_dict())
+                else:
+                    ack = envelope("stream_chunk")
+                    ack.update(
+                        offset=int(partial.offset),
+                        n_rows=int(partial.n_rows),
+                        n_flagged=int(partial.n_flagged),
+                    )
+                    acks.append(ack)
                 partials.append(partial)
             try:
                 summary = validator.fold(iter(partials))
@@ -843,9 +865,7 @@ class AsyncGateway:
         body = json.dumps(payload).encode("utf-8")
         extra = []
         if retry_after is not None:
-            # Whole seconds, rounded up: Retry-After does not speak
-            # fractions, and "0" would invite an immediate hammer.
-            extra.append(("Retry-After", str(max(1, math.ceil(retry_after)))))
+            extra.append(("Retry-After", format_retry_after(retry_after)))
         gzip_ok = request is not None and accepts_gzip(request.header("accept-encoding"))
         if len(body) >= 256 and gzip_ok:
             body = gzip.compress(body, mtime=0)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -388,6 +389,112 @@ class TestShutdown:
         gateway = ValidationGateway(service, port=0)
         gateway.close()  # never served: shutdown() must be skipped
         service.close()
+
+
+class TestClientPooling:
+    """Bugfix pins for the persistent-connection client: one keep-alive
+    socket per thread reused across requests, transparent reconnect
+    when the parked socket has gone stale, explicit ``close()``."""
+
+    def test_connection_reused_across_requests(self, served):
+        pipeline, gateway, _ = served
+        client = Client(port=gateway.port)
+        try:
+            client.healthz()
+            first = client._local.connection
+            assert first is not None
+            client.validate("demo", make_batch(pipeline, 8, seed=40))
+            client.healthz()
+            assert client._local.connection is first  # same parked socket
+        finally:
+            client.close()
+
+    def test_stale_parked_socket_reconnects_transparently(self, served):
+        pipeline, gateway, _ = served
+        client = Client(port=gateway.port)
+        try:
+            client.healthz()
+            parked = client._local.connection
+            # Simulate the server reaping the idle keep-alive socket: the
+            # next write on it dies with EPIPE/ECONNRESET.
+            parked.sock.shutdown(socket.SHUT_RDWR)
+            report = client.validate("demo", make_batch(pipeline, 8, seed=41))
+            assert report.row_flags.shape == (8,)
+            assert client._local.connection is not parked  # fresh socket
+        finally:
+            client.close()
+
+    def test_close_then_reuse_reopens(self, served):
+        pipeline, gateway, _ = served
+        client = Client(port=gateway.port)
+        client.healthz()
+        client.close()
+        assert getattr(client._local, "connection", None) is None
+        assert client.healthz()["status"] == "ok"  # reopens on demand
+        client.close()
+
+    def test_context_manager_closes_pool(self, served):
+        _, gateway, _ = served
+        with Client(port=gateway.port) as client:
+            client.healthz()
+            assert client._conns
+        assert not client._conns
+
+    def test_threads_get_independent_connections(self, served):
+        _, gateway, _ = served
+        client = Client(port=gateway.port)
+        conns = {}
+        try:
+
+            def probe(key):
+                client.healthz()
+                conns[key] = client._local.connection
+
+            threads = [
+                threading.Thread(target=probe, args=(i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert len({id(c) for c in conns.values()}) == 3
+        finally:
+            client.close()
+
+
+class TestDrainingHealth:
+    def test_healthz_reports_draining_with_503(self):
+        """Bugfix pin: once drain begins, ``/v1/healthz`` must say so
+        (503 + ``"draining"``) so load balancers stop routing here.
+        Both transports share ``health_payload``."""
+        pipeline = fit_demo_pipeline()
+        service = ValidationService(capacity=2)
+        service.add("demo", pipeline)
+        for factory in (AsyncGateway, ValidationGateway):
+            gateway = factory(service, port=0)
+            gateway.start()
+            try:
+                assert Client(port=gateway.port).healthz()["status"] == "ok"
+                gateway._draining = True  # the close() drain window
+                conn = http.client.HTTPConnection("127.0.0.1", gateway.port)
+                conn.request("GET", "/v1/healthz")
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                conn.close()
+                assert response.status == 503
+                assert payload["status"] == "draining"
+                gateway._draining = False
+            finally:
+                gateway.close()
+        service.close()
+
+    def test_retry_after_header_is_rfc_whole_seconds(self):
+        from repro.serve.gateway import format_retry_after
+
+        assert format_retry_after(0.001) == "1"  # never "0": that invites
+        assert format_retry_after(0.8) == "1"  # an immediate stampede
+        assert format_retry_after(2.0) == "2"
+        assert format_retry_after(2.2) == "3"  # round up, not down
 
 
 class TestStress:

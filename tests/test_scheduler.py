@@ -164,6 +164,23 @@ class TestAdmission:
         with pytest.raises(ReproError):
             future.result(timeout=5)
 
+    def test_retry_after_counts_in_flight_slabs(self, demo):
+        """Bugfix pin: batches already on slab threads occupy workers
+        ahead of the queue, so the Retry-After hint must grow with
+        ``_in_flight`` — a retry cannot land before they finish."""
+        pipeline, service = demo
+        sched = RequestScheduler(service, batch_window_ms=100.0, max_queue_depth=8)
+        try:
+            with sched._cv:
+                idle = sched._retry_after_locked()
+                sched._in_flight = 3
+                busy = sched._retry_after_locked()
+                sched._in_flight = 0
+            assert idle >= sched.batch_window
+            assert busy == pytest.approx(idle + 3 * max(sched.batch_window, 0.05))
+        finally:
+            sched.close()
+
     def test_row_ceiling_dispatches_early(self, demo):
         pipeline, service = demo
         # Two 20-row requests fill the 40-row slab well before the (long)
