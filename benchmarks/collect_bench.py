@@ -1,0 +1,73 @@
+"""Merge every ``results/BENCH_*.json`` snapshot into one trajectory file.
+
+Each bench run emits a machine-readable ``BENCH_<name>.json`` next to its
+rendered table (see :func:`benchmarks.conftest.emit_result`). CI uploads
+them as artifacts per job; this collector folds whatever snapshots are
+present into a single ``BENCH_trajectory.json`` keyed by bench name, so
+the perf trajectory across commits is one file to diff instead of a
+directory to walk::
+
+    python benchmarks/collect_bench.py            # writes results/BENCH_trajectory.json
+    python benchmarks/collect_bench.py --print    # also pretty-print to stdout
+
+The collector is additive and never fails on partial runs: a missing
+snapshot simply isn't in the merge, and a malformed one is recorded
+under ``"errors"`` rather than aborting the roll-up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TRAJECTORY_NAME = "BENCH_trajectory.json"
+
+
+def collect(results_dir: Path = RESULTS_DIR) -> dict:
+    """Fold all ``BENCH_*.json`` snapshots into one trajectory payload."""
+    benches: dict[str, dict] = {}
+    errors: dict[str, str] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY_NAME:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            errors[path.name] = f"{type(exc).__name__}: {exc}"
+            continue
+        name = payload.get("bench") if isinstance(payload, dict) else None
+        if not isinstance(name, str) or not name:
+            name = path.stem[len("BENCH_"):]
+        benches[name] = payload
+    trajectory: dict = {"kind": "bench_trajectory", "n_benches": len(benches), "benches": benches}
+    if errors:
+        trajectory["errors"] = errors
+    return trajectory
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="collect_bench", description="Merge BENCH_*.json snapshots into one trajectory."
+    )
+    parser.add_argument(
+        "--results-dir", type=Path, default=RESULTS_DIR,
+        help=f"snapshot directory (default: {RESULTS_DIR})",
+    )
+    parser.add_argument("--print", dest="show", action="store_true", help="echo the merged payload")
+    args = parser.parse_args(argv)
+
+    trajectory = collect(args.results_dir)
+    args.results_dir.mkdir(parents=True, exist_ok=True)
+    out = args.results_dir / TRAJECTORY_NAME
+    out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"merged {trajectory['n_benches']} bench snapshot(s) -> {out}")
+    if args.show:
+        print(json.dumps(trajectory, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

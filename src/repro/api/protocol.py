@@ -102,7 +102,11 @@ SCHEMA_VERSION = 1
 #:     validation_report / stream_summary and ``rule_partial`` on
 #:     partial_report. The new keys are *omitted* (not null) when rules
 #:     are off, so rules-off payloads stay byte-identical to revision 3.
-CODEC_REVISION = 4
+#: 5 — shared-memory data plane + idle-pool reaping: optional
+#:     ``pool_reaps`` on service_stats and ``shm_ingest`` on health,
+#:     both omitted when zero/false so quiescent payloads stay
+#:     byte-identical to revision 4.
+CODEC_REVISION = 5
 
 
 # ---------------------------------------------------------------------------
@@ -464,6 +468,10 @@ def service_stats_to_dict(stats: ServiceStats) -> dict:
         rows_validated=int(stats.rows_validated),
         pipelines=jsonable(stats.pipelines),
     )
+    # Revision 5, omitted while zero: pre-reaper snapshots stay
+    # byte-identical to revision 4.
+    if stats.pool_reaps:
+        payload["pool_reaps"] = int(stats.pool_reaps)
     return payload
 
 
@@ -478,6 +486,7 @@ def service_stats_from_dict(payload: dict) -> ServiceStats:
         validations=int(payload["validations"]),
         repairs=int(payload["repairs"]),
         rows_validated=int(payload["rows_validated"]),
+        pool_reaps=int(payload.get("pool_reaps", 0)),
         pipelines={name: dict(entry) for name, entry in payload["pipelines"].items()},
     )
 

@@ -186,7 +186,7 @@ class DQuaG(BaselineValidator):
 
     # -- phase 2 --------------------------------------------------------------
     def validate(
-        self, table: Table, workers: int | None = None, rules=None
+        self, table: Table, workers: int | None = None, rules=None, use_shm: bool | None = None
     ) -> ValidationReport:
         """Full validation report for an unseen table (engine-compiled path).
 
@@ -194,7 +194,10 @@ class DQuaG(BaselineValidator):
         shards validated on a process pool (see
         :mod:`repro.runtime.sharding`); the merged report is bit-identical
         to the single-process path. The pool is cached per worker count —
-        release with :meth:`close_parallel` when done.
+        release with :meth:`close_parallel` when done. ``use_shm``
+        controls the shared-memory data plane of that pool (None =
+        auto-detect, False = pickled fan-out, True = prefer shm with
+        automatic fallback); single-process runs ignore it.
 
         ``rules`` attaches a declarative rule set (any form accepted by
         :func:`repro.rules.resolve_rules`): the encoded matrix is also
@@ -217,14 +220,14 @@ class DQuaG(BaselineValidator):
                 raise SchemaError("table schema does not match the trained pipeline")
             ruleset = None if rule_plan is None else rule_plan.ruleset
             try:
-                return self.parallel_validator(workers).validate_table(
+                return self.parallel_validator(workers, use_shm=use_shm).validate_table(
                     table, shards=workers, keep_cell_errors=True, rules=ruleset
                 )
             except TransientServiceError:
                 # A concurrent wider validate() closed our pool between
                 # lookup and submission; the cache now holds the wider
                 # pool, so one retry lands on it.
-                return self.parallel_validator(workers).validate_table(
+                return self.parallel_validator(workers, use_shm=use_shm).validate_table(
                     table, shards=workers, keep_cell_errors=True, rules=ruleset
                 )
         if rule_plan is not None:
@@ -374,12 +377,18 @@ class DQuaG(BaselineValidator):
         )
         return self
 
-    def parallel_validator(self, workers: int | None = None, chunk_size: int = 8192):
+    def parallel_validator(
+        self,
+        workers: int | None = None,
+        chunk_size: int = 8192,
+        use_shm: bool | None = None,
+    ):
         """The cached sharded executor over this fitted pipeline.
 
         One pool is kept, rebuilt wider when a larger worker count (or a
-        different chunk size) is requested; any shard count runs on it
-        with bit-identical results. The pipeline is persisted to a temp
+        different chunk size, or an explicitly different ``use_shm``
+        setting) is requested; any shard count runs on it with
+        bit-identical results. The pipeline is persisted to a temp
         archive on first use (workers rebuild from it — no live state is
         pickled); subsequent calls reuse the warm pool.
         """
@@ -392,14 +401,16 @@ class DQuaG(BaselineValidator):
         with self._parallel_lock:
             parallel = self._parallel_validator
             if parallel is not None and (
-                parallel.workers < workers or parallel.chunk_size != chunk_size
+                parallel.workers < workers
+                or parallel.chunk_size != chunk_size
+                or (use_shm is not None and parallel.use_shm != use_shm)
             ):
                 self._parallel_validator = None
                 parallel.close()
                 parallel = None
             if parallel is None:
                 parallel = ParallelValidator.from_pipeline(
-                    self, workers=workers, chunk_size=chunk_size
+                    self, workers=workers, chunk_size=chunk_size, use_shm=use_shm
                 )
                 self._parallel_validator = parallel
             return parallel

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -79,6 +80,9 @@ class ServiceStats:
     validations: int
     repairs: int
     rows_validated: int
+    #: shard pools reclaimed by the idle-timeout reaper (see
+    #: ``shard_idle_timeout``); additive in codec revision 5
+    pool_reaps: int = 0
     #: per-pipeline detail: resident/pinned/hits/source plus lifetime
     #: loads/validations/repairs/rows_validated counters
     pipelines: dict[str, dict] = field(default_factory=dict)
@@ -115,6 +119,8 @@ class ValidationService:
         max_workers: int | None = None,
         shard_workers: int | None = None,
         monitor_window: int = 32,
+        use_shm: bool | None = None,
+        shard_idle_timeout: float | None = 300.0,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -139,6 +145,20 @@ class ValidationService:
         #: one pool per pipeline name, built at shard_workers width; the
         #: per-request grant caps how many shards run on it concurrently
         self._parallel: dict[str, "ParallelValidator"] = {}
+        #: shared-memory data plane toggle handed to every shard pool
+        #: (None = auto-detect, False = pickled only, True = prefer shm)
+        self.use_shm = use_shm
+        #: idle seconds after which a quiet pipeline's shard pool is
+        #: reaped (its worker processes released); None/0 disables the
+        #: reaper. A reaped pool rebuilds transparently on next use.
+        self.shard_idle_timeout = (
+            None if not shard_idle_timeout else float(shard_idle_timeout)
+        )
+        self.n_pool_reaps = 0
+        self._parallel_last_used: dict[str, float] = {}
+        self._parallel_busy: dict[str, int] = {}
+        self._reaper: threading.Thread | None = None
+        self._reaper_stop = threading.Event()
         #: bumped on every register()/add(); lets a shard-pool build that
         #: raced a re-registration detect that it is stale
         self._generations: dict[str, int] = {}
@@ -331,6 +351,7 @@ class ValidationService:
         # current weights fails the request instead of a worker.
         rule_plan = self.rule_plan_for(name)
         ruleset = None if rule_plan is None else rule_plan.ruleset
+        self._parallel_note_busy(name)
         try:
             try:
                 report = self._parallel_for(name).validate_table(
@@ -346,6 +367,7 @@ class ValidationService:
                     table, shards=granted, keep_cell_errors=True, rules=ruleset
                 )
         finally:
+            self._parallel_note_idle(name)
             self._release_shard_workers(granted)
         self.count_validation(name, table.n_rows)
         self._observe_batch(name, table, report)
@@ -380,6 +402,7 @@ class ValidationService:
         else:
             if monitor is not None:
                 chunks = self._observed_chunks(monitor, chunks)
+            self._parallel_note_busy(name)
             try:
                 summary = self._parallel_for(name).validate_stream(
                     chunks,
@@ -396,6 +419,7 @@ class ValidationService:
                     "re-registered or pool closed mid-stream); retry the request"
                 ) from exc
             finally:
+                self._parallel_note_idle(name)
                 self._release_shard_workers(granted)
             if monitor is not None:
                 try:
@@ -440,7 +464,7 @@ class ValidationService:
                 generation = self._generations.get(name, 0)
             pipeline = self.get(name)
             built = ParallelValidator.from_pipeline(
-                pipeline, archive=source, workers=self.shard_workers
+                pipeline, archive=source, workers=self.shard_workers, use_shm=self.use_shm
             )
             with self._lock:
                 if self._closed:
@@ -453,6 +477,7 @@ class ValidationService:
                     closed = False
                     stale = False
                     existing = self._parallel.setdefault(name, built)
+                    self._parallel_last_used.setdefault(name, time.monotonic())
             if closed:
                 # A racing service.close() already drained _parallel;
                 # inserting now would leak this pool's worker processes.
@@ -463,13 +488,81 @@ class ValidationService:
                 continue
             if existing is not built:
                 built.close()
+            self._ensure_reaper()
             return existing
 
     def _close_parallel_for(self, name: str) -> None:
         with self._lock:
             parallel = self._parallel.pop(name, None)
+            self._parallel_last_used.pop(name, None)
         if parallel is not None:
             parallel.close()
+
+    # -- idle-pool reaping -------------------------------------------------
+    def _parallel_note_busy(self, name: str) -> None:
+        # Taken *before* the pool lookup, so the reaper (which checks
+        # busy counts under the same lock) can never close a pool
+        # between a request resolving it and submitting to it.
+        with self._lock:
+            self._parallel_busy[name] = self._parallel_busy.get(name, 0) + 1
+
+    def _parallel_note_idle(self, name: str) -> None:
+        with self._lock:
+            count = self._parallel_busy.get(name, 0) - 1
+            if count > 0:
+                self._parallel_busy[name] = count
+            else:
+                self._parallel_busy.pop(name, None)
+            self._parallel_last_used[name] = time.monotonic()
+
+    def reap_idle_pools(self) -> int:
+        """Close shard pools idle longer than ``shard_idle_timeout``.
+
+        Quiet pipelines would otherwise pin their worker processes
+        forever; a reaped pool rebuilds transparently on the next sharded
+        request. Returns how many pools were reclaimed (also summed into
+        ``pool_reaps`` in :meth:`stats_snapshot`). Runs periodically on a
+        background thread, and may be called directly.
+        """
+        timeout = self.shard_idle_timeout
+        if not timeout:
+            return 0
+        with self._lock:
+            now = time.monotonic()
+            victims = [
+                name
+                for name in self._parallel
+                if not self._parallel_busy.get(name)
+                and now - self._parallel_last_used.get(name, now) >= timeout
+            ]
+            pools = [self._parallel.pop(name) for name in victims]
+            for name in victims:
+                self._parallel_last_used.pop(name, None)
+            self.n_pool_reaps += len(victims)
+        for pool in pools:
+            pool.close()
+        if victims:
+            logger.info("reaped %d idle shard pool(s): %s", len(victims), ", ".join(victims))
+        return len(victims)
+
+    def _ensure_reaper(self) -> None:
+        if not self.shard_idle_timeout:
+            return
+        with self._lock:
+            if self._reaper is not None or self._closed:
+                return
+            self._reaper = threading.Thread(
+                target=self._reaper_loop, name="dquag-pool-reaper", daemon=True
+            )
+            self._reaper.start()
+
+    def _reaper_loop(self) -> None:
+        interval = max(0.05, min(self.shard_idle_timeout / 4, 30.0))
+        while not self._reaper_stop.wait(interval):
+            try:
+                self.reap_idle_pools()
+            except Exception:  # pragma: no cover - keep the reaper alive
+                logger.warning("idle-pool reap failed", exc_info=True)
 
     def count_validation(self, name: str, n_rows: int, validations: int = 1) -> None:
         """Record validation work done outside :meth:`validate`.
@@ -749,6 +842,7 @@ class ValidationService:
                 "validations": sum(c["validations"] for c in self._counters.values()),
                 "repairs": sum(c["repairs"] for c in self._counters.values()),
                 "rows_validated": sum(c["rows_validated"] for c in self._counters.values()),
+                "pool_reaps": self.n_pool_reaps,
             }
 
     def pipeline_stats(self) -> dict[str, dict]:
@@ -789,11 +883,16 @@ class ValidationService:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        self._reaper_stop.set()
         with self._lock:
             self._closed = True
+            reaper, self._reaper = self._reaper, None
             validators = list(self._parallel.values())
             self._parallel.clear()
+            self._parallel_last_used.clear()
             self._monitors.clear()
+        if reaper is not None:
+            reaper.join(timeout=5.0)
         for parallel in validators:
             parallel.close()
 

@@ -19,6 +19,13 @@ speed (the Figure-4 scalability axis):
   :class:`~repro.core.validator.ValidationReport` (dense mode) or
   :class:`~repro.runtime.streaming.StreamSummary` (bounded-memory mode).
 
+When the platform supports it, shard data moves over the zero-copy
+shared-memory plane (:mod:`repro.runtime.shm`) instead of the pickled
+transport: the parent encodes rows straight into shared slabs and the
+workers validate matrix windows in place — same bits, no serialization,
+no per-worker re-transform — with automatic pickled fallback whenever
+shm is unavailable, over budget, or a worker dies mid-shard.
+
 Because shard boundaries are multiples of the validation chunk size and
 the engine's numerics are chunk-size invariant, the merged result is
 bit-identical to the single-process path regardless of the worker count.
@@ -123,54 +130,138 @@ class ShardPlanner:
         ]
 
     def iter_stream_shards(
-        self, chunks: Iterable[Chunk], chunks_per_shard: int = 4
+        self,
+        chunks: Iterable[Chunk],
+        chunks_per_shard: int = 4,
+        reuse_buffer: bool = False,
     ) -> Iterator[tuple[Shard, Chunk]]:
         """Regroup an arbitrary chunk stream into shard-sized super-chunks.
 
         Incoming chunks (Tables or preprocessed matrices, not mixed) are
-        buffered and re-cut at multiples of ``chunk_size × chunks_per_shard``
-        rows; only one shard of rows is ever buffered.
+        written incrementally into one pre-allocated shard-sized buffer
+        and cut at multiples of ``chunk_size × chunks_per_shard`` rows;
+        only one shard of rows is ever buffered and each row is copied at
+        most once (a chunk that already spans a full shard is sliced
+        through zero-copy). With ``reuse_buffer=True`` every yielded
+        super-chunk is a view over the *same* buffer — allocation-free,
+        but the caller must fully consume each shard before advancing
+        (mirrors ``TransformPlan.transform_chunks(reuse_buffer=True)``).
         """
         if chunks_per_shard < 1:
             raise ValueError(f"chunks_per_shard must be positive, got {chunks_per_shard}")
         shard_rows = self.chunk_size * chunks_per_shard
-        buffer: list[Chunk] = []
-        buffered = 0
+        buffer: _ShardBuffer | None = None
         offset = 0
         index = 0
         kind: str | None = None
         for chunk in chunks:
             if isinstance(chunk, Table):
                 this = "table"
+                n = chunk.n_rows
             else:
                 chunk = np.asarray(chunk, dtype=np.float64)
                 this = "matrix"
+                n = chunk.shape[0]
             if kind is None:
                 kind = this
             elif kind != this:
                 raise ValidationError("cannot mix Table and matrix chunks in one stream")
-            buffer.append(chunk)
-            buffered += chunk.n_rows if isinstance(chunk, Table) else chunk.shape[0]
-            while buffered >= shard_rows:
-                merged = _concat_chunks(buffer)
-                head = _slice_chunk(merged, 0, shard_rows)
-                rest = _slice_chunk(merged, shard_rows, buffered)
-                yield Shard(index=index, offset=offset, n_rows=shard_rows), head
-                index += 1
-                offset += shard_rows
-                buffered -= shard_rows
-                buffer = [rest] if buffered else []
-        if buffered:
-            merged = _concat_chunks(buffer)
-            yield Shard(index=index, offset=offset, n_rows=buffered), merged
+            pos = 0
+            while pos < n:
+                if (buffer is None or not buffer.filled) and n - pos >= shard_rows:
+                    # A full shard sits contiguously in the incoming
+                    # chunk: slice it through without touching the buffer.
+                    yield (
+                        Shard(index=index, offset=offset, n_rows=shard_rows),
+                        _slice_chunk(chunk, pos, pos + shard_rows),
+                    )
+                    index += 1
+                    offset += shard_rows
+                    pos += shard_rows
+                    continue
+                if buffer is None:
+                    buffer = _ShardBuffer(shard_rows, chunk)
+                take = min(n - pos, shard_rows - buffer.filled)
+                buffer.append(chunk, pos, pos + take)
+                pos += take
+                if buffer.filled == shard_rows:
+                    yield (
+                        Shard(index=index, offset=offset, n_rows=shard_rows),
+                        buffer.cut(reuse=reuse_buffer),
+                    )
+                    index += 1
+                    offset += shard_rows
+        if buffer is not None and buffer.filled:
+            yield (
+                Shard(index=index, offset=offset, n_rows=buffer.filled),
+                buffer.cut(reuse=reuse_buffer),
+            )
 
 
-def _concat_chunks(chunks: list[Chunk]) -> Chunk:
-    if len(chunks) == 1:
-        return chunks[0]
-    if isinstance(chunks[0], Table):
-        return Table.concat(chunks)
-    return np.concatenate(chunks, axis=0)
+class _ShardBuffer:
+    """Pre-allocated shard-sized accumulator for stream regrouping.
+
+    Replaces the old regroup strategy of re-concatenating every buffered
+    chunk on each super-chunk cut (which copied the carried remainder
+    again for every incoming chunk): rows are written once into a
+    shard-capacity buffer and the filled prefix is handed out per cut.
+    """
+
+    def __init__(self, capacity: int, template: Chunk) -> None:
+        self.capacity = capacity
+        self.filled = 0
+        if isinstance(template, Table):
+            self.schema = template.schema
+            self._columns: dict[str, np.ndarray] | None = {
+                name: np.empty(capacity, dtype=template.column(name).dtype)
+                for name in template.schema.names
+            }
+            self._matrix = None
+        else:
+            self._columns = None
+            self._matrix = np.empty((capacity, template.shape[1]), dtype=np.float64)
+
+    def append(self, chunk: Chunk, start: int, stop: int) -> None:
+        end = self.filled + (stop - start)
+        if self._columns is not None:
+            if chunk.schema != self.schema:
+                from repro.exceptions import SchemaError
+
+                raise SchemaError("cannot concat tables with different schemas")
+            for name, buf in self._columns.items():
+                col = chunk.column(name)
+                promoted = np.promote_types(buf.dtype, col.dtype)
+                if promoted != buf.dtype:
+                    # e.g. a later chunk with wider strings: regrow once,
+                    # exactly as np.concatenate would have promoted.
+                    grown = np.empty(self.capacity, dtype=promoted)
+                    grown[: self.filled] = buf[: self.filled]
+                    self._columns[name] = buf = grown
+                buf[self.filled : end] = col[start:stop]
+        else:
+            self._matrix[self.filled : end] = chunk[start:stop]
+        self.filled = end
+
+    def cut(self, reuse: bool) -> Chunk:
+        """The filled prefix as a super-chunk; resets for the next shard."""
+        n = self.filled
+        if self._columns is not None:
+            view: Chunk = Table._wrap(
+                self.schema, {name: buf[:n] for name, buf in self._columns.items()}, n
+            )
+            if not reuse:
+                # Ownership of the arrays moves to the yielded chunk;
+                # back the next shard with fresh ones.
+                self._columns = {
+                    name: np.empty(self.capacity, dtype=buf.dtype)
+                    for name, buf in self._columns.items()
+                }
+        else:
+            view = self._matrix[:n]
+            if not reuse:
+                self._matrix = np.empty_like(self._matrix)
+        self.filled = 0
+        return view
 
 
 def _slice_chunk(chunk: Chunk, start: int, stop: int) -> Chunk:
@@ -186,12 +277,19 @@ def _slice_chunk(chunk: Chunk, start: int, stop: int) -> Chunk:
 # ---------------------------------------------------------------------------
 @dataclass
 class _MergeContext:
-    """The (tiny) parent-side state folding needs: no model, no engine."""
+    """The (small) parent-side state folding needs: no model, no engine.
+
+    ``preprocessor`` rides along for the shared-memory data plane — the
+    parent encodes tables into slabs itself (the transform is bit-exact
+    and must run somewhere anyway), so workers validate raw matrix
+    windows with no re-transform.
+    """
 
     threshold: float
     rule: DatasetDecisionRule
     schema: object  # TableSchema of the trained pipeline
     feature_names: list[str]
+    preprocessor: object | None = None  # TablePreprocessor (fitted)
 
 
 def _context_from_archive(archive: Path) -> _MergeContext:
@@ -206,7 +304,8 @@ def _context_from_archive(archive: Path) -> _MergeContext:
             "(pre-runtime archive); retrain and re-save the pipeline"
         )
     config = DQuaGConfig.from_dict(metadata["config"])
-    schema = TablePreprocessor.from_metadata(metadata["preprocessor"]).schema
+    preprocessor = TablePreprocessor.from_metadata(metadata["preprocessor"])
+    schema = preprocessor.schema
     return _MergeContext(
         threshold=float(metadata["calibration"]["threshold"]),
         rule=DatasetDecisionRule(
@@ -215,6 +314,7 @@ def _context_from_archive(archive: Path) -> _MergeContext:
         ),
         schema=schema,
         feature_names=list(schema.names),
+        preprocessor=preprocessor,
     )
 
 
@@ -279,6 +379,7 @@ def _validate_shard(
         rules=_worker_rule_plan(rules_payload),
     )
     kind, data = payload
+    holder = None
     if kind == "table":
         table = Table(validator.preprocessor.schema, data)
         # Compiled-plan encoding into one worker-local reused buffer:
@@ -286,16 +387,34 @@ def _validate_shard(
         chunks: Iterable[np.ndarray] = validator.preprocessor.compile().transform_chunks(
             table, chunk_size
         )
+    elif kind == "shm":
+        # Zero-copy plane: the parent already encoded the rows into a
+        # shared slab; attach and window it — no pickled rows, no
+        # re-transform. Pool slabs (cache=True) keep their mapping in a
+        # bounded process-local cache across the stream's shards.
+        from repro.runtime.shm import attach_window
+
+        window, holder = attach_window(data, cache=bool(data.get("cache")))
+        chunks = (
+            window[start : start + chunk_size]
+            for start in range(0, window.shape[0], chunk_size)
+        )
     else:
         matrix = np.asarray(data, dtype=np.float64)
         chunks = (
             matrix[start : start + chunk_size]
             for start in range(0, matrix.shape[0], chunk_size)
         )
-    encoded: list[dict] = []
-    for partial in streaming.iter_partials(chunks):
-        partial.offset += offset
-        encoded.append(partial.to_dict())
+    try:
+        encoded: list[dict] = []
+        for partial in streaming.iter_partials(chunks):
+            partial.offset += offset
+            encoded.append(partial.to_dict())
+    finally:
+        if holder is not None:
+            # One-shot table slab: release the mapping promptly so an
+            # already-unlinked segment's memory is freed with the request.
+            holder.close()
     return encoded
 
 
@@ -337,9 +456,13 @@ class ParallelValidator:
         keep_cell_errors: bool = False,
         chunks_per_shard: int = 4,
         mp_context: str = "spawn",
+        use_shm: bool | None = None,
+        slab_budget: int | None = None,
         _context: _MergeContext | None = None,
         _owns_archive: bool = False,
     ) -> None:
+        from repro.runtime.shm import slab_budget_bytes
+
         self.archive = Path(archive)
         if not self.archive.exists():
             raise ReproError(f"no such pipeline archive: {self.archive}")
@@ -352,6 +475,20 @@ class ParallelValidator:
         self.planner = ShardPlanner(chunk_size)
         self._mp_context = mp_context
         self._merge = _context if _context is not None else _context_from_archive(self.archive)
+        # Shared-memory data plane: None = auto (on when the platform
+        # supports it), False = pickled fan-out only, True = prefer shm
+        # (still falls back rather than fail). ``slab_budget`` caps the
+        # shared bytes one request may hold (default REPRO_SHM_BUDGET_MB
+        # or 1 GiB); over-budget requests take the pickled path.
+        self.use_shm = use_shm
+        self.slab_budget_bytes = slab_budget_bytes(slab_budget)
+        self.shm_stats: dict[str, int] = {
+            "shm_tables": 0,
+            "shm_stream_shards": 0,
+            "fallbacks": 0,
+            "recoveries": 0,
+        }
+        self._plan = None  # lazily compiled TransformPlan for slab encoding
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -378,6 +515,7 @@ class ParallelValidator:
             rule=validator.rule,
             schema=validator.preprocessor.schema,
             feature_names=list(validator.preprocessor.schema.names),
+            preprocessor=validator.preprocessor,
         )
         owns = archive is None
         if owns:
@@ -404,22 +542,33 @@ class ParallelValidator:
         :func:`repro.rules.resolve_ruleset`): each worker compiles it
         against its own pipeline copy (cached per fingerprint) and the
         folded ``rule_report`` is bit-identical to one-shot evaluation.
+
+        When the shared-memory data plane is on (see ``use_shm``), the
+        parent encodes the table straight into a shared slab and workers
+        validate zero-copy windows — bit-identical output, no pickled
+        rows; unavailable/over-budget requests fall back transparently.
         """
         if table.n_rows == 0:
             raise ValidationError(EMPTY_STREAM_MESSAGE)
         self._check_schema(table)
         ruleset = self._resolve_rules(rules)
         keep = self.keep_cell_errors if keep_cell_errors is None else keep_cell_errors
-        pool = self._ensure_pool()
-        futures = [
-            self._submit(pool, shard.offset, shard_table, keep, ruleset)
-            for shard, shard_table in self.planner.split_table(table, shards or self.workers)
-        ]
-        partials = [
-            PartialReport.from_dict(payload)
-            for future in futures
-            for payload in future.result()
-        ]
+        partials: list[PartialReport] | None = None
+        if self._shm_ready():
+            partials = self._validate_table_shm(table, shards or self.workers, keep, ruleset)
+            if partials is None:
+                self.shm_stats["fallbacks"] += 1
+        if partials is None:
+            pool = self._ensure_pool()
+            futures = [
+                self._submit(pool, shard.offset, shard_table, keep, ruleset)
+                for shard, shard_table in self.planner.split_table(table, shards or self.workers)
+            ]
+            partials = [
+                PartialReport.from_dict(payload)
+                for future in futures
+                for payload in future.result()
+            ]
         return self._finish(partials, keep, ruleset)
 
     def validate_stream(
@@ -436,23 +585,37 @@ class ParallelValidator:
         regardless of stream length; a smaller cap also bounds how many
         workers the stream can occupy at once (used by the service's
         budgeted grants). ``rules`` behaves as in :meth:`validate_table`.
+
+        With the shared-memory data plane on, super-chunks are written
+        round-robin into a bounded ring of reused slabs (see ``use_shm``);
+        the shm-or-pickled decision is made before the first chunk is
+        consumed, so the fallback never loses stream data.
         """
         ruleset = self._resolve_rules(rules)
         keep = self.keep_cell_errors if keep_cell_errors is None else keep_cell_errors
         in_flight = max(1, max_parallel) if max_parallel else 2 * self.workers
-        pool = self._ensure_pool()
-        pending: "deque" = deque()
-        partials: list[PartialReport] = []
+        partials: list[PartialReport] | None = None
+        if self._shm_ready():
+            partials = self._validate_stream_shm(chunks, keep, ruleset, in_flight)
+            if partials is None:
+                self.shm_stats["fallbacks"] += 1
+        if partials is None:
+            pool = self._ensure_pool()
+            pending: "deque" = deque()
+            folded: list[PartialReport] = []
+            partials = folded
 
-        def drain(future) -> None:
-            partials.extend(PartialReport.from_dict(payload) for payload in future.result())
+            def drain(future) -> None:
+                folded.extend(
+                    PartialReport.from_dict(payload) for payload in future.result()
+                )
 
-        for shard, payload in self.planner.iter_stream_shards(chunks, self.chunks_per_shard):
-            while len(pending) >= in_flight:
+            for shard, payload in self.planner.iter_stream_shards(chunks, self.chunks_per_shard):
+                while len(pending) >= in_flight:
+                    drain(pending.popleft())
+                pending.append(self._submit(pool, shard.offset, payload, keep, ruleset))
+            while pending:
                 drain(pending.popleft())
-            pending.append(self._submit(pool, shard.offset, payload, keep, ruleset))
-        while pending:
-            drain(pending.popleft())
         return self._finish(partials, keep, ruleset)
 
     @staticmethod
@@ -478,6 +641,9 @@ class ParallelValidator:
             payload = ("table", {name: chunk.column(name) for name in chunk.schema.names})
         else:
             payload = ("matrix", np.ascontiguousarray(chunk, dtype=np.float64))
+        return self._submit_payload(pool, offset, payload, keep, ruleset)
+
+    def _submit_payload(self, pool, offset: int, payload, keep: bool, ruleset=None):
         rules_payload = None if ruleset is None else ruleset.to_dict()
         try:
             return pool.submit(_validate_shard, offset, payload, keep, rules_payload)
@@ -492,6 +658,205 @@ class ParallelValidator:
             raise TransientServiceError(
                 "ParallelValidator pool was closed during submission"
             ) from exc
+
+    # -- shared-memory data plane ------------------------------------------
+    def _shm_ready(self) -> bool:
+        if self.use_shm is False or self._merge.preprocessor is None:
+            return False
+        from repro.runtime.shm import shm_available
+
+        return shm_available()
+
+    def _transform_plan(self):
+        if self._plan is None and self._merge.preprocessor is not None:
+            self._plan = self._merge.preprocessor.compile()
+        return self._plan
+
+    def _validate_table_shm(self, table: Table, shards: int, keep: bool, ruleset):
+        """Encode into one shared slab and fan out zero-copy windows.
+
+        Returns the shard partials, or ``None`` when the slab cannot be
+        afforded or created — the caller falls back to the pickled path
+        (this decision never consumes caller state, so fallback is free).
+        """
+        from repro.runtime.shm import SharedSlab
+
+        plan = self._transform_plan()
+        if plan is None or table.n_rows * plan.n_features * 8 > self.slab_budget_bytes:
+            return None
+        try:
+            slab = SharedSlab.create(table.n_rows, plan.n_features)
+        except (OSError, ValueError):
+            return None
+        try:
+            plan.transform_into(table, slab.matrix)
+            submitted = []
+            for shard in self.planner.plan(table.n_rows, shards):
+                spec = slab.spec(table.n_rows, shard.offset, shard.stop)
+                spec["cache"] = False
+                submitted.append(
+                    (shard, self._submit_shm(shard.offset, spec, keep, ruleset))
+                )
+            self.shm_stats["shm_tables"] += 1
+            partials: list[PartialReport] = []
+            for shard, future in submitted:
+                partials.extend(
+                    self._drain_shm(
+                        future, shard.offset, slab.matrix[shard.offset : shard.stop], keep, ruleset
+                    )
+                )
+        finally:
+            slab.close()
+        return partials
+
+    def _validate_stream_shm(self, chunks: Iterable[Chunk], keep: bool, ruleset, in_flight: int):
+        """Stream rows through a bounded ring of reused shared slabs.
+
+        Returns ``None`` — fall back to the pickled path — only *before*
+        consuming a single chunk (no preprocessor, shm unavailable, or a
+        2-slab ring does not fit the budget). A slab is rewritten only
+        after the shard it carried has been drained, so worker-death
+        recovery can always replay the rows still sitting in the slab.
+        """
+        from repro.runtime.shm import SlabPool
+
+        plan = self._transform_plan()
+        if plan is None:
+            return None
+        shard_rows = self.chunk_size * self.chunks_per_shard
+        ring = SlabPool.open(
+            max(2, min(in_flight, 2 * self.workers)),
+            shard_rows,
+            plan.n_features,
+            self.slab_budget_bytes,
+        )
+        if ring is None:
+            return None
+        in_flight = min(in_flight, len(ring))
+        self._ensure_pool()
+        partials: list[PartialReport] = []
+        pending: "deque" = deque()  # (future, offset, slab, n_rows)
+
+        def drain_one() -> None:
+            future, at, slab, n_rows = pending.popleft()
+            partials.extend(self._drain_shm(future, at, slab.matrix[:n_rows], keep, ruleset))
+
+        def flush(slab, n_rows: int, at: int) -> None:
+            spec = slab.spec(shard_rows, 0, n_rows)
+            spec["cache"] = True  # ring slabs recur: workers keep the mapping
+            pending.append(
+                (self._submit_shm(at, spec, keep, ruleset), at, slab, n_rows)
+            )
+            self.shm_stats["shm_stream_shards"] += 1
+
+        index = 0
+        offset = 0
+        filled = 0
+        kind: str | None = None
+        try:
+            for chunk in chunks:
+                if isinstance(chunk, Table):
+                    this = "table"
+                    n = chunk.n_rows
+                else:
+                    chunk = np.asarray(chunk, dtype=np.float64)
+                    this = "matrix"
+                    n = chunk.shape[0]
+                if kind is None:
+                    kind = this
+                elif kind != this:
+                    raise ValidationError("cannot mix Table and matrix chunks in one stream")
+                if this == "table":
+                    self._check_schema(chunk)
+                elif chunk.ndim != 2 or chunk.shape[1] != plan.n_features:
+                    from repro.exceptions import SchemaError
+
+                    raise SchemaError(
+                        f"chunk matrix has shape {chunk.shape}; the trained schema "
+                        f"expects (rows, {plan.n_features})"
+                    )
+                pos = 0
+                while pos < n:
+                    if filled == 0:
+                        # Backpressure: the slot about to be written must
+                        # have drained its previous shard (ring-length and
+                        # max_parallel both bound what is in flight).
+                        while len(pending) >= in_flight:
+                            drain_one()
+                    slab = ring.slab(index)
+                    take = min(n - pos, shard_rows - filled)
+                    if this == "table":
+                        plan.transform_into(chunk, slab.matrix[filled:], start=pos, stop=pos + take)
+                    else:
+                        np.copyto(slab.matrix[filled : filled + take], chunk[pos : pos + take])
+                    filled += take
+                    pos += take
+                    if filled == shard_rows:
+                        flush(slab, shard_rows, offset)
+                        index += 1
+                        offset += shard_rows
+                        filled = 0
+            if filled:
+                flush(ring.slab(index), filled, offset)
+            while pending:
+                drain_one()
+        finally:
+            ring.close()
+        return partials
+
+    def _submit_shm(self, offset: int, spec: dict, keep: bool, ruleset):
+        """Submit one shm shard, surviving a pool already flagged broken.
+
+        A submit-time ``BrokenProcessPool`` means the workers died
+        *between* requests — nothing of this shard ever reached them and
+        the slab is untouched — so rebuild the pool once and resubmit.
+        (Death *after* submission is :meth:`_drain_shm`'s case.)
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return self._submit_payload(self._ensure_pool(), offset, ("shm", spec), keep, ruleset)
+        except BrokenProcessPool:
+            logger.warning(
+                "shard pool was broken at submit (offset %d); rebuilding and resubmitting",
+                offset,
+            )
+            self.shm_stats["recoveries"] += 1
+            self._rebuild_pool()
+            return self._submit_payload(self._ensure_pool(), offset, ("shm", spec), keep, ruleset)
+
+    def _drain_shm(self, future, offset: int, window: np.ndarray, keep: bool, ruleset):
+        """Resolve one shm shard future, surviving worker death.
+
+        If the pool broke mid-shard, the rows are still sitting in the
+        slab (never rewritten before its future drains): rebuild the pool
+        and replay that window through the pickled matrix path — the
+        request degrades, it does not fail.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            payloads = future.result()
+        except BrokenProcessPool:
+            logger.warning(
+                "shard worker died mid-shard (offset %d); replaying via the pickled path",
+                offset,
+            )
+            self.shm_stats["recoveries"] += 1
+            self._rebuild_pool()
+            replay = self._submit(
+                self._ensure_pool(), offset, np.array(window, dtype=np.float64), keep, ruleset
+            )
+            payloads = replay.result()
+        return [PartialReport.from_dict(payload) for payload in payloads]
+
+    def _rebuild_pool(self) -> None:
+        with self._pool_lock:
+            if self._closed:
+                raise TransientServiceError("ParallelValidator is closed")
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def _finish(
         self, partials: list[PartialReport], keep: bool, ruleset=None

@@ -193,6 +193,13 @@ def main(argv: list[str] | None = None) -> int:
         help="QoS weight for a pipeline's scheduler queue (repeatable; "
         "unlisted pipelines weigh 1.0)",
     )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable the shared-memory data plane: sharded validation "
+        "falls back to pickled fan-out and the router never hands stream "
+        "chunks to same-host replicas via slabs",
+    )
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
     args = parser.parse_args(argv)
 
@@ -234,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         max_workers=args.workers,
         shard_workers=args.shard_workers,
         monitor_window=32 if args.monitor_window is None else args.monitor_window,
+        use_shm=False if args.no_shm else None,
     )
     try:
         for spec in args.pipeline:
@@ -279,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
                 max_batch_rows=args.max_batch_rows,
                 max_queue_depth=args.max_queue_depth,
                 qos_weights=qos_weights or None,
+                shm_ingest=not args.no_shm,
             )
             mode_label = "async"
         print(f"serving {service.registered} on {gateway.url} ({mode_label})", flush=True)
@@ -353,6 +362,8 @@ def _serve_fleet(args, parser, max_body_bytes, qos_weights) -> int:
             max_batch_rows=args.max_batch_rows,
             max_queue_depth=args.max_queue_depth,
             qos_weights=qos_weights or None,
+            use_shm=False if args.no_shm else None,
+            shm_ingest=not args.no_shm,
         )
         print(f"spawning {args.replicas} worker replica(s)...", flush=True)
         with fleet:
@@ -362,6 +373,7 @@ def _serve_fleet(args, parser, max_body_bytes, qos_weights) -> int:
                 port=args.port,
                 max_body_bytes=max_body_bytes,
                 archives=archives,
+                use_shm=False if args.no_shm else None,
             )
             workers = ", ".join(f"{w.name}@{w.host}:{w.port}" for w in fleet.targets())
             print(

@@ -51,6 +51,7 @@ def _fleet_worker_main(spec: dict, conn) -> None:
             max_workers=spec.get("workers"),
             shard_workers=spec.get("shard_workers", 0),
             monitor_window=spec.get("monitor_window", 32),
+            use_shm=spec.get("use_shm"),
         )
         for name, archive in spec["archives"].items():
             service.register(name, archive)
@@ -67,6 +68,7 @@ def _fleet_worker_main(spec: dict, conn) -> None:
             max_batch_rows=spec.get("max_batch_rows", 8192),
             max_queue_depth=spec.get("max_queue_depth", 1024),
             qos_weights=spec.get("qos_weights"),
+            shm_ingest=bool(spec.get("shm_ingest", True)),
         )
         gateway.start()
         conn.send(("ready", gateway.port))
@@ -125,7 +127,12 @@ class GatewayFleet:
     each worker's ``AsyncGateway``/service spec (``capacity``,
     ``monitor_window``, ``batch_window_ms``, ``max_batch_rows``,
     ``max_queue_depth``, ``qos_weights``, ``max_body_bytes``,
-    ``shard_workers``, ``workers``).
+    ``shard_workers``, ``workers``, plus the shared-memory data-plane
+    knobs: ``use_shm`` (sharded validation through slabs inside each
+    worker; None = auto) and ``shm_ingest`` (advertise slab ingest so a
+    same-host router scatters stream chunks by name instead of HTTP
+    bodies; defaults to True — the gateway re-probes availability and
+    quietly drops the advertisement where /dev/shm is unusable).
     """
 
     DEFAULT_START_TIMEOUT = 120.0

@@ -172,7 +172,9 @@ def accepts_gzip(header: str | None) -> bool:
     return False
 
 
-def health_payload(service: "ValidationService", draining: bool = False) -> dict:
+def health_payload(
+    service: "ValidationService", draining: bool = False, shm_ingest: bool = False
+) -> dict:
     """The ``/v1/healthz`` envelope (shared by both transports).
 
     ``draining=True`` reports ``status: "draining"`` — the gateway has
@@ -192,6 +194,11 @@ def health_payload(service: "ValidationService", draining: bool = False) -> dict
         wire_formats=["application/json", framing.FRAME_CONTENT_TYPE],
         frame_version=framing.FRAME_VERSION,
     )
+    if shm_ingest:
+        # Revision 5, same negotiation pattern: a same-host router sees
+        # this and scatters stream chunks through shared-memory slabs
+        # instead of HTTP bodies; absent field → plain-body fallback.
+        payload["shm_ingest"] = True
     return payload
 
 

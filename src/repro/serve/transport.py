@@ -229,6 +229,34 @@ class _BodyReader:
             await self.reader.readexactly(2)  # trailing CRLF
 
 
+class _SlabBody:
+    """Stream-body source backed by an attached shared-memory slab.
+
+    Stands in for :class:`_BodyReader` on ``X-Repro-Shm`` requests (the
+    same-host router scatter path): the chunk bytes already sit in a
+    slab this process can map, so nothing crosses the socket. The HTTP
+    request itself carries an empty body — ``declares_body()`` is False,
+    keeping the dispatcher's keep-alive accounting truthful.
+    """
+
+    def __init__(self, slab, size: int) -> None:
+        self._slab = slab
+        self._size = size
+        self.started = False
+
+    def declares_body(self) -> bool:
+        return False
+
+    async def iter_blocks(self, bound_total: bool) -> AsyncIterator[bytes]:
+        self.started = True
+        view = self._slab.buf
+        for start in range(0, self._size, _BLOCK):
+            yield bytes(view[start : min(start + _BLOCK, self._size)])
+
+    def close(self) -> None:
+        self._slab.close()
+
+
 class AsyncGateway:
     """Event-loop HTTP front over a :class:`ValidationService`.
 
@@ -259,7 +287,14 @@ class AsyncGateway:
         max_batch_rows: int = 8192,
         max_queue_depth: int = 1024,
         qos_weights: "dict[str, float] | None" = None,
+        shm_ingest: bool = False,
     ) -> None:
+        if shm_ingest:
+            # Only advertise what can actually be attached here.
+            from repro.runtime.shm import shm_available
+
+            shm_ingest = shm_available()
+        self.shm_ingest = bool(shm_ingest)
         self.service = service
         self.host = host
         self._requested_port = port
@@ -401,7 +436,9 @@ class AsyncGateway:
 
     # -- service facade ----------------------------------------------------
     def healthz(self) -> dict:
-        return health_payload(self.service, draining=self._draining)
+        return health_payload(
+            self.service, draining=self._draining, shm_ingest=self.shm_ingest
+        )
 
     def metrics_text(self) -> str:
         """Prometheus text: service stats, drift monitors, scheduler gauges."""
@@ -748,6 +785,42 @@ class AsyncGateway:
 
     async def _handle_validate_stream(
         self, writer, request: _Request, body: _BodyReader, name: str,
+        query_workers: int | None, emit_partials: bool = False,
+    ) -> None:
+        shm_header = request.header("x-repro-shm")
+        if shm_header is None:
+            await self._handle_validate_stream_body(
+                writer, request, body, name, query_workers, emit_partials
+            )
+            return
+        # Same-host slab hand-off: the router already wrote the encoded
+        # chunk stream into a shared-memory segment, and the HTTP request
+        # carries only its name — ``<name>;<size>`` — with an empty body.
+        if not self.shm_ingest:
+            raise _RequestError(400, "shared-memory ingest is not enabled on this gateway")
+        try:
+            slab_name, _, size_text = shm_header.partition(";")
+            size = int(size_text)
+            if not slab_name or size < 0:
+                raise ValueError(shm_header)
+        except ValueError as exc:
+            raise _RequestError(400, f"malformed X-Repro-Shm header: {shm_header!r}") from exc
+        from repro.runtime.shm import SharedSlab
+
+        try:
+            slab = SharedSlab.attach_bytes(slab_name)
+        except (OSError, ValueError) as exc:
+            raise _RequestError(400, f"cannot attach shared-memory slab {slab_name!r}: {exc}") from exc
+        slab_body = _SlabBody(slab, min(size, len(slab.buf)))
+        try:
+            await self._handle_validate_stream_body(
+                writer, request, slab_body, name, query_workers, emit_partials
+            )
+        finally:
+            slab_body.close()
+
+    async def _handle_validate_stream_body(
+        self, writer, request: _Request, body, name: str,
         query_workers: int | None, emit_partials: bool = False,
     ) -> None:
         pipeline = self.service.get(name)

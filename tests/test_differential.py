@@ -108,6 +108,24 @@ def parallel(fitted):
 
 
 @pytest.fixture(scope="module")
+def shm_parallel(fitted):
+    """Sharded validation forced through the shared-memory data plane."""
+    with ParallelValidator.from_pipeline(
+        fitted, workers=2, chunk_size=CHUNK_SIZE, use_shm=True
+    ) as validator:
+        yield validator
+
+
+@pytest.fixture(scope="module")
+def pickled_parallel(fitted):
+    """Sharded validation forced onto the pickled fan-out path."""
+    with ParallelValidator.from_pipeline(
+        fitted, workers=2, chunk_size=CHUNK_SIZE, use_shm=False
+    ) as validator:
+        yield validator
+
+
+@pytest.fixture(scope="module")
 def served(fitted):
     service = ValidationService(capacity=2, shard_workers=0)
     service.add("demo", fitted)
@@ -194,6 +212,44 @@ def test_all_paths_bit_identical(index, fitted, parallel, served):
     # reference decodes to the same report, bit for bit.
     decoded = ValidationReport.from_dict(json.loads(json.dumps(reference.to_dict())))
     assert_reports_identical(reference, decoded, "json-round-trip")
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+def test_shm_data_plane_bit_identical(index, fitted, shm_parallel, pickled_parallel):
+    """shm == pickled == one-shot, on every corruption scenario.
+
+    The shared-memory data plane replaces the shard transport (slab
+    windows instead of pickled rows) without touching the compute — so
+    its reports must match the pickled fan-out and the one-shot
+    reference bit for bit, and the counters must prove the slab path
+    actually ran rather than silently falling back.
+    """
+    from repro.runtime.shm import shm_available
+
+    if not shm_available():
+        pytest.skip("POSIX shared memory unavailable on this platform")
+    table = make_scenario(index)
+    reference = fitted.validate(table)
+
+    before = shm_parallel.shm_stats["shm_tables"]
+    via_shm = shm_parallel.validate_table(table, shards=2, keep_cell_errors=True)
+    assert shm_parallel.shm_stats["shm_tables"] == before + 1, "shm path did not run"
+    via_pickled = pickled_parallel.validate_table(table, shards=2, keep_cell_errors=True)
+    assert pickled_parallel.shm_stats["shm_tables"] == 0
+
+    assert_reports_identical(reference, via_shm, "shm")
+    assert_reports_identical(via_pickled, via_shm, "shm-vs-pickled")
+
+    if index % 5 == 0:  # streamed parity is slower: sample the scenarios
+        chunks = [
+            table.slice_rows(start, start + CHUNK_SIZE)
+            for start in range(0, table.n_rows, CHUNK_SIZE)
+        ]
+        shards_before = shm_parallel.shm_stats["shm_stream_shards"]
+        shm_summary = shm_parallel.validate_stream(iter(chunks))
+        assert shm_parallel.shm_stats["shm_stream_shards"] > shards_before
+        pickled_summary = pickled_parallel.validate_stream(iter(chunks))
+        assert shm_summary.to_dict() == pickled_summary.to_dict(), "shm stream parity"
 
 
 @pytest.mark.parametrize("index", range(N_SCENARIOS))

@@ -130,6 +130,106 @@ class TestShardPlanner:
         with pytest.raises(ValidationError, match="mix"):
             list(planner.iter_stream_shards(iter([table, np.zeros((5, 4))])))
 
+    def test_stream_shards_never_concatenate(self, monkeypatch):
+        """Regression: the regroup used to re-concatenate every buffered
+        chunk on each cut. It must now write into one pre-allocated
+        buffer — no concat call may happen while the stream is consumed."""
+        table = make_table(700, seed=9)
+        chunks = [
+            table.take(np.arange(i, min(i + 90, table.n_rows)))
+            for i in range(0, table.n_rows, 90)
+        ]
+        planner = ShardPlanner(chunk_size=128)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("stream regroup must not concatenate")
+
+        with monkeypatch.context() as patch:
+            patch.setattr(np, "concatenate", boom)
+            patch.setattr(Table, "concat", staticmethod(boom))
+            shards = list(planner.iter_stream_shards(iter(chunks), chunks_per_shard=2))
+        assert sum(shard.n_rows for shard, _ in shards) == table.n_rows
+        rebuilt = Table.concat([piece for _, piece in shards])
+        np.testing.assert_array_equal(rebuilt.column("x"), table.column("x"))
+
+    def test_stream_shards_allocation_count_is_constant(self, monkeypatch):
+        """With ``reuse_buffer=True`` the whole stream allocates exactly
+        one shard buffer (one array per column), independent of how many
+        chunks or shards flow through."""
+        table = make_table(1500, seed=10)
+        chunks = [
+            table.take(np.arange(i, min(i + 90, table.n_rows)))
+            for i in range(0, table.n_rows, 90)
+        ]
+        planner = ShardPlanner(chunk_size=128)
+        real_empty = np.empty
+        allocations = []
+
+        def counting_empty(*args, **kwargs):
+            allocations.append(args)
+            return real_empty(*args, **kwargs)
+
+        consumed = 0
+        with monkeypatch.context() as patch:
+            patch.setattr(np, "empty", counting_empty)
+            for shard, piece in planner.iter_stream_shards(
+                iter(chunks), chunks_per_shard=2, reuse_buffer=True
+            ):
+                consumed += shard.n_rows  # consume before the next cut
+        assert consumed == table.n_rows
+        assert len(allocations) == len(table.schema.names)
+
+    def test_stream_shards_reuse_buffer_shares_backing(self):
+        table = make_table(600, seed=11)
+        chunks = [
+            table.take(np.arange(i, min(i + 90, table.n_rows)))
+            for i in range(0, table.n_rows, 90)
+        ]
+        planner = ShardPlanner(chunk_size=128)
+        stream = planner.iter_stream_shards(iter(chunks), chunks_per_shard=2, reuse_buffer=True)
+        _, first = next(stream)
+        first_x = first.column("x")
+        first_values = first_x.copy()
+        np.testing.assert_array_equal(first_values, table.column("x")[: first.n_rows])
+        _, second = next(stream)
+        # Same backing buffer: allocation-free, and the first view now
+        # holds the second shard's rows — the documented consume-before-
+        # advance contract.
+        assert np.shares_memory(first_x, second.column("x"))
+        np.testing.assert_array_equal(
+            second.column("x"), table.column("x")[first.n_rows : first.n_rows + second.n_rows]
+        )
+
+    def test_stream_shards_promote_dtype_like_concat(self):
+        """A later chunk with wider fixed-width strings regrows the
+        column buffer to the promoted dtype, exactly as np.concatenate
+        would have (CSV chunk readers hand out ``_wrap``-built tables
+        whose string columns keep their fixed-width dtype)."""
+        schema = TableSchema(
+            [
+                ColumnSpec("x", ColumnKind.NUMERIC, "driver"),
+                ColumnSpec("c", ColumnKind.CATEGORICAL, "band", categories=("lo", "medium")),
+            ]
+        )
+        narrow = Table._wrap(
+            schema,
+            {"x": np.arange(3.0), "c": np.array(["lo", "lo", "lo"])},
+            3,
+        )
+        wide = Table._wrap(
+            schema,
+            {"x": np.arange(3.0, 6.0), "c": np.array(["medium", "medium", "medium"])},
+            3,
+        )
+        planner = ShardPlanner(chunk_size=3)
+        shards = list(planner.iter_stream_shards(iter([narrow, wide]), chunks_per_shard=2))
+        assert len(shards) == 1
+        merged = shards[0][1]
+        assert merged.column("c").dtype == np.promote_types(
+            narrow.column("c").dtype, wide.column("c").dtype
+        )
+        assert list(merged.column("c")) == ["lo", "lo", "lo", "medium", "medium", "medium"]
+
 
 # ---------------------------------------------------------------------------
 # multi-process parity with the one-shot path

@@ -1,0 +1,526 @@
+"""Shared-memory data plane tests: slab lifecycle, orphan reaping,
+pool budgets, parity with the pickled path, and crash recovery.
+
+The standing invariant mirrors every other serving-tier suite: shared
+memory is an *optimization* — reports produced through slabs must be
+bit-identical to the pickled fan-out and to the one-shot path, and no
+request may ever fail because shm is unavailable, budget-exhausted, or
+broken mid-flight. The lifecycle half pins the crash-safety contract:
+double-close is idempotent, dropped references unlink via finalizers,
+a dead creator's segments are reaped on the next pool open, and a
+worker dying mid-shard falls back to the pickled path with the same
+answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import DQuaG, DQuaGConfig
+from repro.runtime import ParallelValidator, ValidationService
+from repro.runtime.shm import (
+    SLAB_PREFIX,
+    SharedSlab,
+    SlabPool,
+    attach_window,
+    reap_orphans,
+    shm_available,
+    slab_budget_bytes,
+)
+from tests.test_sharding import make_table
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable on this platform"
+)
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def slab_entries() -> set:
+    """The repro slab segments currently present in /dev/shm."""
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {entry.name for entry in _SHM_DIR.iterdir() if entry.name.startswith(SLAB_PREFIX)}
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    train = make_table(500, seed=0)
+    pipeline = DQuaG(DQuaGConfig(hidden_dim=16, epochs=6, batch_size=64)).fit(train, rng=0)
+    return pipeline, make_table(1100, seed=2)
+
+
+# ---------------------------------------------------------------------------
+# slab lifecycle
+# ---------------------------------------------------------------------------
+class TestSharedSlab:
+    def test_matrix_visible_through_attach(self):
+        with SharedSlab.create(16, 4) as slab:
+            slab.matrix[:] = np.arange(64, dtype=np.float64).reshape(16, 4)
+            attached = SharedSlab.attach(slab.name, 16, 4)
+            try:
+                np.testing.assert_array_equal(attached.matrix, slab.matrix)
+                # same physical pages, not a copy
+                attached.matrix[3, 2] = -1.0
+                assert slab.matrix[3, 2] == -1.0
+            finally:
+                attached.close()
+        assert slab.name not in slab_entries()
+
+    def test_byte_slab_roundtrip_and_no_matrix_view(self):
+        payload = b"x" * 100
+        with SharedSlab.create_bytes(len(payload)) as slab:
+            slab.buf[: len(payload)] = payload
+            attached = SharedSlab.attach_bytes(slab.name)
+            try:
+                assert bytes(attached.buf[: len(payload)]) == payload
+                with pytest.raises(TypeError):
+                    attached.matrix
+            finally:
+                attached.close()
+
+    def test_double_close_is_idempotent(self):
+        slab = SharedSlab.create(4, 2)
+        assert not slab.closed
+        slab.close()
+        assert slab.closed
+        slab.close()  # second close: no-op, no raise
+        assert slab.closed
+        assert slab.name not in slab_entries()
+
+    def test_dropped_reference_unlinks_via_finalizer(self):
+        slab = SharedSlab.create(8, 2)
+        name = slab.name
+        assert name in slab_entries()
+        del slab
+        import gc
+
+        gc.collect()
+        assert name not in slab_entries()
+
+    def test_attach_rejects_undersized_segment(self):
+        with SharedSlab.create(4, 2) as slab:
+            with pytest.raises(ValueError, match="bytes"):
+                SharedSlab.attach(slab.name, 4096, 64)
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            SharedSlab.create(0, 4)
+        with pytest.raises(ValueError):
+            SharedSlab.create(4, 0)
+        with pytest.raises(ValueError):
+            SharedSlab.create_bytes(0)
+
+    def test_spec_window_roundtrip(self):
+        with SharedSlab.create(10, 3) as slab:
+            slab.matrix[:] = np.arange(30, dtype=np.float64).reshape(10, 3)
+            window, holder = attach_window(slab.spec(rows=10, start=2, stop=7), cache=False)
+            try:
+                np.testing.assert_array_equal(window, slab.matrix[2:7])
+            finally:
+                assert holder is not None  # one-shot specs hand back the mapping
+                holder.close()
+
+
+# ---------------------------------------------------------------------------
+# orphan reaping
+# ---------------------------------------------------------------------------
+class TestOrphanReaping:
+    def test_dead_creator_segment_is_reaped(self):
+        # A child creates a slab and dies hard (os._exit skips every
+        # finalizer) — exactly the crashed-parent case reap_orphans is for.
+        script = (
+            "import os, sys\n"
+            "from repro.runtime.shm import SharedSlab\n"
+            "slab = SharedSlab.create(64, 4)\n"
+            "print(slab.name, flush=True)\n"
+            "os._exit(1)\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, env=env
+        )
+        name = result.stdout.strip()
+        assert name.startswith(SLAB_PREFIX), result.stderr
+        assert name in slab_entries()  # leaked: the child never unlinked
+        assert reap_orphans() >= 1
+        assert name not in slab_entries()
+
+    def test_live_creator_segment_survives_reaping(self):
+        with SharedSlab.create(8, 2) as slab:
+            reap_orphans()
+            assert slab.name in slab_entries()
+        assert slab.name not in slab_entries()
+
+
+# ---------------------------------------------------------------------------
+# slab pool
+# ---------------------------------------------------------------------------
+class TestSlabPool:
+    def test_ring_round_robin_reuses_slabs(self):
+        pool = SlabPool.open(3, capacity_rows=32, n_features=4, budget_bytes=1 << 20)
+        assert pool is not None
+        try:
+            assert len(pool) == 3
+            assert pool.slab(0) is pool.slab(3)
+            assert pool.slab(1) is not pool.slab(2)
+            assert pool.nbytes == 3 * 32 * 4 * 8
+        finally:
+            pool.close()
+        assert not slab_entries() & {slab.name for slab in pool.slabs}
+
+    def test_budget_clamps_ring_then_declines(self):
+        slab_bytes = 32 * 4 * 8
+        clamped = SlabPool.open(8, 32, 4, budget_bytes=2 * slab_bytes)
+        assert clamped is not None and len(clamped) == 2
+        clamped.close()
+        # fewer than 2 affordable slabs → nothing to overlap → decline
+        assert SlabPool.open(8, 32, 4, budget_bytes=slab_bytes) is None
+        assert SlabPool.open(8, 32, 4, budget_bytes=0) is None
+
+    def test_double_close_is_idempotent(self):
+        pool = SlabPool.open(2, 16, 2, budget_bytes=1 << 20)
+        assert pool is not None
+        pool.close()
+        pool.close()
+
+    def test_budget_resolution_order(self, monkeypatch):
+        assert slab_budget_bytes(12345) == 12345
+        monkeypatch.setenv("REPRO_SHM_BUDGET_MB", "2")
+        assert slab_budget_bytes() == 2 * 1024 * 1024
+        monkeypatch.setenv("REPRO_SHM_BUDGET_MB", "garbage")
+        assert slab_budget_bytes() == 1 << 30
+
+
+# ---------------------------------------------------------------------------
+# parity: shm == pickled == one-shot
+# ---------------------------------------------------------------------------
+class TestShmParity:
+    def test_table_report_bit_identical_to_pickled_and_one_shot(self, fitted):
+        pipeline, table = fitted
+        reference = pipeline.streaming_validator(chunk_size=256).validate_table(table)
+        with ParallelValidator.from_pipeline(
+            pipeline, workers=2, chunk_size=256, use_shm=True
+        ) as shm_validator:
+            shm_report = shm_validator.validate_table(table)
+            assert shm_validator.shm_stats["shm_tables"] == 1
+            assert shm_validator.shm_stats["fallbacks"] == 0
+        with ParallelValidator.from_pipeline(
+            pipeline, workers=2, chunk_size=256, use_shm=False
+        ) as pickled_validator:
+            pickled_report = pickled_validator.validate_table(table)
+            assert pickled_validator.shm_stats["shm_tables"] == 0
+        assert shm_report.to_dict() == reference.to_dict()
+        assert pickled_report.to_dict() == reference.to_dict()
+
+    def test_stream_summary_bit_identical_and_slabs_reused(self, fitted):
+        pipeline, table = fitted
+        chunks = [table.slice_rows(i, min(i + 90, table.n_rows)) for i in range(0, table.n_rows, 90)]
+        with ParallelValidator.from_pipeline(
+            pipeline, workers=2, chunk_size=128, chunks_per_shard=2, use_shm=False
+        ) as pickled_validator:
+            reference = pickled_validator.validate_stream(iter(chunks))
+        with ParallelValidator.from_pipeline(
+            pipeline, workers=2, chunk_size=128, chunks_per_shard=2, use_shm=True
+        ) as shm_validator:
+            summary = shm_validator.validate_stream(iter(chunks))
+            shards = shm_validator.shm_stats["shm_stream_shards"]
+            assert shards > 2  # more shards than ring slabs → segments were reused
+            assert shm_validator.shm_stats["fallbacks"] == 0
+        assert summary.to_dict() == reference.to_dict()
+
+    def test_exhausted_budget_falls_back_with_same_answer(self, fitted):
+        pipeline, table = fitted
+        reference = pipeline.streaming_validator(chunk_size=256).validate_table(table)
+        with ParallelValidator.from_pipeline(
+            pipeline, workers=2, chunk_size=256, use_shm=True, slab_budget=64
+        ) as validator:
+            report = validator.validate_table(table)
+            assert validator.shm_stats["fallbacks"] == 1
+            assert validator.shm_stats["shm_tables"] == 0
+        assert report.to_dict() == reference.to_dict()
+
+    def test_no_segments_leak_after_validator_close(self, fitted):
+        pipeline, table = fitted
+        before = slab_entries()
+        with ParallelValidator.from_pipeline(
+            pipeline, workers=2, chunk_size=256, use_shm=True
+        ) as validator:
+            validator.validate_table(table)
+        assert slab_entries() <= before
+
+    def test_worker_death_mid_shard_recovers_with_same_answer(self, fitted):
+        pipeline, table = fitted
+        reference = pipeline.streaming_validator(chunk_size=256).validate_table(table)
+        with ParallelValidator.from_pipeline(
+            pipeline, workers=2, chunk_size=256, use_shm=True
+        ) as validator:
+            pool = validator._ensure_pool()
+            # Warm the workers up, then kill them all: the next shm drain
+            # hits BrokenProcessPool mid-shard and must replay the shard
+            # through a fresh pool on the pickled path.
+            validator.validate_table(table)
+            for pid in list(pool._processes):
+                os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and any(
+                process.is_alive() for process in pool._processes.values()
+            ):
+                time.sleep(0.05)
+            report = validator.validate_table(table)
+            assert validator.shm_stats["recoveries"] >= 1
+        assert report.to_dict() == reference.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# gateway slab ingest (X-Repro-Shm) end to end
+# ---------------------------------------------------------------------------
+class TestGatewayShmIngest:
+    @pytest.fixture(scope="class")
+    def served(self, fitted):
+        from repro.serve import AsyncGateway
+
+        pipeline, table = fitted
+        service = ValidationService(capacity=2, shard_workers=0)
+        service.add("demo", pipeline)
+        gateway = AsyncGateway(service, port=0, shm_ingest=True).start()
+        yield gateway, table
+        gateway.close()
+        service.close()
+
+    @staticmethod
+    def ndjson_stream(table, chunk_rows: int = 200) -> bytes:
+        lines = []
+        for start in range(0, table.n_rows, chunk_rows):
+            chunk = table.slice_rows(start, min(start + chunk_rows, table.n_rows))
+            records = [
+                {name: chunk.column(name)[i] for name in chunk.schema.names}
+                for i in range(chunk.n_rows)
+            ]
+            for record in records:
+                for key, value in record.items():
+                    if isinstance(value, (np.floating, np.integer)):
+                        record[key] = float(value)
+            lines.append(json.dumps({"records": records}))
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    def test_slab_request_matches_plain_body(self, served):
+        gateway, table = served
+        assert gateway.shm_ingest
+        body = self.ndjson_stream(table)
+
+        conn = HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/v1/pipelines/demo/validate_stream", body=body,
+                headers={"Content-Type": "application/x-ndjson"},
+            )
+            plain = conn.getresponse()
+            plain_lines = plain.read().decode().strip().splitlines()
+            assert plain.status == 200
+
+            slab = SharedSlab.create_bytes(len(body))
+            try:
+                slab.buf[: len(body)] = body
+                conn.request(
+                    "POST", "/v1/pipelines/demo/validate_stream", body=None,
+                    headers={
+                        "Content-Type": "application/x-ndjson",
+                        "X-Repro-Shm": f"{slab.name};{len(body)}",
+                    },
+                )
+                shm_response = conn.getresponse()
+                shm_lines = shm_response.read().decode().strip().splitlines()
+                assert shm_response.status == 200
+            finally:
+                slab.close()
+        finally:
+            conn.close()
+        # every ack line and the final summary: byte-identical streams
+        assert shm_lines == plain_lines
+
+    def test_healthz_advertises_ingest(self, served):
+        gateway, _ = served
+        conn = HTTPConnection("127.0.0.1", gateway.port, timeout=10)
+        try:
+            conn.request("GET", "/v1/healthz")
+            payload = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        assert payload["shm_ingest"] is True
+
+    def test_slab_header_refused_when_ingest_disabled(self, fitted):
+        from repro.serve import AsyncGateway
+
+        pipeline, table = fitted
+        service = ValidationService(capacity=2, shard_workers=0)
+        service.add("demo", pipeline)
+        gateway = AsyncGateway(service, port=0, shm_ingest=False).start()
+        try:
+            conn = HTTPConnection("127.0.0.1", gateway.port, timeout=10)
+            try:
+                conn.request(
+                    "GET", "/v1/healthz"
+                )
+                health = json.loads(conn.getresponse().read())
+                assert "shm_ingest" not in health  # rev-4 shape when disabled
+                conn.request(
+                    "POST", "/v1/pipelines/demo/validate_stream", body=None,
+                    headers={
+                        "Content-Type": "application/x-ndjson",
+                        "X-Repro-Shm": "repro-slab-0-deadbeef;64",
+                    },
+                )
+                response = conn.getresponse()
+                body = response.read()
+                assert response.status == 400
+                assert b"not enabled" in body
+            finally:
+                conn.close()
+        finally:
+            gateway.close()
+            service.close()
+
+    def test_unattachable_slab_is_400_not_crash(self, served):
+        gateway, _ = served
+        conn = HTTPConnection("127.0.0.1", gateway.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/pipelines/demo/validate_stream", body=None,
+                headers={
+                    "Content-Type": "application/x-ndjson",
+                    "X-Repro-Shm": "repro-slab-0-000000000000;64",
+                },
+            )
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 400
+            assert b"attach" in body
+        finally:
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# router slab scatter end to end (same-host replicas)
+# ---------------------------------------------------------------------------
+class TestRouterShmScatter:
+    def test_scatter_lands_in_slabs_with_identical_summary(self, fitted, tmp_path):
+        from repro.serve import AsyncGateway, Client, RouterGateway
+
+        pipeline, table = fitted
+        archive = tmp_path / "demo.npz"
+        pipeline.save(archive)
+
+        services, gateways = [], []
+        for _ in range(3):  # [0] = single-node reference, [1:] = replicas
+            service = ValidationService(capacity=2, shard_workers=0)
+            service.register("demo", str(archive))
+            services.append(service)
+            gateways.append(AsyncGateway(service, port=0, shm_ingest=True).start())
+        router = RouterGateway(
+            [(f"replica-{i}", "127.0.0.1", gw.port) for i, gw in enumerate(gateways[1:])],
+            port=0,
+            archives={"demo": str(archive)},
+            health_interval=0,
+        ).start()
+        try:
+            router.check_workers()  # populate last_payload → shm advertisement
+            chunks = [
+                table.slice_rows(start, min(start + 200, table.n_rows))
+                for start in range(0, table.n_rows, 200)
+            ]
+            single = Client(port=gateways[0].port).validate_stream("demo", chunks)
+            routed = Client(port=router.port).validate_stream("demo", chunks)
+            assert routed.to_dict() == single.to_dict()
+            assert router._counters["shm_scatters"] >= 2  # one per replica range
+            assert router._counters["shm_fallbacks"] == 0
+        finally:
+            router.close()
+            for gateway in gateways:
+                gateway.close()
+            for service in services:
+                service.close()
+
+    def test_disabled_router_never_uses_slabs(self, fitted, tmp_path):
+        from repro.serve import AsyncGateway, Client, RouterGateway
+
+        pipeline, table = fitted
+        archive = tmp_path / "demo.npz"
+        pipeline.save(archive)
+        services, gateways = [], []
+        for _ in range(2):
+            service = ValidationService(capacity=2, shard_workers=0)
+            service.register("demo", str(archive))
+            services.append(service)
+            gateways.append(AsyncGateway(service, port=0, shm_ingest=True).start())
+        router = RouterGateway(
+            [(f"replica-{i}", "127.0.0.1", gw.port) for i, gw in enumerate(gateways)],
+            port=0,
+            archives={"demo": str(archive)},
+            health_interval=0,
+            use_shm=False,
+        ).start()
+        try:
+            router.check_workers()
+            chunks = [
+                table.slice_rows(start, min(start + 200, table.n_rows))
+                for start in range(0, table.n_rows, 200)
+            ]
+            Client(port=router.port).validate_stream("demo", chunks)
+            assert router._counters["shm_scatters"] == 0
+        finally:
+            router.close()
+            for gateway in gateways:
+                gateway.close()
+            for service in services:
+                service.close()
+
+
+# ---------------------------------------------------------------------------
+# service-tier idle pool reaping (satellite: ValidationService)
+# ---------------------------------------------------------------------------
+class TestIdlePoolReaping:
+    def test_idle_pools_reaped_and_counted(self, fitted, tmp_path):
+        pipeline, table = fitted
+        archive = tmp_path / "demo.npz"
+        pipeline.save(archive)
+        service = ValidationService(capacity=2, shard_workers=4, shard_idle_timeout=0.2)
+        try:
+            service.register("demo", str(archive))
+            sharded = service.validate_sharded("demo", table, workers=2)
+            assert sharded.n_flagged >= 0
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and service.stats_snapshot().pool_reaps == 0:
+                time.sleep(0.05)
+            stats = service.stats_snapshot()
+            assert stats.pool_reaps >= 1
+            # the pool is rebuilt transparently on next use
+            again = service.validate_sharded("demo", table, workers=2)
+            assert again.to_dict() == sharded.to_dict()
+        finally:
+            service.close()
+
+    def test_no_timeout_means_no_reaper(self, fitted, tmp_path):
+        pipeline, table = fitted
+        archive = tmp_path / "demo.npz"
+        pipeline.save(archive)
+        service = ValidationService(capacity=2, shard_workers=4, shard_idle_timeout=None)
+        try:
+            service.register("demo", str(archive))
+            service.validate_sharded("demo", table, workers=2)
+            time.sleep(0.3)
+            assert service.stats_snapshot().pool_reaps == 0
+        finally:
+            service.close()
